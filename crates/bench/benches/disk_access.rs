@@ -1,0 +1,92 @@
+//! Criterion micro-benchmarks of the disk simulator primitives.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use multimap_disksim::{adjacent_lbn, profiles, semi_sequential_path, DiskSim, Request};
+
+fn bench_locate(c: &mut Criterion) {
+    let geom = profiles::cheetah_36es();
+    let total = geom.total_blocks();
+    c.bench_function("disksim/locate", |b| {
+        let mut lbn = 0u64;
+        b.iter(|| {
+            lbn = (lbn
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407))
+                % total;
+            black_box(geom.locate(black_box(lbn)).unwrap())
+        })
+    });
+}
+
+fn bench_adjacent(c: &mut Criterion) {
+    let geom = profiles::cheetah_36es();
+    c.bench_function("disksim/adjacent_lbn", |b| {
+        let mut step = 1u32;
+        b.iter(|| {
+            step = step % geom.adjacency_limit + 1;
+            black_box(adjacent_lbn(&geom, black_box(1_000_000), step).unwrap())
+        })
+    });
+}
+
+fn bench_service_sequential(c: &mut Criterion) {
+    let geom = profiles::cheetah_36es();
+    c.bench_function("disksim/service_sequential_block", |b| {
+        let mut sim = DiskSim::new(geom.clone());
+        let mut lbn = 0u64;
+        b.iter(|| {
+            if lbn >= 1_000_000 {
+                sim.reset();
+                lbn = 0;
+            }
+            let t = sim.service(Request::single(lbn)).unwrap();
+            lbn += 1;
+            black_box(t)
+        })
+    });
+}
+
+fn bench_service_semi_sequential(c: &mut Criterion) {
+    let geom = profiles::cheetah_36es();
+    let path = semi_sequential_path(&geom, 0, 1, 4096);
+    c.bench_function("disksim/service_semi_sequential_block", |b| {
+        let mut sim = DiskSim::new(geom.clone());
+        let mut i = 0usize;
+        b.iter(|| {
+            if i >= path.len() {
+                sim.reset();
+                i = 0;
+            }
+            let t = sim.service(Request::single(path[i])).unwrap();
+            i += 1;
+            black_box(t)
+        })
+    });
+}
+
+fn bench_service_random(c: &mut Criterion) {
+    let geom = profiles::cheetah_36es();
+    let total = geom.total_blocks();
+    c.bench_function("disksim/service_random_block", |b| {
+        let mut sim = DiskSim::new(geom.clone());
+        let mut x = 0x2545F4914F6CDD1Du64;
+        b.iter(|| {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            black_box(sim.service(Request::single(x % total)).unwrap())
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_locate,
+    bench_adjacent,
+    bench_service_sequential,
+    bench_service_semi_sequential,
+    bench_service_random
+);
+criterion_main!(benches);

@@ -1,0 +1,110 @@
+//! Criterion micro-benchmarks of the mapping implementations: cell
+//! placement throughput (`lbn_of`) and the inverse (`coord_of`).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use multimap_core::{
+    gray_mapping, hilbert_mapping, zorder_mapping, GridSpec, Mapping, MultiMapping, NaiveMapping,
+};
+use multimap_disksim::profiles;
+use multimap_sfc::{HilbertCurve, SpaceFillingCurve, ZCurve};
+
+fn grid() -> GridSpec {
+    GridSpec::new([100u64, 40, 20])
+}
+
+fn bench_lbn_of(c: &mut Criterion) {
+    let geom = profiles::cheetah_36es();
+    let grid = grid();
+    let mappings: Vec<(&str, Box<dyn Mapping>)> = vec![
+        ("naive", Box::new(NaiveMapping::new(grid.clone(), 0))),
+        (
+            "zorder",
+            Box::new(zorder_mapping(grid.clone(), 0, 1).unwrap()),
+        ),
+        (
+            "hilbert",
+            Box::new(hilbert_mapping(grid.clone(), 0, 1).unwrap()),
+        ),
+        ("gray", Box::new(gray_mapping(grid.clone(), 0, 1).unwrap())),
+        (
+            "multimap",
+            Box::new(MultiMapping::new(&geom, grid.clone()).unwrap()),
+        ),
+    ];
+    let mut group = c.benchmark_group("mapping/lbn_of");
+    for (name, m) in &mappings {
+        group.bench_function(*name, |b| {
+            let mut i = 0u64;
+            b.iter(|| {
+                i = (i + 7919) % grid.cells();
+                let coord = grid.coord_of_linear(i).unwrap();
+                black_box(m.lbn_of(black_box(&coord)).unwrap())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_coord_of(c: &mut Criterion) {
+    let geom = profiles::cheetah_36es();
+    let grid = grid();
+    let mm = MultiMapping::new(&geom, grid.clone()).unwrap();
+    let lbns: Vec<u64> = (0..grid.cells())
+        .step_by(17)
+        .map(|i| mm.lbn_of(&grid.coord_of_linear(i).unwrap()).unwrap())
+        .collect();
+    c.bench_function("mapping/multimap_coord_of", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 1) % lbns.len();
+            black_box(mm.coord_of(black_box(lbns[i])).unwrap())
+        })
+    });
+}
+
+fn bench_curves(c: &mut Criterion) {
+    let z = ZCurve::new(3, 10).unwrap();
+    let h = HilbertCurve::new(3, 10).unwrap();
+    let mut group = c.benchmark_group("sfc/encode");
+    group.bench_function("zorder", |b| {
+        let mut x = 1u64;
+        b.iter(|| {
+            x = (x * 31) % 1024;
+            black_box(z.index(black_box(&[x, (x * 7) % 1024, (x * 13) % 1024])))
+        })
+    });
+    group.bench_function("hilbert", |b| {
+        let mut x = 1u64;
+        b.iter(|| {
+            x = (x * 31) % 1024;
+            black_box(h.index(black_box(&[x, (x * 7) % 1024, (x * 13) % 1024])))
+        })
+    });
+    group.finish();
+}
+
+fn bench_zoned(c: &mut Criterion) {
+    use multimap_core::ZonedMultiMapping;
+    let geom = profiles::small();
+    let grid = GridSpec::new([100u64, 8, 500]);
+    let zoned = ZonedMultiMapping::new(&geom, grid.clone()).unwrap();
+    c.bench_function("mapping/zoned_lbn_of", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i + 7919) % grid.cells();
+            let coord = grid.coord_of_linear(i).unwrap();
+            black_box(zoned.lbn_of(black_box(&coord)).unwrap())
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_lbn_of,
+    bench_coord_of,
+    bench_curves,
+    bench_zoned
+);
+criterion_main!(benches);

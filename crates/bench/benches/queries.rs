@@ -1,0 +1,100 @@
+//! Criterion benchmarks of end-to-end query execution (simulation
+//! throughput, not simulated I/O time).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+use multimap_core::{BoxRegion, GridSpec, MultiMapping, NaiveMapping};
+use multimap_disksim::profiles;
+use multimap_lvm::LogicalVolume;
+use multimap_query::{random_range, workload_rng, QueryExecutor};
+
+fn bench_beam(c: &mut Criterion) {
+    let geom = profiles::cheetah_36es();
+    let grid = GridSpec::new([259u64, 64, 32]);
+    let volume = LogicalVolume::new(geom.clone(), 1);
+    let naive = NaiveMapping::new(grid.clone(), 0);
+    let mm = MultiMapping::new(&geom, grid.clone()).unwrap();
+    let exec = QueryExecutor::new(&volume, 0);
+    let mut group = c.benchmark_group("query/beam_dim1");
+    group.bench_function("naive", |b| {
+        b.iter(|| {
+            let region = BoxRegion::beam(&grid, 1, &[10, 0, 5]);
+            black_box(exec.beam(&naive, &region))
+        })
+    });
+    group.bench_function("multimap", |b| {
+        b.iter(|| {
+            let region = BoxRegion::beam(&grid, 1, &[10, 0, 5]);
+            black_box(exec.beam(&mm, &region))
+        })
+    });
+    group.finish();
+}
+
+fn bench_range(c: &mut Criterion) {
+    let geom = profiles::cheetah_36es();
+    let grid = GridSpec::new([259u64, 64, 32]);
+    let volume = LogicalVolume::new(geom.clone(), 1);
+    let mm = MultiMapping::new(&geom, grid.clone()).unwrap();
+    let exec = QueryExecutor::new(&volume, 0);
+    c.bench_function("query/range_1pct_multimap", |b| {
+        b.iter_batched(
+            || {
+                let mut rng = workload_rng(42);
+                random_range(&grid, 1.0, &mut rng)
+            },
+            |region| black_box(exec.range(&mm, &region)),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_store_insert(c: &mut Criterion) {
+    use multimap_core::GridSpec as G;
+    use multimap_store::{LayoutChoice, StorageManager};
+    c.bench_function("store/insert_hot_cell", |b| {
+        b.iter_batched(
+            || {
+                let mut db = StorageManager::new(profiles::small(), 1);
+                db.create_table("t", G::new([60u64, 8, 4]), LayoutChoice::MultiMap)
+                    .unwrap();
+                db.load("t").unwrap();
+                db
+            },
+            |mut db| {
+                for _ in 0..32 {
+                    db.insert("t", &[30, 4, 2]).unwrap();
+                }
+                black_box(db.table("t").unwrap().cells().stats())
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_explain(c: &mut Criterion) {
+    use multimap_query::{explain_range, ExecOptions};
+    let geom = profiles::cheetah_36es();
+    let grid = GridSpec::new([259u64, 64, 32]);
+    let mm = MultiMapping::new(&geom, grid.clone()).unwrap();
+    c.bench_function("query/explain_1pct_range", |b| {
+        b.iter_batched(
+            || {
+                let mut rng = workload_rng(9);
+                random_range(&grid, 1.0, &mut rng)
+            },
+            |region| black_box(explain_range(&geom, &mm, &region, &ExecOptions::default())),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_beam,
+    bench_range,
+    bench_store_insert,
+    bench_explain
+);
+criterion_main!(benches);

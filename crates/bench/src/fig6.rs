@@ -1,0 +1,173 @@
+//! Figure 6: beam and range queries on the synthetic uniform 3-D dataset
+//! (Section 5.3). The paper's dataset is 1024³ cells partitioned into
+//! ≤259³ chunks, one per disk; performance is reported per disk, so the
+//! experiment runs one chunk on each evaluation drive.
+
+use multimap_core::{
+    hilbert_mapping, zorder_mapping, BoxRegion, Mapping, MultiMapping, NaiveMapping,
+};
+use multimap_disksim::profiles;
+use multimap_lvm::LogicalVolume;
+use multimap_query::{random_anchor, random_range, workload_rng, QueryExecutor, QueryResult};
+
+use crate::harness::{ms, Scale, Table};
+
+/// Figure 6(a): average I/O time per cell for beam queries along each
+/// dimension, for all four mappings on both disks.
+pub fn run_beams(scale: Scale) -> Table {
+    let grid = scale.synthetic_grid();
+    let runs = scale.beam_runs();
+    // The linearised mappings are geometry-independent: build them once.
+    let naive = NaiveMapping::new(grid.clone(), 0);
+    let zord = zorder_mapping(grid.clone(), 0, 1).expect("grid fits");
+    let hilb = hilbert_mapping(grid.clone(), 0, 1).expect("grid fits");
+
+    let mut table = Table::new(
+        format!(
+            "Figure 6(a): beam queries on the synthetic 3-D dataset {:?} (avg ms/cell, {} runs)",
+            grid.extents(),
+            runs
+        ),
+        &["disk", "mapping", "Dim0", "Dim1", "Dim2"],
+    );
+
+    for geom in profiles::evaluation_disks() {
+        let mm = MultiMapping::new(&geom, grid.clone()).expect("chunk fits the disk");
+        let mappings: Vec<&dyn Mapping> = vec![&naive, &zord, &hilb, &mm];
+        let volume = LogicalVolume::new(geom.clone(), 1);
+        let exec = QueryExecutor::new(&volume, 0);
+
+        // Same anchors for every mapping (paper: random fixed coords).
+        let mut rng = workload_rng(0x6a61);
+        let anchors: Vec<Vec<u64>> = (0..runs).map(|_| random_anchor(&grid, &mut rng)).collect();
+
+        for m in &mappings {
+            let mut per_dim = Vec::new();
+            for dim in 0..3 {
+                let mut acc = QueryResult::default();
+                for anchor in &anchors {
+                    let region = BoxRegion::beam(&grid, dim, anchor);
+                    volume.idle_all(7.3); // decorrelate rotational phase
+                    acc.accumulate(&exec.beam(*m, &region));
+                }
+                per_dim.push(acc.per_cell_ms());
+            }
+            table.row(vec![
+                geom.name.clone(),
+                m.name().to_string(),
+                ms(per_dim[0]),
+                ms(per_dim[1]),
+                ms(per_dim[2]),
+            ]);
+        }
+    }
+    table
+}
+
+/// Figure 6(b): range-query speedup relative to Naive as a function of
+/// selectivity.
+pub fn run_ranges(scale: Scale) -> Table {
+    let grid = scale.synthetic_grid();
+    let runs = scale.range_runs();
+    let naive = NaiveMapping::new(grid.clone(), 0);
+    let zord = zorder_mapping(grid.clone(), 0, 1).expect("grid fits");
+    let hilb = hilbert_mapping(grid.clone(), 0, 1).expect("grid fits");
+
+    let mut table = Table::new(
+        format!(
+            "Figure 6(b): range queries on the synthetic 3-D dataset {:?} (speedup vs Naive, {} runs)",
+            grid.extents(),
+            runs
+        ),
+        &[
+            "disk",
+            "selectivity_pct",
+            "naive_total_ms",
+            "zorder_speedup",
+            "hilbert_speedup",
+            "multimap_speedup",
+        ],
+    );
+
+    // The two disks are independent simulations: run them on separate
+    // threads (time inside each simulator is virtual, so parallelism
+    // cannot change any result).
+    let disks = profiles::evaluation_disks();
+    let mut per_disk_rows: Vec<Vec<Vec<String>>> = Vec::new();
+    crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = disks
+            .iter()
+            .map(|geom| {
+                let grid = grid.clone();
+                let naive = &naive;
+                let zord = &zord;
+                let hilb = &hilb;
+                scope.spawn(move |_| {
+                    let mm = MultiMapping::new(geom, grid.clone()).expect("chunk fits the disk");
+                    let mappings: Vec<&dyn Mapping> = vec![naive, zord, hilb, &mm];
+                    let volume = LogicalVolume::new(geom.clone(), 1);
+                    let exec = QueryExecutor::new(&volume, 0);
+                    let mut rows = Vec::new();
+                    for sel in scale.selectivities() {
+                        // Identical query boxes for every mapping.
+                        let mut rng = workload_rng(0x6b00 + (sel * 100.0) as u64);
+                        let regions: Vec<BoxRegion> = (0..runs)
+                            .map(|_| random_range(&grid, sel, &mut rng))
+                            .collect();
+                        let mut totals = [0.0f64; 4];
+                        for (i, m) in mappings.iter().enumerate() {
+                            for region in &regions {
+                                volume.idle_all(11.7);
+                                totals[i] += exec.range(*m, region).total_io_ms;
+                            }
+                        }
+                        rows.push(vec![
+                            geom.name.clone(),
+                            format!("{sel}"),
+                            ms(totals[0]),
+                            format!("{:.2}", totals[0] / totals[1]),
+                            format!("{:.2}", totals[0] / totals[2]),
+                            format!("{:.2}", totals[0] / totals[3]),
+                        ]);
+                    }
+                    rows
+                })
+            })
+            .collect();
+        for h in handles {
+            per_disk_rows.push(h.join().expect("disk thread panicked"));
+        }
+    })
+    .expect("crossbeam scope");
+    for rows in per_disk_rows {
+        for row in rows {
+            table.row(row);
+        }
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_beams_have_paper_shape() {
+        let t = run_beams(Scale::Quick);
+        assert_eq!(t.rows.len(), 8); // 2 disks x 4 mappings
+                                     // Per disk: Naive Dim0 streams; MultiMap Dim1/Dim2 beat Naive.
+        for disk_rows in t.rows.chunks(4) {
+            let naive: Vec<f64> = disk_rows[0][2..5]
+                .iter()
+                .map(|s| s.parse().unwrap())
+                .collect();
+            let mm: Vec<f64> = disk_rows[3][2..5]
+                .iter()
+                .map(|s| s.parse().unwrap())
+                .collect();
+            assert!(naive[0] < 0.3, "Naive Dim0 should stream: {naive:?}");
+            assert!(mm[1] < naive[1], "MultiMap must beat Naive on Dim1");
+            assert!(mm[2] < naive[2], "MultiMap must beat Naive on Dim2");
+        }
+    }
+}

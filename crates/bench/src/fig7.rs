@@ -1,0 +1,192 @@
+//! Figure 7: beam and range queries on the (synthetic) earthquake
+//! dataset (Section 5.4).
+
+use multimap_disksim::profiles;
+use multimap_lvm::LogicalVolume;
+use multimap_octree::{
+    earthquake_tree, EarthquakeConfig, LeafLinearMapping, LeafOrder, LeafPlacement,
+    LeafQueryExecutor, Octree, SkewedMultiMap,
+};
+use multimap_query::workload_rng;
+use rand::RngExt;
+
+use crate::harness::{ms, Scale, Table};
+
+fn config(scale: Scale) -> EarthquakeConfig {
+    match scale {
+        Scale::Quick => EarthquakeConfig::quick(),
+        Scale::Paper => EarthquakeConfig::default(),
+    }
+}
+
+fn min_region_cells(scale: Scale) -> u64 {
+    match scale {
+        Scale::Quick => 64,
+        Scale::Paper => 4_096,
+    }
+}
+
+/// Figure 7(a): beam queries along X, Y, Z (avg ms per element).
+pub fn run_beams(scale: Scale) -> Table {
+    let tree = earthquake_tree(&config(scale));
+    run_beams_on(&tree, scale)
+}
+
+fn run_beams_on(tree: &Octree, scale: Scale) -> Table {
+    let runs = scale.beam_runs();
+    let baselines = [
+        LeafLinearMapping::new(tree, LeafOrder::XMajor, 0),
+        LeafLinearMapping::new(tree, LeafOrder::ZOrder, 0),
+        LeafLinearMapping::new(tree, LeafOrder::Hilbert, 0),
+    ];
+
+    let mut table = Table::new(
+        format!(
+            "Figure 7(a): beam queries on the earthquake dataset ({} elements, avg ms/cell, {} runs)",
+            tree.leaf_count(),
+            runs
+        ),
+        &["disk", "mapping", "X", "Y", "Z"],
+    );
+
+    for geom in profiles::evaluation_disks() {
+        let (skewed, _) =
+            SkewedMultiMap::build(&geom, tree, min_region_cells(scale)).expect("dataset fits");
+        let mut placements: Vec<LeafPlacement> =
+            baselines.iter().map(LeafPlacement::Linear).collect();
+        placements.push(LeafPlacement::MultiMap(&skewed));
+        let volume = LogicalVolume::new(geom.clone(), 1);
+        let exec = LeafQueryExecutor::new(&volume, 0);
+
+        let mut rng = workload_rng(0x7a);
+        let anchors: Vec<[u64; 3]> = (0..runs)
+            .map(|_| {
+                [
+                    rng.random_range(0..tree.domain_size()),
+                    rng.random_range(0..tree.domain_size()),
+                    rng.random_range(0..tree.domain_size()),
+                ]
+            })
+            .collect();
+
+        for p in &placements {
+            let mut per_dim = Vec::new();
+            for dim in 0..3 {
+                let mut total = 0.0;
+                let mut cells = 0u64;
+                for anchor in &anchors {
+                    volume.idle_all(7.3);
+                    let r = exec.beam(tree, p, dim, *anchor);
+                    total += r.total_io_ms;
+                    cells += r.cells;
+                }
+                per_dim.push(total / cells.max(1) as f64);
+            }
+            table.row(vec![
+                geom.name.clone(),
+                p.name().to_string(),
+                ms(per_dim[0]),
+                ms(per_dim[1]),
+                ms(per_dim[2]),
+            ]);
+        }
+    }
+    table
+}
+
+/// Figure 7(b): range queries at the paper's selectivities (total ms).
+pub fn run_ranges(scale: Scale) -> Table {
+    let tree = earthquake_tree(&config(scale));
+    // Query boxes land in dense slabs or coarse background at random, so
+    // totals have high variance; more repetitions than Fig. 6(b).
+    let runs = match scale {
+        Scale::Quick => 3,
+        Scale::Paper => 9,
+    };
+    // The paper's selectivities (0.0001-0.003%) target a 114M-element
+    // dataset; our synthetic tree has ~35x fewer elements, so the same
+    // *spatial* selectivity fetches ~35x fewer elements and lands in a
+    // different regime. Report the paper's values plus element-count-
+    // matched ones (scaled by the element ratio).
+    let selectivities = [0.0001f64, 0.001, 0.003, 0.01, 0.05, 0.1];
+    let baselines = [
+        LeafLinearMapping::new(&tree, LeafOrder::XMajor, 0),
+        LeafLinearMapping::new(&tree, LeafOrder::ZOrder, 0),
+        LeafLinearMapping::new(&tree, LeafOrder::Hilbert, 0),
+    ];
+
+    let mut table = Table::new(
+        format!(
+            "Figure 7(b): range queries on the earthquake dataset (total ms, {} runs)",
+            runs
+        ),
+        &[
+            "disk",
+            "selectivity_pct",
+            "Naive",
+            "Z-order",
+            "Hilbert",
+            "MultiMap",
+        ],
+    );
+
+    let domain_cells = (tree.domain_size() as f64).powi(3);
+    for geom in profiles::evaluation_disks() {
+        let (skewed, _) =
+            SkewedMultiMap::build(&geom, &tree, min_region_cells(scale)).expect("dataset fits");
+        let mut placements: Vec<LeafPlacement> =
+            baselines.iter().map(LeafPlacement::Linear).collect();
+        placements.push(LeafPlacement::MultiMap(&skewed));
+        let volume = LogicalVolume::new(geom.clone(), 1);
+        let exec = LeafQueryExecutor::new(&volume, 0);
+
+        for sel in selectivities {
+            let edge =
+                ((domain_cells * sel / 100.0).cbrt().round() as u64).clamp(1, tree.domain_size());
+            let mut rng = workload_rng(0x7b00 + (sel * 1e5) as u64);
+            let boxes: Vec<([u64; 3], [u64; 3])> = (0..runs)
+                .map(|_| {
+                    let lo = [
+                        rng.random_range(0..=(tree.domain_size() - edge)),
+                        rng.random_range(0..=(tree.domain_size() - edge)),
+                        rng.random_range(0..=(tree.domain_size() - edge)),
+                    ];
+                    (lo, [lo[0] + edge - 1, lo[1] + edge - 1, lo[2] + edge - 1])
+                })
+                .collect();
+
+            let mut row = vec![geom.name.clone(), format!("{sel}")];
+            for p in &placements {
+                let mut total = 0.0;
+                for (lo, hi) in &boxes {
+                    volume.idle_all(11.7);
+                    total += exec.range(&tree, p, *lo, *hi).total_io_ms;
+                }
+                row.push(ms(total / runs as f64));
+            }
+            table.row(row);
+        }
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_beams_favor_multimap_on_y_and_z() {
+        let t = run_beams(Scale::Quick);
+        assert_eq!(t.rows.len(), 8);
+        for disk_rows in t.rows.chunks(4) {
+            let naive_y: f64 = disk_rows[0][3].parse().unwrap();
+            let naive_z: f64 = disk_rows[0][4].parse().unwrap();
+            let mm_y: f64 = disk_rows[3][3].parse().unwrap();
+            let mm_z: f64 = disk_rows[3][4].parse().unwrap();
+            // At quick scale Naive's Y stride is short, so only demand
+            // rough parity on Y; Z must be a clear MultiMap win.
+            assert!(mm_y < naive_y * 1.4, "MultiMap Y {mm_y} vs Naive {naive_y}");
+            assert!(mm_z < naive_z, "MultiMap Z {mm_z} vs Naive {naive_z}");
+        }
+    }
+}

@@ -1,0 +1,87 @@
+//! Figure 8: OLAP queries Q1–Q5 on the TPC-H-derived 4-D cube
+//! (Section 5.5).
+
+use multimap_core::{hilbert_mapping, zorder_mapping, Mapping, MultiMapping, NaiveMapping};
+use multimap_disksim::profiles;
+use multimap_lvm::LogicalVolume;
+use multimap_olap::{cube, ALL_QUERIES};
+use multimap_query::{workload_rng, QueryExecutor, QueryResult};
+
+use crate::harness::{ms, Scale, Table};
+
+/// Figure 8: average I/O time per cell for Q1–Q5 on both disks.
+pub fn run(scale: Scale) -> Table {
+    let chunk = match scale {
+        Scale::Quick => cube::small_chunk(),
+        Scale::Paper => cube::disk_chunk(),
+    };
+    let runs = scale.range_runs().max(3);
+    let naive = NaiveMapping::new(chunk.clone(), 0);
+    let zord = zorder_mapping(chunk.clone(), 0, 1).expect("chunk fits");
+    let hilb = hilbert_mapping(chunk.clone(), 0, 1).expect("chunk fits");
+
+    let mut table = Table::new(
+        format!(
+            "Figure 8: OLAP queries on the {:?} chunk (avg ms/cell, {} runs)",
+            chunk.extents(),
+            runs
+        ),
+        &["disk", "mapping", "Q1", "Q2", "Q3", "Q4", "Q5"],
+    );
+
+    for geom in profiles::evaluation_disks() {
+        let mm = MultiMapping::new(&geom, chunk.clone()).expect("chunk fits the disk");
+        let mappings: Vec<&dyn Mapping> = vec![&naive, &zord, &hilb, &mm];
+        let volume = LogicalVolume::new(geom.clone(), 1);
+        let exec = QueryExecutor::new(&volume, 0);
+
+        for m in &mappings {
+            let mut row = vec![geom.name.clone(), m.name().to_string()];
+            for q in ALL_QUERIES {
+                // Same regions per query across mappings.
+                let mut rng = workload_rng(0x8000 + q.label().as_bytes()[1] as u64);
+                let mut acc = QueryResult::default();
+                for _ in 0..runs {
+                    let region = q.region(&chunk, &mut rng);
+                    volume.idle_all(9.1);
+                    let r = if q.is_beam() {
+                        exec.beam(*m, &region)
+                    } else {
+                        exec.range(*m, &region)
+                    };
+                    acc.accumulate(&r);
+                }
+                row.push(ms(acc.per_cell_ms()));
+            }
+            table.row(row);
+        }
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_olap_shape() {
+        let t = run(Scale::Quick);
+        assert_eq!(t.rows.len(), 8);
+        for disk_rows in t.rows.chunks(4) {
+            // Q1 (major-order beam): Naive streams, curves are orders of
+            // magnitude slower; MultiMap close to Naive.
+            let naive_q1: f64 = disk_rows[0][2].parse().unwrap();
+            let hilb_q1: f64 = disk_rows[2][2].parse().unwrap();
+            let mm_q1: f64 = disk_rows[3][2].parse().unwrap();
+            assert!(hilb_q1 > 5.0 * naive_q1, "curves must lose Q1 badly");
+            assert!(
+                mm_q1 < 3.0 * naive_q1,
+                "MultiMap must stay near Naive on Q1"
+            );
+            // Q2 (nation beam): MultiMap beats Naive.
+            let naive_q2: f64 = disk_rows[0][3].parse().unwrap();
+            let mm_q2: f64 = disk_rows[3][3].parse().unwrap();
+            assert!(mm_q2 < naive_q2, "MultiMap must beat Naive on Q2");
+        }
+    }
+}

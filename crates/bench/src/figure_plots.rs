@@ -1,0 +1,184 @@
+//! Derive SVG charts from the figure tables (schema-aware).
+
+use crate::harness::Table;
+use crate::plot::{BarPlot, LinePlot};
+
+fn parse(cell: &str) -> f64 {
+    cell.parse().unwrap_or(f64::NAN)
+}
+
+/// Distinct values of column 0, in first-appearance order.
+fn distinct_disks(table: &Table) -> Vec<String> {
+    let mut out: Vec<String> = Vec::new();
+    for row in &table.rows {
+        if !out.contains(&row[0]) {
+            out.push(row[0].clone());
+        }
+    }
+    out
+}
+
+/// Charts for a figure table; returns `(file name, svg)` pairs.
+pub fn auto_plots(fig: &str, table: &Table) -> Vec<(String, String)> {
+    match fig {
+        "fig1" => {
+            let series = (1..table.header.len())
+                .map(|c| {
+                    (
+                        table.header[c].clone(),
+                        table
+                            .rows
+                            .iter()
+                            .map(|r| (parse(&r[0]), parse(&r[c])))
+                            .collect(),
+                    )
+                })
+                .collect();
+            vec![(
+                "fig1_seek_profile".into(),
+                LinePlot {
+                    title: "Figure 1(a): seek time vs cylinder distance".into(),
+                    x_label: "cylinder distance (log)".into(),
+                    y_label: "seek time [ms]".into(),
+                    log_x: true,
+                    series,
+                }
+                .render(),
+            )]
+        }
+        // Per-disk grouped bars: rows are (disk, mapping, v1, v2, ...).
+        "fig6a" | "fig7a" | "fig8" => {
+            let groups: Vec<String> = table.header[2..].to_vec();
+            distinct_disks(table)
+                .into_iter()
+                .map(|disk| {
+                    let series = table
+                        .rows
+                        .iter()
+                        .filter(|r| r[0] == disk)
+                        .map(|r| {
+                            (
+                                r[1].clone(),
+                                r[2..].iter().map(|c| parse(c)).collect::<Vec<f64>>(),
+                            )
+                        })
+                        .collect();
+                    let name = format!("{fig}_{}", disk.to_lowercase().replace([' ', '.'], "_"));
+                    (
+                        name,
+                        BarPlot {
+                            title: format!("{} — {disk}", table.title),
+                            y_label: "avg I/O time per cell [ms]".into(),
+                            groups: groups.clone(),
+                            series,
+                        }
+                        .render(),
+                    )
+                })
+                .collect()
+        }
+        // Per-disk lines over selectivity: rows are (disk, sel, v...).
+        // fig6b's third column is Naive's absolute total, not a speedup:
+        // skip it so the speedup series share a sane y-scale.
+        "fig6b" | "fig7b" => {
+            let first_value_col = if fig == "fig6b" { 3 } else { 2 };
+            let value_cols: Vec<usize> = (first_value_col..table.header.len()).collect();
+            distinct_disks(table)
+                .into_iter()
+                .map(|disk| {
+                    let series = value_cols
+                        .iter()
+                        .map(|&c| {
+                            (
+                                table.header[c].clone(),
+                                table
+                                    .rows
+                                    .iter()
+                                    .filter(|r| r[0] == disk)
+                                    .map(|r| (parse(&r[1]), parse(&r[c])))
+                                    .collect(),
+                            )
+                        })
+                        .collect();
+                    let y_label = if fig == "fig6b" {
+                        "speedup vs Naive"
+                    } else {
+                        "total I/O time [ms]"
+                    };
+                    let name = format!("{fig}_{}", disk.to_lowercase().replace([' ', '.'], "_"));
+                    (
+                        name,
+                        LinePlot {
+                            title: format!("{} — {disk}", table.title),
+                            x_label: "selectivity [%] (log)".into(),
+                            y_label: y_label.into(),
+                            log_x: true,
+                            series,
+                        }
+                        .render(),
+                    )
+                })
+                .collect()
+        }
+        _ => Vec::new(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn beam_table() -> Table {
+        let mut t = Table::new("beam demo", &["disk", "mapping", "Dim0", "Dim1"]);
+        for disk in ["A", "B"] {
+            for m in ["Naive", "MultiMap"] {
+                t.row(vec![disk.into(), m.into(), "0.05".into(), "1.3".into()]);
+            }
+        }
+        t
+    }
+
+    #[test]
+    fn beam_tables_produce_one_bar_chart_per_disk() {
+        let plots = auto_plots("fig6a", &beam_table());
+        assert_eq!(plots.len(), 2);
+        assert!(plots[0].0.starts_with("fig6a_"));
+        assert!(plots[0].1.contains("Dim1"));
+        assert!(plots[0].1.contains("MultiMap"));
+    }
+
+    #[test]
+    fn selectivity_tables_produce_line_charts() {
+        let mut t = Table::new(
+            "range demo",
+            &[
+                "disk",
+                "sel",
+                "naive_total_ms",
+                "zorder",
+                "hilbert",
+                "multimap",
+            ],
+        );
+        for sel in ["0.01", "1", "100"] {
+            t.row(vec![
+                "A".into(),
+                sel.into(),
+                "5000".into(),
+                "1.5".into(),
+                "2.0".into(),
+                "1.1".into(),
+            ]);
+        }
+        let plots = auto_plots("fig6b", &t);
+        assert_eq!(plots.len(), 1);
+        assert!(plots[0].1.contains("speedup"));
+        // The absolute-time column is excluded: three speedup series.
+        assert_eq!(plots[0].1.matches("<path").count(), 3);
+    }
+
+    #[test]
+    fn unknown_figures_produce_nothing() {
+        assert!(auto_plots("ablations", &beam_table()).is_empty());
+    }
+}

@@ -1,0 +1,83 @@
+//! Analytical-model validation table: the cost model's predictions next
+//! to the simulator's measurements for beams and ranges (the paper
+//! validates its tech-report model the same way).
+
+use multimap_core::{BoxRegion, MultiMapping, NaiveMapping};
+use multimap_disksim::profiles;
+use multimap_lvm::LogicalVolume;
+use multimap_model::{
+    multimap_beam_per_cell_ms, multimap_range_total_ms, naive_beam_per_cell_ms,
+    naive_range_total_ms, ModelParams,
+};
+use multimap_query::{random_anchor, random_range, workload_rng, QueryExecutor};
+
+use crate::harness::{ms, Scale, Table};
+
+/// Model vs simulator on beams (per cell) and ranges (total), Cheetah.
+pub fn run(scale: Scale) -> Table {
+    let grid = scale.synthetic_grid();
+    let geom = profiles::cheetah_36es();
+    let params = ModelParams::from_geometry(&geom, 0);
+    let volume = LogicalVolume::new(geom.clone(), 1);
+    let naive = NaiveMapping::new(grid.clone(), 0);
+    let mm = MultiMapping::new(&geom, grid.clone()).expect("fits");
+    let exec = QueryExecutor::new(&volume, 0);
+    let mut rng = workload_rng(0x30de1);
+
+    let mut table = Table::new(
+        "Model validation: analytical cost model vs simulator (Cheetah 36ES)",
+        &["workload", "naive_sim", "naive_model", "mm_sim", "mm_model"],
+    );
+
+    for dim in 0..grid.ndims() {
+        let anchor = random_anchor(&grid, &mut rng);
+        let region = BoxRegion::beam(&grid, dim, &anchor);
+        volume.reset();
+        let ns = exec.beam(&naive, &region).per_cell_ms();
+        volume.reset();
+        let ms_sim = exec.beam(&mm, &region).per_cell_ms();
+        table.row(vec![
+            format!("beam_dim{dim}_per_cell"),
+            ms(ns),
+            ms(naive_beam_per_cell_ms(&params, grid.extents(), dim)),
+            ms(ms_sim),
+            ms(multimap_beam_per_cell_ms(&params, grid.extents(), dim)),
+        ]);
+    }
+    for sel in [0.01f64, 0.1, 1.0] {
+        let region = random_range(&grid, sel, &mut rng);
+        let qext: Vec<u64> = (0..grid.ndims()).map(|d| region.extent(d)).collect();
+        volume.reset();
+        let ns = exec.range(&naive, &region).total_io_ms;
+        volume.reset();
+        let ms_sim = exec.range(&mm, &region).total_io_ms;
+        table.row(vec![
+            format!("range_{sel}pct_total"),
+            ms(ns),
+            ms(naive_range_total_ms(&params, grid.extents(), &qext)),
+            ms(ms_sim),
+            ms(multimap_range_total_ms(&params, grid.extents(), &qext)),
+        ]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn model_tracks_simulator_within_2x() {
+        let t = run(Scale::Quick);
+        for row in &t.rows {
+            for (sim_col, model_col) in [(1usize, 2usize), (3, 4)] {
+                let sim: f64 = row[sim_col].parse().unwrap();
+                let model: f64 = row[model_col].parse().unwrap();
+                if sim > 0.1 {
+                    let ratio = (sim / model).max(model / sim);
+                    assert!(ratio < 2.0, "{}: sim {sim} vs model {model}", row[0]);
+                }
+            }
+        }
+    }
+}

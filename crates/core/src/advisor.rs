@@ -1,0 +1,148 @@
+//! Mapping selection advice (Sections 4.4–4.5).
+//!
+//! MultiMap is not always the right layout: if every dimension of the
+//! dataset is much shorter than the track, packing wastes up to half of
+//! each track, and "if space is at a premium and datasets do not favor
+//! MultiMap, a system can simply revert to linear mappings". This module
+//! encodes that decision.
+
+use multimap_disksim::DiskGeometry;
+
+use crate::grid::GridSpec;
+use crate::mapping::{Mapping, Result};
+use crate::multimap::{max_dimensions, MultiMapping};
+use crate::naive::NaiveMapping;
+
+/// Why the advisor picked (or rejected) MultiMap.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Advice {
+    /// MultiMap fits and its space utilization clears the budget.
+    UseMultiMap {
+        /// Fraction of the spanned blocks holding data.
+        utilization: f64,
+    },
+    /// MultiMap is infeasible or too wasteful; use a linear mapping.
+    UseLinear {
+        /// Human-readable reason.
+        reason: String,
+    },
+}
+
+/// Tunables for [`advise`].
+#[derive(Clone, Copy, Debug)]
+pub struct AdvisorConfig {
+    /// Minimum acceptable space utilization for MultiMap, in `(0, 1]`.
+    pub min_utilization: f64,
+}
+
+impl Default for AdvisorConfig {
+    fn default() -> Self {
+        AdvisorConfig {
+            min_utilization: 0.5,
+        }
+    }
+}
+
+/// Decide whether `grid` should be MultiMapped onto `geom`.
+pub fn advise(geom: &DiskGeometry, grid: &GridSpec, config: &AdvisorConfig) -> Advice {
+    if grid.ndims() as u32 > max_dimensions(geom.adjacency_limit as u64) {
+        return Advice::UseLinear {
+            reason: format!(
+                "{} dimensions exceed N_max = {} for D = {}",
+                grid.ndims(),
+                max_dimensions(geom.adjacency_limit as u64),
+                geom.adjacency_limit
+            ),
+        };
+    }
+    match MultiMapping::new(geom, grid.clone()) {
+        Err(e) => Advice::UseLinear {
+            reason: format!("MultiMap layout failed: {e}"),
+        },
+        Ok(m) => {
+            let utilization = m.space_utilization();
+            if utilization < config.min_utilization {
+                Advice::UseLinear {
+                    reason: format!(
+                        "utilization {utilization:.2} below budget {:.2}",
+                        config.min_utilization
+                    ),
+                }
+            } else {
+                Advice::UseMultiMap { utilization }
+            }
+        }
+    }
+}
+
+/// Build the advised mapping: MultiMap when it clears the space budget,
+/// the naive row-major layout (at `base_lbn`) otherwise.
+pub fn build_advised(
+    geom: &DiskGeometry,
+    grid: &GridSpec,
+    base_lbn: u64,
+    config: &AdvisorConfig,
+) -> Result<Box<dyn Mapping>> {
+    match advise(geom, grid, config) {
+        Advice::UseMultiMap { .. } => {
+            Ok(Box::new(MultiMapping::new(geom, grid.clone())?) as Box<dyn Mapping>)
+        }
+        Advice::UseLinear { .. } => Ok(Box::new(NaiveMapping::new(grid.clone(), base_lbn))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mapping::MappingKind;
+    use multimap_disksim::profiles;
+
+    #[test]
+    fn well_shaped_dataset_gets_multimap() {
+        let geom = profiles::small();
+        // Dim0 spans most of the track: good utilization.
+        let grid = GridSpec::new([110u64, 8, 4]);
+        match advise(&geom, &grid, &AdvisorConfig::default()) {
+            Advice::UseMultiMap { utilization } => assert!(utilization >= 0.5),
+            other => panic!("expected MultiMap, got {other:?}"),
+        }
+        let m = build_advised(&geom, &grid, 0, &AdvisorConfig::default()).unwrap();
+        assert_eq!(m.kind(), MappingKind::MultiMap);
+    }
+
+    #[test]
+    fn short_dim0_wastes_tracks_and_falls_back() {
+        let geom = profiles::small(); // T = 120
+                                      // Dim0 = 70: one cube per 120-sector track, 42% waste.
+        let grid = GridSpec::new([70u64, 8, 4]);
+        let cfg = AdvisorConfig {
+            min_utilization: 0.8,
+        };
+        match advise(&geom, &grid, &cfg) {
+            Advice::UseLinear { reason } => assert!(reason.contains("utilization")),
+            other => panic!("expected linear fallback, got {other:?}"),
+        }
+        let m = build_advised(&geom, &grid, 0, &cfg).unwrap();
+        assert_eq!(m.kind(), MappingKind::Naive);
+    }
+
+    #[test]
+    fn too_many_dimensions_fall_back() {
+        let geom = profiles::toy(); // D = 9 -> N_max = 5
+        let grid = GridSpec::new([2u64, 2, 2, 2, 2, 2]);
+        match advise(&geom, &grid, &AdvisorConfig::default()) {
+            Advice::UseLinear { reason } => assert!(reason.contains("N_max")),
+            other => panic!("expected linear fallback, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn oversized_dataset_falls_back() {
+        let geom = profiles::toy();
+        let grid = GridSpec::new([5u64, 3, 5000]);
+        match advise(&geom, &grid, &AdvisorConfig::default()) {
+            Advice::UseLinear { reason } => assert!(reason.contains("failed")),
+            other => panic!("expected linear fallback, got {other:?}"),
+        }
+    }
+}

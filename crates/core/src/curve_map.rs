@@ -1,0 +1,259 @@
+//! Space-filling-curve mappings (Z-order, Hilbert, Gray-coded).
+//!
+//! Following the paper's implementation (Section 5.2): the cells of the
+//! dataset are ordered by their curve value and then "stored sequentially
+//! on disks". Because dataset extents are rarely powers of two, the curve
+//! is computed over the enclosing power-of-two hypercube and occupied
+//! cells are *rank-compacted*: the cell with the k-th smallest curve
+//! value lands at `base_lbn + k * cell_blocks`, with no holes.
+
+use multimap_disksim::Lbn;
+use multimap_sfc::{bits_for_extent, GrayCurve, HilbertCurve, SpaceFillingCurve, ZCurve};
+
+use crate::grid::{Coord, GridSpec};
+use crate::mapping::{Mapping, MappingError, MappingKind, Result};
+
+pub use multimap_sfc::curve::bits_for_extent as curve_bits_for_extent;
+
+/// A linearised mapping driven by any [`SpaceFillingCurve`].
+///
+/// Holds a sorted table of the curve keys of all occupied cells (8 bytes
+/// per cell) so that `lbn_of` is a binary search and `coord_of` is an
+/// array lookup plus curve decode.
+pub struct CurveMapping<C: SpaceFillingCurve> {
+    name: String,
+    grid: GridSpec,
+    base_lbn: Lbn,
+    cell_blocks: u64,
+    curve: C,
+    /// Curve keys of all cells of the grid, sorted ascending.
+    keys: Vec<u64>,
+}
+
+impl<C: SpaceFillingCurve> CurveMapping<C> {
+    /// Order the cells of `grid` by `curve` and pack them from `base_lbn`.
+    ///
+    /// The curve must have at least `bits_for_extent(max extent)` bits per
+    /// dimension and exactly `grid.ndims()` dimensions.
+    pub fn new(
+        name: impl Into<String>,
+        grid: GridSpec,
+        base_lbn: Lbn,
+        cell_blocks: u64,
+        curve: C,
+    ) -> Result<Self> {
+        assert!(cell_blocks > 0, "cells must occupy at least one block");
+        if curve.dims() != grid.ndims() {
+            return Err(MappingError::DoesNotFit {
+                reason: format!(
+                    "curve has {} dims but grid has {}",
+                    curve.dims(),
+                    grid.ndims()
+                ),
+            });
+        }
+        let needed = grid
+            .extents()
+            .iter()
+            .map(|&e| bits_for_extent(e))
+            .max()
+            .unwrap_or(1);
+        if curve.bits() < needed {
+            return Err(MappingError::DoesNotFit {
+                reason: format!(
+                    "curve order {} too small for extents (need {needed})",
+                    curve.bits()
+                ),
+            });
+        }
+        let cells = grid.cells();
+        if cells > (1 << 31) {
+            return Err(MappingError::DoesNotFit {
+                reason: format!("rank table for {cells} cells would be too large"),
+            });
+        }
+        let mut keys = Vec::with_capacity(cells as usize);
+        grid.for_each_cell(|c| {
+            // Safe: every grid cell is within curve range (checked above).
+            keys.push(curve.index(c));
+        });
+        keys.sort_unstable();
+        debug_assert!(keys.windows(2).all(|w| w[0] < w[1]), "curve not injective");
+        Ok(CurveMapping {
+            name: name.into(),
+            grid,
+            base_lbn,
+            cell_blocks,
+            curve,
+            keys,
+        })
+    }
+
+    /// The first LBN of the mapping.
+    #[inline]
+    pub fn base_lbn(&self) -> Lbn {
+        self.base_lbn
+    }
+
+    /// Rank of a cell among all cells, by curve value.
+    pub fn rank_of(&self, coord: &[u64]) -> Result<u64> {
+        if !self.grid.contains(coord) {
+            return Err(MappingError::CoordOutOfGrid {
+                coord: coord.to_vec(),
+            });
+        }
+        let key = self.curve.index(coord);
+        let pos = self.keys.partition_point(|&k| k < key);
+        debug_assert!(self.keys[pos] == key);
+        Ok(pos as u64)
+    }
+}
+
+impl<C: SpaceFillingCurve + Send + Sync> Mapping for CurveMapping<C> {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn kind(&self) -> MappingKind {
+        MappingKind::SpaceFillingCurve
+    }
+
+    fn grid(&self) -> &GridSpec {
+        &self.grid
+    }
+
+    fn cell_blocks(&self) -> u64 {
+        self.cell_blocks
+    }
+
+    fn lbn_of(&self, coord: &[u64]) -> Result<Lbn> {
+        Ok(self.base_lbn + self.rank_of(coord)? * self.cell_blocks)
+    }
+
+    fn coord_of(&self, lbn: Lbn) -> Option<Coord> {
+        let rel = lbn.checked_sub(self.base_lbn)?;
+        let rank = (rel / self.cell_blocks) as usize;
+        let key = *self.keys.get(rank)?;
+        Some(self.curve.coords(key))
+    }
+
+    fn blocks_spanned(&self) -> u64 {
+        self.grid.cells() * self.cell_blocks
+    }
+}
+
+/// Z-order mapping of `grid` starting at `base_lbn`.
+pub fn zorder_mapping(
+    grid: GridSpec,
+    base_lbn: Lbn,
+    cell_blocks: u64,
+) -> Result<CurveMapping<ZCurve>> {
+    let bits = max_bits(&grid);
+    let curve = ZCurve::new(grid.ndims(), bits).map_err(curve_err)?;
+    CurveMapping::new("Z-order", grid, base_lbn, cell_blocks, curve)
+}
+
+/// Hilbert mapping of `grid` starting at `base_lbn`.
+pub fn hilbert_mapping(
+    grid: GridSpec,
+    base_lbn: Lbn,
+    cell_blocks: u64,
+) -> Result<CurveMapping<HilbertCurve>> {
+    let bits = max_bits(&grid);
+    let curve = HilbertCurve::new(grid.ndims(), bits).map_err(curve_err)?;
+    CurveMapping::new("Hilbert", grid, base_lbn, cell_blocks, curve)
+}
+
+/// Gray-coded-curve mapping of `grid` starting at `base_lbn`.
+pub fn gray_mapping(
+    grid: GridSpec,
+    base_lbn: Lbn,
+    cell_blocks: u64,
+) -> Result<CurveMapping<GrayCurve>> {
+    let bits = max_bits(&grid);
+    let curve = GrayCurve::new(grid.ndims(), bits).map_err(curve_err)?;
+    CurveMapping::new("Gray", grid, base_lbn, cell_blocks, curve)
+}
+
+fn max_bits(grid: &GridSpec) -> u32 {
+    grid.extents()
+        .iter()
+        .map(|&e| bits_for_extent(e))
+        .max()
+        .unwrap_or(1)
+}
+
+fn curve_err(e: multimap_sfc::CurveError) -> MappingError {
+    MappingError::DoesNotFit {
+        reason: e.to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranks_are_dense_and_injective() {
+        let grid = GridSpec::new([5u64, 3, 4]);
+        for m in [
+            Box::new(zorder_mapping(grid.clone(), 10, 1).unwrap()) as Box<dyn Mapping>,
+            Box::new(hilbert_mapping(grid.clone(), 10, 1).unwrap()),
+            Box::new(gray_mapping(grid.clone(), 10, 1).unwrap()),
+        ] {
+            let mut seen = [false; 60];
+            grid.for_each_cell(|c| {
+                let l = m.lbn_of(c).unwrap();
+                let rel = (l - 10) as usize;
+                assert!(rel < 60, "{}: lbn {l} not dense", m.name());
+                assert!(!seen[rel], "{}: collision", m.name());
+                seen[rel] = true;
+                assert_eq!(m.coord_of(l).unwrap(), c.to_vec(), "{}", m.name());
+            });
+            assert!(seen.iter().all(|&s| s));
+            assert_eq!(m.blocks_spanned(), 60);
+        }
+    }
+
+    #[test]
+    fn hilbert_neighbours_in_rank_are_neighbours_in_space() {
+        // Within a power-of-two grid, consecutive Hilbert ranks are unit
+        // steps; the compacted non-power-of-two grid loses that, but the
+        // full 4x4 grid keeps it.
+        let grid = GridSpec::new([4u64, 4]);
+        let m = hilbert_mapping(grid.clone(), 0, 1).unwrap();
+        for rank in 0..15u64 {
+            let a = m.coord_of(rank).unwrap();
+            let b = m.coord_of(rank + 1).unwrap();
+            let dist: u64 = a.iter().zip(&b).map(|(x, y)| x.abs_diff(*y)).sum();
+            assert_eq!(dist, 1, "rank {rank}");
+        }
+    }
+
+    #[test]
+    fn cell_blocks_scale_lbns() {
+        let grid = GridSpec::new([3u64, 3]);
+        let m = zorder_mapping(grid, 0, 4).unwrap();
+        let l = m.lbn_of(&[2, 2]).unwrap();
+        assert_eq!(l % 4, 0);
+        assert_eq!(m.coord_of(l + 3).unwrap(), vec![2, 2]);
+        assert_eq!(m.blocks_spanned(), 36);
+    }
+
+    #[test]
+    fn out_of_grid_rejected() {
+        let m = hilbert_mapping(GridSpec::new([3u64, 3]), 0, 1).unwrap();
+        assert!(m.lbn_of(&[3, 0]).is_err());
+        assert!(m.coord_of(9).is_none());
+    }
+
+    #[test]
+    fn z_order_of_power_of_two_grid_matches_raw_curve() {
+        let grid = GridSpec::new([4u64, 4]);
+        let m = zorder_mapping(grid.clone(), 0, 1).unwrap();
+        let z = ZCurve::new(2, 2).unwrap();
+        grid.for_each_cell(|c| {
+            assert_eq!(m.lbn_of(c).unwrap(), z.index(c));
+        });
+    }
+}

@@ -1,0 +1,12 @@
+//! The MultiMap algorithm: basic-cube shapes, cube layout, and the cell
+//! mapping (Sections 4.1–4.4 of the paper).
+
+pub mod layout;
+pub mod map;
+pub mod shape;
+pub mod zoned;
+
+pub use layout::{CubeLayout, SlotPlacement, ZoneAlloc};
+pub use map::{MultiMapOptions, MultiMapping};
+pub use shape::{max_dimensions, solve as solve_basic_cube, BasicCubeShape, ShapeConstraints};
+pub use zoned::ZonedMultiMapping;

@@ -1,0 +1,95 @@
+//! Error type shared by the disk simulator.
+
+use std::fmt;
+
+use crate::geometry::Lbn;
+
+/// Errors raised by geometry resolution and request servicing.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DiskError {
+    /// An LBN beyond the end of the disk was referenced.
+    LbnOutOfRange {
+        /// The offending LBN.
+        lbn: Lbn,
+        /// Total number of blocks on the disk.
+        total: u64,
+    },
+    /// A cylinder index beyond the end of the disk was referenced.
+    CylinderOutOfRange {
+        /// The offending cylinder.
+        cylinder: u64,
+        /// Total number of cylinders.
+        total: u64,
+    },
+    /// A surface index not present on this disk was referenced.
+    SurfaceOutOfRange {
+        /// The offending surface.
+        surface: u32,
+        /// Number of surfaces on the disk.
+        total: u32,
+    },
+    /// A sector index past the end of its track was referenced.
+    SectorOutOfRange {
+        /// The offending sector.
+        sector: u32,
+        /// Sectors per track in the containing zone.
+        spt: u32,
+    },
+    /// A request with zero blocks was submitted.
+    EmptyRequest,
+    /// A request runs past the end of the disk.
+    RequestPastEnd {
+        /// Start of the request.
+        lbn: Lbn,
+        /// Length of the request in blocks.
+        nblocks: u64,
+        /// Total number of blocks on the disk.
+        total: u64,
+    },
+    /// The geometry description is inconsistent.
+    InvalidGeometry(&'static str),
+    /// No adjacent block exists (e.g. the target track leaves the zone).
+    NoAdjacentBlock {
+        /// The starting LBN.
+        lbn: Lbn,
+        /// The requested adjacency step (1-based).
+        step: u32,
+    },
+}
+
+impl fmt::Display for DiskError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DiskError::LbnOutOfRange { lbn, total } => {
+                write!(f, "LBN {lbn} out of range (disk has {total} blocks)")
+            }
+            DiskError::CylinderOutOfRange { cylinder, total } => {
+                write!(f, "cylinder {cylinder} out of range (disk has {total})")
+            }
+            DiskError::SurfaceOutOfRange { surface, total } => {
+                write!(f, "surface {surface} out of range (disk has {total})")
+            }
+            DiskError::SectorOutOfRange { sector, spt } => {
+                write!(f, "sector {sector} out of range (track holds {spt})")
+            }
+            DiskError::EmptyRequest => write!(f, "request has zero blocks"),
+            DiskError::RequestPastEnd {
+                lbn,
+                nblocks,
+                total,
+            } => write!(
+                f,
+                "request [{lbn}, {lbn}+{nblocks}) runs past end of disk ({total} blocks)"
+            ),
+            DiskError::InvalidGeometry(msg) => write!(f, "invalid geometry: {msg}"),
+            DiskError::NoAdjacentBlock { lbn, step } => {
+                write!(f, "LBN {lbn} has no {step}-th adjacent block in its zone")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DiskError {}
+
+/// Convenience alias used throughout the simulator.
+pub type Result<T> = std::result::Result<T, DiskError>;

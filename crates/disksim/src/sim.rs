@@ -1,0 +1,587 @@
+//! Request service-time engine.
+//!
+//! [`DiskSim`] tracks the mechanical state of one disk (time, head
+//! position) and computes the service time of each request from first
+//! principles: per-command overhead, then seek/settle, then rotational
+//! wait until the first target sector arrives under the head, then media
+//! transfer — splitting multi-track transfers into per-track segments.
+//!
+//! One deliberate simplification mirrors real drives' read-ahead buffers:
+//! a request that starts *exactly* where the previous request ended is a
+//! prefetch hit and costs only command overhead plus media transfer. This
+//! is what lets a stream of single-block sequential requests (the paper's
+//! `Dim0` beam queries) run at full streaming bandwidth instead of paying
+//! a rotational miss per command.
+
+use crate::error::{DiskError, Result};
+use crate::geometry::{DiskGeometry, Lbn};
+use crate::stats::AccessStats;
+
+/// Mechanical state of the disk between requests.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct HeadState {
+    /// Absolute simulated time in milliseconds. The platter's rotational
+    /// phase is derived from this.
+    pub time_ms: f64,
+    /// Cylinder the head currently sits on.
+    pub cylinder: u64,
+    /// Active surface.
+    pub surface: u32,
+    /// One past the last LBN transferred, if the previous request allows
+    /// read-ahead continuation (used for the prefetch fast path).
+    pub last_end_lbn: Option<Lbn>,
+}
+
+impl HeadState {
+    /// Initial state: time zero, head parked on cylinder 0 / surface 0.
+    pub fn initial() -> Self {
+        HeadState {
+            time_ms: 0.0,
+            cylinder: 0,
+            surface: 0,
+            last_end_lbn: None,
+        }
+    }
+}
+
+impl Default for HeadState {
+    fn default() -> Self {
+        Self::initial()
+    }
+}
+
+/// Deterministic settle jitter in `[0, settle_jitter_ms)`: a hash of the
+/// arrival time and target track, so identical workloads replay
+/// identically while distinct seeks see varied settles.
+fn settle_jitter(geom: &DiskGeometry, t_ms: f64, track: u64) -> f64 {
+    if geom.settle_jitter_ms == 0.0 {
+        return 0.0;
+    }
+    let mut x = t_ms.to_bits() ^ track.wrapping_mul(0x9E3779B97F4A7C15);
+    x ^= x >> 33;
+    x = x.wrapping_mul(0xFF51AFD7ED558CCD);
+    x ^= x >> 33;
+    geom.settle_jitter_ms * (x >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// Access direction of a request.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum AccessKind {
+    /// Read (the default everywhere in the query path).
+    #[default]
+    Read,
+    /// Write: every repositioning pays the drive's extra write settle.
+    Write,
+}
+
+/// A read request for `nblocks` consecutive LBNs starting at `lbn`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Request {
+    /// First LBN of the request.
+    pub lbn: Lbn,
+    /// Number of blocks to transfer (must be positive).
+    pub nblocks: u64,
+}
+
+impl Request {
+    /// A single-block request.
+    #[inline]
+    pub fn single(lbn: Lbn) -> Self {
+        Request { lbn, nblocks: 1 }
+    }
+
+    /// A multi-block request.
+    #[inline]
+    pub fn new(lbn: Lbn, nblocks: u64) -> Self {
+        Request { lbn, nblocks }
+    }
+
+    /// One past the last LBN covered.
+    #[inline]
+    pub fn end(&self) -> Lbn {
+        self.lbn + self.nblocks
+    }
+}
+
+/// Per-request service time, broken down by mechanical component.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct RequestTiming {
+    /// Command/controller overhead.
+    pub overhead_ms: f64,
+    /// Seek + settle + head-switch time (all positioning).
+    pub seek_ms: f64,
+    /// Rotational latency.
+    pub rotation_ms: f64,
+    /// Media transfer time.
+    pub transfer_ms: f64,
+}
+
+impl RequestTiming {
+    /// Total service time of the request.
+    #[inline]
+    pub fn total_ms(&self) -> f64 {
+        self.overhead_ms + self.seek_ms + self.rotation_ms + self.transfer_ms
+    }
+}
+
+/// Simulator for a single disk drive.
+#[derive(Clone, Debug)]
+pub struct DiskSim {
+    geom: DiskGeometry,
+    state: HeadState,
+    stats: AccessStats,
+}
+
+impl DiskSim {
+    /// Create a simulator in the initial head state.
+    pub fn new(geom: DiskGeometry) -> Self {
+        DiskSim {
+            geom,
+            state: HeadState::initial(),
+            stats: AccessStats::default(),
+        }
+    }
+
+    /// The disk's geometry.
+    #[inline]
+    pub fn geometry(&self) -> &DiskGeometry {
+        &self.geom
+    }
+
+    /// Current mechanical state.
+    #[inline]
+    pub fn state(&self) -> HeadState {
+        self.state
+    }
+
+    /// Accumulated access statistics.
+    #[inline]
+    pub fn stats(&self) -> &AccessStats {
+        &self.stats
+    }
+
+    /// Reset time, head position and statistics.
+    pub fn reset(&mut self) {
+        self.state = HeadState::initial();
+        self.stats = AccessStats::default();
+    }
+
+    /// Clear only the statistics, keeping the mechanical state (useful to
+    /// exclude warm-up requests from a measurement).
+    pub fn reset_stats(&mut self) {
+        self.stats = AccessStats::default();
+    }
+
+    /// Service a read request, advancing time and head position.
+    pub fn service(&mut self, req: Request) -> Result<RequestTiming> {
+        let timing = Self::simulate(&self.geom, &mut self.state, req)?;
+        self.stats.record(&timing, req.nblocks);
+        Ok(timing)
+    }
+
+    /// Service a write request: like a read, but every repositioning
+    /// pays [`DiskGeometry::write_settle_extra_ms`], and a write never
+    /// continues a read-ahead stream from a *different* access kind.
+    pub fn service_write(&mut self, req: Request) -> Result<RequestTiming> {
+        let timing = Self::simulate_kind(&self.geom, &mut self.state, req, AccessKind::Write)?;
+        self.stats.record(&timing, req.nblocks);
+        Ok(timing)
+    }
+
+    /// Estimated total service time of `req` from the current state,
+    /// without committing it.
+    ///
+    /// Estimates use the *nominal* settle time: a scheduler cannot
+    /// predict the settle jitter an actual seek will experience, so a
+    /// drive that schedules around its own future jitter would be
+    /// unrealistically clever.
+    pub fn estimate(&self, req: Request) -> Result<f64> {
+        let mut state = self.state;
+        Ok(Self::simulate_inner(&self.geom, &mut state, req, AccessKind::Read, false)?.total_ms())
+    }
+
+    /// Advance the simulated clock without moving the head (models idle
+    /// time between queries, which randomises the rotational phase).
+    pub fn idle(&mut self, ms: f64) {
+        self.state.time_ms += ms.max(0.0);
+        self.state.last_end_lbn = None;
+    }
+
+    /// Core service-time computation. Pure function of geometry and state;
+    /// exposed so schedulers can evaluate candidate orderings on copies of
+    /// the state.
+    pub fn simulate(
+        geom: &DiskGeometry,
+        state: &mut HeadState,
+        req: Request,
+    ) -> Result<RequestTiming> {
+        Self::simulate_kind(geom, state, req, AccessKind::Read)
+    }
+
+    /// [`Self::simulate`] with an explicit access kind.
+    pub fn simulate_kind(
+        geom: &DiskGeometry,
+        state: &mut HeadState,
+        req: Request,
+        kind: AccessKind,
+    ) -> Result<RequestTiming> {
+        Self::simulate_inner(geom, state, req, kind, true)
+    }
+
+    /// Core engine; `actual` selects whether settle jitter is drawn
+    /// (service) or replaced by the nominal settle (estimates).
+    fn simulate_inner(
+        geom: &DiskGeometry,
+        state: &mut HeadState,
+        req: Request,
+        kind: AccessKind,
+        actual: bool,
+    ) -> Result<RequestTiming> {
+        let write_extra = match kind {
+            AccessKind::Read => 0.0,
+            AccessKind::Write => geom.write_settle_extra_ms,
+        };
+        if req.nblocks == 0 {
+            return Err(DiskError::EmptyRequest);
+        }
+        if req.end() > geom.total_blocks() {
+            return Err(DiskError::RequestPastEnd {
+                lbn: req.lbn,
+                nblocks: req.nblocks,
+                total: geom.total_blocks(),
+            });
+        }
+
+        let mut timing = RequestTiming {
+            overhead_ms: geom.command_overhead_ms,
+            ..RequestTiming::default()
+        };
+
+        // Prefetch fast path: exact sequential continuation.
+        if state.last_end_lbn == Some(req.lbn) {
+            let mut cur = req.lbn;
+            let mut remaining = req.nblocks;
+            while remaining > 0 {
+                let zone = geom.zone_of_lbn(cur)?;
+                let take = remaining.min(zone.end_lbn() - cur);
+                timing.transfer_ms += take as f64 * geom.sector_time_ms(zone);
+                cur += take;
+                remaining -= take;
+            }
+            let end_loc = geom.locate(req.end() - 1)?;
+            state.time_ms += timing.total_ms();
+            state.cylinder = end_loc.cylinder;
+            state.surface = end_loc.surface;
+            state.last_end_lbn = Some(req.end());
+            return Ok(timing);
+        }
+
+        let mut t = state.time_ms + timing.overhead_ms;
+        let mut cur = req.lbn;
+        let mut remaining = req.nblocks;
+        let (mut cyl, mut surf) = (state.cylinder, state.surface);
+        while remaining > 0 {
+            let loc = geom.locate(cur)?;
+            let mut pos = geom.positioning_ms(cyl, surf, loc.cylinder, loc.surface);
+            if pos > 0.0 {
+                pos += write_extra;
+                if actual {
+                    pos += settle_jitter(geom, t, loc.track);
+                }
+            }
+            timing.seek_ms += pos;
+            t += pos;
+            let wait = geom.rotational_wait_ms(&loc, t);
+            timing.rotation_ms += wait;
+            t += wait;
+            let take = remaining.min((loc.spt - loc.sector) as u64);
+            let zone = &geom.zones()[loc.zone];
+            let xfer = take as f64 * geom.sector_time_ms(zone);
+            timing.transfer_ms += xfer;
+            t += xfer;
+            cyl = loc.cylinder;
+            surf = loc.surface;
+            cur += take;
+            remaining -= take;
+        }
+        state.time_ms = t;
+        state.cylinder = cyl;
+        state.surface = surf;
+        state.last_end_lbn = Some(req.end());
+        Ok(timing)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adjacency::{adjacent_lbn, semi_sequential_path};
+    use crate::geometry::{DiskBuilder, ZoneSpec};
+
+    fn disk() -> DiskSim {
+        let geom = DiskBuilder::new("sim-test")
+            .rpm(10_000.0)
+            .surfaces(4)
+            .zones(vec![
+                ZoneSpec {
+                    cylinders: 200,
+                    sectors_per_track: 120,
+                },
+                ZoneSpec {
+                    cylinders: 200,
+                    sectors_per_track: 100,
+                },
+            ])
+            .settle_ms(1.2)
+            .settle_cylinders(8)
+            .head_switch_ms(0.9)
+            .command_overhead_ms(0.03)
+            .avg_seek_ms(4.5)
+            .max_seek_ms(9.0)
+            .build()
+            .unwrap();
+        DiskSim::new(geom)
+    }
+
+    #[test]
+    fn empty_and_overlong_requests_rejected() {
+        let mut sim = disk();
+        assert_eq!(
+            sim.service(Request::new(0, 0)),
+            Err(DiskError::EmptyRequest)
+        );
+        let total = sim.geometry().total_blocks();
+        assert!(sim.service(Request::new(total - 1, 2)).is_err());
+        assert!(sim.service(Request::new(total, 1)).is_err());
+    }
+
+    #[test]
+    fn sequential_single_block_requests_stream() {
+        let mut sim = disk();
+        // Warm up: position on the first block.
+        sim.service(Request::single(0)).unwrap();
+        let st = sim.geometry().sector_time_ms(&sim.geometry().zones()[0]);
+        let oh = sim.geometry().command_overhead_ms;
+        for lbn in 1..500u64 {
+            let t = sim.service(Request::single(lbn)).unwrap();
+            assert!(
+                (t.total_ms() - (oh + st)).abs() < 1e-9,
+                "lbn {lbn}: {} != {}",
+                t.total_ms(),
+                oh + st
+            );
+            assert_eq!(t.seek_ms, 0.0);
+            assert_eq!(t.rotation_ms, 0.0);
+        }
+    }
+
+    #[test]
+    fn one_big_sequential_request_is_mostly_transfer() {
+        let mut sim = disk();
+        let n = 120 * 4 * 3; // three full cylinders
+        let t = sim.service(Request::new(0, n)).unwrap();
+        let st = sim.geometry().sector_time_ms(&sim.geometry().zones()[0]);
+        assert!((t.transfer_ms - n as f64 * st).abs() < 1e-6);
+        // Positioning across tracks is head switches and 1-cylinder seeks.
+        assert!(t.seek_ms > 0.0);
+        // Skew should keep rotational waits below one sector per switch…
+        let switches = (n / 120 - 1) as f64;
+        assert!(
+            t.rotation_ms <= switches * 2.0 * st + sim.geometry().revolution_ms(),
+            "rotation {} too large",
+            t.rotation_ms
+        );
+    }
+
+    #[test]
+    fn semi_sequential_steps_cost_settle_plus_slack() {
+        let mut sim = disk();
+        let geom = sim.geometry().clone();
+        let path = semi_sequential_path(&geom, 0, 1, 64);
+        assert_eq!(path.len(), 64);
+        sim.service(Request::single(path[0])).unwrap();
+        let st = geom.sector_time_ms(&geom.zones()[0]);
+        for &lbn in &path[1..] {
+            let t = sim.service(Request::single(lbn)).unwrap();
+            let expect = geom.command_overhead_ms + geom.settle_ms;
+            let upper = expect + geom.adjacency_slack_ms + 3.0 * st;
+            assert!(
+                t.total_ms() >= expect - 1e-9 && t.total_ms() <= upper,
+                "semi-seq step cost {} expected in [{expect}, {upper}]",
+                t.total_ms(),
+            );
+        }
+    }
+
+    #[test]
+    fn deep_adjacency_step_costs_the_same_as_shallow() {
+        let mut sim = disk();
+        let geom = sim.geometry().clone();
+        sim.service(Request::single(0)).unwrap();
+        let a1 = adjacent_lbn(&geom, 0, 1).unwrap();
+        let t1 = sim.service(Request::single(a1)).unwrap().total_ms();
+
+        let mut sim2 = disk();
+        sim2.service(Request::single(0)).unwrap();
+        let ad = adjacent_lbn(&geom, 0, geom.adjacency_limit).unwrap();
+        let td = sim2.service(Request::single(ad)).unwrap().total_ms();
+
+        let st = geom.sector_time_ms(&geom.zones()[0]);
+        assert!(
+            (t1 - td).abs() <= 2.0 * st,
+            "1st adjacent {t1} vs D-th adjacent {td}"
+        );
+    }
+
+    #[test]
+    fn random_far_access_pays_seek_and_rotation() {
+        let mut sim = disk();
+        sim.service(Request::single(0)).unwrap();
+        // Jump far into the second zone.
+        let far = sim.geometry().zones()[1].first_lbn + 12_345;
+        let t = sim.service(Request::single(far)).unwrap();
+        assert!(t.seek_ms > sim.geometry().settle_ms);
+        assert!(t.rotation_ms >= 0.0);
+        assert!(t.total_ms() > sim.geometry().settle_ms);
+    }
+
+    #[test]
+    fn estimate_matches_service() {
+        let mut sim = disk();
+        sim.service(Request::single(7)).unwrap();
+        let req = Request::new(5_000, 10);
+        let est = sim.estimate(req).unwrap();
+        let got = sim.service(req).unwrap().total_ms();
+        assert!((est - got).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut sim = disk();
+        sim.service(Request::new(0, 10)).unwrap();
+        sim.service(Request::new(100, 5)).unwrap();
+        let s = sim.stats();
+        assert_eq!(s.requests, 2);
+        assert_eq!(s.blocks, 15);
+        assert!(s.total_ms > 0.0);
+        sim.reset_stats();
+        assert_eq!(sim.stats().requests, 0);
+    }
+
+    #[test]
+    fn idle_breaks_prefetch_chain() {
+        let mut sim = disk();
+        sim.service(Request::single(0)).unwrap();
+        sim.idle(3.7);
+        let t = sim.service(Request::single(1)).unwrap();
+        // No longer a prefetch hit: rotational wait appears.
+        assert!(t.rotation_ms > 0.0 || t.seek_ms > 0.0);
+    }
+
+    #[test]
+    fn writes_pay_extra_settle_on_positioning() {
+        let mut reader = disk();
+        let mut writer = disk();
+        reader.service(Request::single(0)).unwrap();
+        writer.service(Request::single(0)).unwrap();
+        // A jump that seeks: the write is slower by exactly the extra
+        // settle (modulo the rotational wait absorbing part of it).
+        let target = Request::single(50_000);
+        let tr = reader.service(target).unwrap();
+        let tw = writer.service_write(target).unwrap();
+        let extra = reader.geometry().write_settle_extra_ms;
+        assert!(
+            tw.seek_ms >= tr.seek_ms + extra - 1e-9,
+            "write seek {} vs read seek {}",
+            tw.seek_ms,
+            tr.seek_ms
+        );
+    }
+
+    #[test]
+    fn sequential_writes_stream() {
+        let mut sim = disk();
+        sim.service_write(Request::single(0)).unwrap();
+        let st = sim.geometry().sector_time_ms(&sim.geometry().zones()[0]);
+        let oh = sim.geometry().command_overhead_ms;
+        for lbn in 1..100u64 {
+            let t = sim.service_write(Request::single(lbn)).unwrap();
+            assert!(
+                (t.total_ms() - (oh + st)).abs() < 1e-9,
+                "write-back sequential continuation must stream"
+            );
+        }
+    }
+
+    #[test]
+    fn settle_jitter_is_deterministic() {
+        let geom = crate::geometry::DiskBuilder::new("jitter")
+            .rpm(10_000.0)
+            .surfaces(4)
+            .zones(vec![crate::geometry::ZoneSpec {
+                cylinders: 200,
+                sectors_per_track: 120,
+            }])
+            .settle_ms(1.2)
+            .settle_cylinders(8)
+            .settle_jitter_ms(0.3)
+            .build()
+            .unwrap();
+        let run = || {
+            let mut sim = DiskSim::new(geom.clone());
+            let mut total = 0.0;
+            for lbn in [0u64, 5_000, 123, 77_000, 42] {
+                total += sim.service(Request::single(lbn)).unwrap().total_ms();
+            }
+            total
+        };
+        assert_eq!(run(), run(), "identical workloads must replay identically");
+    }
+
+    #[test]
+    fn estimates_are_not_clairvoyant_about_jitter() {
+        let geom = crate::geometry::DiskBuilder::new("jitter")
+            .rpm(10_000.0)
+            .surfaces(4)
+            .zones(vec![crate::geometry::ZoneSpec {
+                cylinders: 200,
+                sectors_per_track: 120,
+            }])
+            .settle_ms(1.2)
+            .settle_cylinders(8)
+            .settle_jitter_ms(0.5)
+            .adjacency_slack_ms(0.0)
+            .build()
+            .unwrap();
+        // Jitter is absorbed by a following rotational wait unless the
+        // target window is tight. A zero-slack semi-sequential chain has
+        // sub-sector windows, so actual jitter must blow some of them
+        // past the estimate (which assumes nominal settle).
+        let path = crate::adjacency::semi_sequential_path(&geom, 0, 1, 40);
+        let mut sim = DiskSim::new(geom);
+        sim.service(Request::single(path[0])).unwrap();
+        let mut diverged = false;
+        for &lbn in &path[1..] {
+            let est = sim.estimate(Request::single(lbn)).unwrap();
+            let got = sim.service(Request::single(lbn)).unwrap().total_ms();
+            if (est - got).abs() > 1e-6 {
+                diverged = true;
+            }
+        }
+        assert!(
+            diverged,
+            "jittered service must diverge from nominal estimates"
+        );
+    }
+
+    #[test]
+    fn time_advances_monotonically() {
+        let mut sim = disk();
+        let mut last = 0.0;
+        for lbn in [0u64, 99_000, 3, 50_000, 4, 5] {
+            sim.service(Request::single(lbn)).unwrap();
+            assert!(sim.state().time_ms > last);
+            last = sim.state().time_ms;
+        }
+    }
+}

@@ -1,0 +1,76 @@
+//! Declustering strategies: which disk stores which allocation unit.
+//!
+//! MultiMap declusters *basic cubes* across the disks of a volume the way
+//! traditional volumes decluster stripe units (Section 4.4). The paper is
+//! agnostic about the strategy, so we provide the two classics it cites:
+//! round-robin striping and cyclic allocation with a configurable skip
+//! (Prabhakar et al., ICDE'98), which generalises round-robin.
+
+/// Maps an allocation unit (basic cube or chunk) index to a disk.
+pub trait Declustering {
+    /// Disk responsible for allocation unit `unit` out of `ndisks`.
+    fn disk_for(&self, unit: u64, ndisks: usize) -> usize;
+}
+
+/// Classic round-robin striping: unit `i` goes to disk `i mod n`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RoundRobin;
+
+impl Declustering for RoundRobin {
+    #[inline]
+    fn disk_for(&self, unit: u64, ndisks: usize) -> usize {
+        (unit % ndisks as u64) as usize
+    }
+}
+
+/// Cyclic allocation: unit `i` goes to disk `(i * skip) mod n`. With a
+/// skip coprime to `n` every disk is used equally while neighbouring
+/// units in multi-dimensional row-major order land on different disks.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Cyclic {
+    /// Stride between consecutive units' disks.
+    pub skip: u64,
+}
+
+impl Cyclic {
+    /// Cyclic allocation with the given skip (use a value coprime to the
+    /// disk count for full balance).
+    pub fn new(skip: u64) -> Self {
+        Cyclic { skip: skip.max(1) }
+    }
+}
+
+impl Declustering for Cyclic {
+    #[inline]
+    fn disk_for(&self, unit: u64, ndisks: usize) -> usize {
+        ((unit.wrapping_mul(self.skip)) % ndisks as u64) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_robin_cycles() {
+        let d = RoundRobin;
+        let assignment: Vec<usize> = (0..8).map(|u| d.disk_for(u, 3)).collect();
+        assert_eq!(assignment, vec![0, 1, 2, 0, 1, 2, 0, 1]);
+    }
+
+    #[test]
+    fn cyclic_with_coprime_skip_is_balanced() {
+        let d = Cyclic::new(3);
+        let mut counts = [0usize; 4];
+        for u in 0..400 {
+            counts[d.disk_for(u, 4)] += 1;
+        }
+        assert!(counts.iter().all(|&c| c == 100), "{counts:?}");
+    }
+
+    #[test]
+    fn cyclic_skip_zero_clamped_to_one() {
+        let d = Cyclic::new(0);
+        assert_eq!(d.disk_for(5, 4), 1);
+    }
+}

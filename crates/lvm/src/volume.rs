@@ -1,0 +1,293 @@
+//! The logical volume: a set of identical simulated disks behind the
+//! adjacency-model interface.
+
+use multimap_disksim::{
+    adjacent_lbn, coalesce_sorted, service_batch_ascending, service_batch_in_order,
+    service_batch_queued_sptf, service_batch_sptf, AccessStats, BatchTiming, DiskGeometry, DiskSim,
+    Lbn, Request, RequestTiming, Result,
+};
+use parking_lot::Mutex;
+
+/// How a batch of requests is ordered before being serviced.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SchedulePolicy {
+    /// Serve exactly in the order given.
+    InOrder,
+    /// Sort ascending by LBN first (the storage manager's policy for
+    /// linearised mappings, Section 5.2).
+    AscendingLbn,
+    /// Greedy shortest-positioning-time-first (the disk's internal
+    /// scheduler; discovers semi-sequential paths on its own).
+    Sptf,
+    /// Queue-depth-limited SPTF: requests enter the disk queue in issue
+    /// order and the disk serves the cheapest queued request — models
+    /// SCSI tagged command queueing. Depth 1 is in-order service.
+    QueuedSptf(usize),
+}
+
+/// Timing of a striped, multi-disk batch.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct VolumeBatchTiming {
+    /// Per-disk batch timings (index = disk id).
+    pub per_disk: Vec<BatchTiming>,
+    /// Completion time of the slowest disk — what a caller waiting on all
+    /// parallel I/O would observe.
+    pub makespan_ms: f64,
+}
+
+impl VolumeBatchTiming {
+    /// Total blocks transferred across all disks.
+    pub fn blocks(&self) -> u64 {
+        self.per_disk.iter().map(|b| b.blocks).sum()
+    }
+
+    /// Sum of busy time across all disks.
+    pub fn total_busy_ms(&self) -> f64 {
+        self.per_disk.iter().map(|b| b.total_ms).sum()
+    }
+}
+
+/// A logical volume over one or more identical simulated disks.
+///
+/// All disks share a single [`DiskGeometry`]; addressing is explicit
+/// (`disk` index + per-disk LBN), matching how the paper assigns each
+/// dataset chunk to one disk and reports single-disk response times.
+pub struct LogicalVolume {
+    geometry: DiskGeometry,
+    disks: Vec<Mutex<DiskSim>>,
+}
+
+impl LogicalVolume {
+    /// Create a volume of `ndisks` identical disks.
+    ///
+    /// # Panics
+    /// Panics if `ndisks` is zero.
+    pub fn new(geometry: DiskGeometry, ndisks: usize) -> Self {
+        assert!(ndisks > 0, "a volume needs at least one disk");
+        let disks = (0..ndisks)
+            .map(|_| Mutex::new(DiskSim::new(geometry.clone())))
+            .collect();
+        LogicalVolume { geometry, disks }
+    }
+
+    /// Number of disks in the volume.
+    #[inline]
+    pub fn num_disks(&self) -> usize {
+        self.disks.len()
+    }
+
+    /// The shared disk geometry.
+    #[inline]
+    pub fn geometry(&self) -> &DiskGeometry {
+        &self.geometry
+    }
+
+    /// The `GET_ADJACENT` interface call: LBN of the `step`-th adjacent
+    /// block of `lbn` (Section 3.2 of the paper).
+    #[inline]
+    pub fn get_adjacent(&self, lbn: Lbn, step: u32) -> Result<Lbn> {
+        adjacent_lbn(&self.geometry, lbn, step)
+    }
+
+    /// The `GET_TRACK_BOUNDARIES` interface call: first and last LBN of
+    /// the track containing `lbn`.
+    #[inline]
+    pub fn get_track_boundaries(&self, lbn: Lbn) -> Result<(Lbn, Lbn)> {
+        self.geometry.track_boundaries(lbn)
+    }
+
+    /// The number of adjacent blocks `D` each LBN has.
+    #[inline]
+    pub fn adjacency_limit(&self) -> u32 {
+        self.geometry.adjacency_limit
+    }
+
+    /// Service one request on one disk.
+    pub fn service(&self, disk: usize, req: Request) -> Result<RequestTiming> {
+        self.disks[disk].lock().service(req)
+    }
+
+    /// Service a batch on one disk under the given policy.
+    pub fn service_batch(
+        &self,
+        disk: usize,
+        requests: &[Request],
+        policy: SchedulePolicy,
+    ) -> Result<BatchTiming> {
+        let mut sim = self.disks[disk].lock();
+        match policy {
+            SchedulePolicy::InOrder => service_batch_in_order(&mut sim, requests),
+            SchedulePolicy::AscendingLbn => service_batch_ascending(&mut sim, requests),
+            SchedulePolicy::Sptf => service_batch_sptf(&mut sim, requests),
+            SchedulePolicy::QueuedSptf(depth) => {
+                service_batch_queued_sptf(&mut sim, requests, depth)
+            }
+        }
+    }
+
+    /// Service a sorted, deduplicated LBN list on one disk, coalescing
+    /// contiguous runs into multi-block requests first.
+    pub fn service_sorted_lbns(
+        &self,
+        disk: usize,
+        lbns: &[Lbn],
+        policy: SchedulePolicy,
+    ) -> Result<BatchTiming> {
+        let requests = coalesce_sorted(lbns);
+        self.service_batch(disk, &requests, policy)
+    }
+
+    /// Service one batch per disk "in parallel": each disk runs its batch
+    /// independently and the makespan is the slowest disk's busy time.
+    pub fn service_striped(
+        &self,
+        batches: &[(usize, Vec<Request>, SchedulePolicy)],
+    ) -> Result<VolumeBatchTiming> {
+        let mut per_disk = vec![BatchTiming::default(); self.disks.len()];
+        for (disk, requests, policy) in batches {
+            let t = self.service_batch(*disk, requests, *policy)?;
+            per_disk[*disk].requests += t.requests;
+            per_disk[*disk].blocks += t.blocks;
+            per_disk[*disk].total_ms += t.total_ms;
+        }
+        let makespan_ms = per_disk.iter().map(|b| b.total_ms).fold(0.0, f64::max);
+        Ok(VolumeBatchTiming {
+            per_disk,
+            makespan_ms,
+        })
+    }
+
+    /// Accumulated statistics of one disk.
+    pub fn stats(&self, disk: usize) -> AccessStats {
+        *self.disks[disk].lock().stats()
+    }
+
+    /// Statistics merged across all disks.
+    pub fn merged_stats(&self) -> AccessStats {
+        let mut out = AccessStats::default();
+        for d in &self.disks {
+            out.merge(d.lock().stats());
+        }
+        out
+    }
+
+    /// Reset every disk (time, head position and statistics).
+    pub fn reset(&self) {
+        for d in &self.disks {
+            d.lock().reset();
+        }
+    }
+
+    /// Clear statistics on every disk without moving heads.
+    pub fn reset_stats(&self) {
+        for d in &self.disks {
+            d.lock().reset_stats();
+        }
+    }
+
+    /// Let every disk idle for `ms` (randomises rotational phase between
+    /// queries, breaking artificial phase locking between runs).
+    pub fn idle_all(&self, ms: f64) {
+        for d in &self.disks {
+            d.lock().idle(ms);
+        }
+    }
+
+    /// Run a closure with mutable access to one disk's simulator (for
+    /// callers that need custom scheduling).
+    pub fn with_disk<T>(&self, disk: usize, f: impl FnOnce(&mut DiskSim) -> T) -> T {
+        f(&mut self.disks[disk].lock())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use multimap_disksim::profiles;
+
+    fn volume(n: usize) -> LogicalVolume {
+        LogicalVolume::new(profiles::small(), n)
+    }
+
+    #[test]
+    fn interface_calls_match_disksim() {
+        let v = volume(1);
+        let g = v.geometry().clone();
+        assert_eq!(
+            v.get_adjacent(0, 1).unwrap(),
+            adjacent_lbn(&g, 0, 1).unwrap()
+        );
+        assert_eq!(
+            v.get_track_boundaries(17).unwrap(),
+            g.track_boundaries(17).unwrap()
+        );
+        assert_eq!(v.adjacency_limit(), g.adjacency_limit);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one disk")]
+    fn zero_disks_panics() {
+        let _ = volume(0);
+    }
+
+    #[test]
+    fn disks_have_independent_state() {
+        let v = volume(2);
+        v.service(0, Request::single(100)).unwrap();
+        assert_eq!(v.stats(0).requests, 1);
+        assert_eq!(v.stats(1).requests, 0);
+        let merged = v.merged_stats();
+        assert_eq!(merged.requests, 1);
+    }
+
+    #[test]
+    fn sorted_lbns_are_coalesced() {
+        let v = volume(1);
+        let t = v
+            .service_sorted_lbns(0, &[10, 11, 12, 13, 14], SchedulePolicy::InOrder)
+            .unwrap();
+        assert_eq!(t.requests, 1);
+        assert_eq!(t.blocks, 5);
+    }
+
+    #[test]
+    fn striped_makespan_is_max_of_disks() {
+        let v = volume(2);
+        let heavy: Vec<Request> = (0..40u64).map(|i| Request::single(i * 1000)).collect();
+        let light = vec![Request::single(0)];
+        let t = v
+            .service_striped(&[
+                (0, heavy, SchedulePolicy::AscendingLbn),
+                (1, light, SchedulePolicy::AscendingLbn),
+            ])
+            .unwrap();
+        assert!(t.per_disk[0].total_ms > t.per_disk[1].total_ms);
+        assert_eq!(t.makespan_ms, t.per_disk[0].total_ms);
+        assert_eq!(t.blocks(), 41);
+        assert!(
+            (t.total_busy_ms() - (t.per_disk[0].total_ms + t.per_disk[1].total_ms)).abs() < 1e-9
+        );
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let v = volume(1);
+        v.service(0, Request::single(5)).unwrap();
+        v.reset();
+        assert_eq!(v.stats(0).requests, 0);
+    }
+
+    #[test]
+    fn policies_agree_on_blocks_fetched() {
+        let reqs: Vec<Request> = (0..20u64).map(|i| Request::single(i * 37)).collect();
+        for policy in [
+            SchedulePolicy::InOrder,
+            SchedulePolicy::AscendingLbn,
+            SchedulePolicy::Sptf,
+        ] {
+            let v = volume(1);
+            let t = v.service_batch(0, &reqs, policy).unwrap();
+            assert_eq!(t.blocks, 20, "{policy:?}");
+        }
+    }
+}

@@ -1,0 +1,183 @@
+//! The paper's five OLAP queries (Section 5.5), as query regions over a
+//! per-disk chunk.
+
+use multimap_core::{BoxRegion, GridSpec};
+use rand::rngs::StdRng;
+use rand::RngExt;
+
+use crate::cube::OlapDim;
+
+/// One of the paper's OLAP queries.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum OlapQuery {
+    /// "How much profit is made on product P with a quantity of Q to
+    /// country C over all dates?" — beam along OrderDay (the major
+    /// order).
+    Q1,
+    /// "… on product P with a quantity of Q ordered on a specific date
+    /// over all countries?" — beam along NationID.
+    Q2,
+    /// "… on product P of all quantities to country C in one year?" —
+    /// 2-D range over OrderDay × Quantity.
+    Q3,
+    /// "… on product P over all countries, quantities in one year?" —
+    /// 3-D range over OrderDay × NationID × Quantity.
+    Q4,
+    /// "… on 10 products with 10 quantities over 10 countries within 20
+    /// days?" — 4-D range (20 days = 10 rolled-up OrderDay cells).
+    Q5,
+}
+
+/// All five queries in figure order.
+pub const ALL_QUERIES: [OlapQuery; 5] = [
+    OlapQuery::Q1,
+    OlapQuery::Q2,
+    OlapQuery::Q3,
+    OlapQuery::Q4,
+    OlapQuery::Q5,
+];
+
+/// Cells of one year of order days after the 2-day roll-up.
+const YEAR_CELLS: u64 = 183;
+
+impl OlapQuery {
+    /// Figure label ("Q1"…"Q5").
+    pub fn label(&self) -> &'static str {
+        match self {
+            OlapQuery::Q1 => "Q1",
+            OlapQuery::Q2 => "Q2",
+            OlapQuery::Q3 => "Q3",
+            OlapQuery::Q4 => "Q4",
+            OlapQuery::Q5 => "Q5",
+        }
+    }
+
+    /// Whether the query is a beam (Q1, Q2) or a range (Q3–Q5).
+    pub fn is_beam(&self) -> bool {
+        matches!(self, OlapQuery::Q1 | OlapQuery::Q2)
+    }
+
+    /// Dimensions the query spans (the rest are fixed at random values).
+    fn spans(&self) -> Vec<(OlapDim, SpanLen)> {
+        use OlapDim::*;
+        use SpanLen::*;
+        match self {
+            OlapQuery::Q1 => vec![(OrderDay, Full)],
+            OlapQuery::Q2 => vec![(Nation, Full)],
+            OlapQuery::Q3 => vec![(OrderDay, Cells(YEAR_CELLS)), (Quantity, Full)],
+            OlapQuery::Q4 => vec![
+                (OrderDay, Cells(YEAR_CELLS)),
+                (Nation, Full),
+                (Quantity, Full),
+            ],
+            OlapQuery::Q5 => vec![
+                (OrderDay, Cells(10)),
+                (Product, Cells(10)),
+                (Nation, Cells(10)),
+                (Quantity, Cells(10)),
+            ],
+        }
+    }
+
+    /// Build the concrete query region over `chunk`; dimensions the query
+    /// does not span are pinned to random coordinates from `rng`.
+    pub fn region(&self, chunk: &GridSpec, rng: &mut StdRng) -> BoxRegion {
+        assert_eq!(chunk.ndims(), 4, "OLAP chunk must be 4-D");
+        let spans = self.spans();
+        let mut lo = Vec::with_capacity(4);
+        let mut hi = Vec::with_capacity(4);
+        'dims: for d in 0..4 {
+            let extent = chunk.extent(d);
+            for (dim, len) in &spans {
+                if dim.axis() == d {
+                    let cells = match len {
+                        SpanLen::Full => extent,
+                        SpanLen::Cells(c) => (*c).min(extent),
+                    };
+                    let start = rng.random_range(0..=(extent - cells));
+                    lo.push(start);
+                    hi.push(start + cells - 1);
+                    continue 'dims;
+                }
+            }
+            let fixed = rng.random_range(0..extent);
+            lo.push(fixed);
+            hi.push(fixed);
+        }
+        BoxRegion::new(lo, hi)
+    }
+}
+
+enum SpanLen {
+    Full,
+    Cells(u64),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cube::disk_chunk;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(1)
+    }
+
+    #[test]
+    fn q1_is_an_orderday_beam() {
+        let chunk = disk_chunk();
+        let r = OlapQuery::Q1.region(&chunk, &mut rng());
+        assert_eq!(r.extent(0), 591);
+        for d in 1..4 {
+            assert_eq!(r.extent(d), 1);
+        }
+        assert!(r.fits(&chunk));
+        assert!(OlapQuery::Q1.is_beam());
+    }
+
+    #[test]
+    fn q2_is_a_nation_beam() {
+        let chunk = disk_chunk();
+        let r = OlapQuery::Q2.region(&chunk, &mut rng());
+        assert_eq!(r.extent(2), 25);
+        assert_eq!(r.extent(0), 1);
+        assert!(OlapQuery::Q2.is_beam());
+    }
+
+    #[test]
+    fn q3_spans_orderday_and_quantity() {
+        let chunk = disk_chunk();
+        let r = OlapQuery::Q3.region(&chunk, &mut rng());
+        assert_eq!(r.extent(0), 183); // one year of 2-day cells
+        assert_eq!(r.extent(1), 1);
+        assert_eq!(r.extent(2), 1);
+        assert_eq!(r.extent(3), 25);
+        assert!(!OlapQuery::Q3.is_beam());
+    }
+
+    #[test]
+    fn q4_spans_three_dims() {
+        let chunk = disk_chunk();
+        let r = OlapQuery::Q4.region(&chunk, &mut rng());
+        assert_eq!(r.cells(), 183 * 25 * 25);
+    }
+
+    #[test]
+    fn q5_is_a_10x10x10x10_cube() {
+        let chunk = disk_chunk();
+        let r = OlapQuery::Q5.region(&chunk, &mut rng());
+        assert_eq!(r.cells(), 10_000);
+    }
+
+    #[test]
+    fn regions_always_fit_small_chunks() {
+        let chunk = crate::cube::small_chunk();
+        let mut rng = rng();
+        for q in ALL_QUERIES {
+            for _ in 0..50 {
+                let r = q.region(&chunk, &mut rng);
+                assert!(r.fits(&chunk), "{q:?} region {r:?}");
+            }
+        }
+    }
+}

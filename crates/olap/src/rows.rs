@@ -1,0 +1,125 @@
+//! Synthetic TPC-H-shaped row generator.
+//!
+//! The paper builds its cube from a 100 GB TPC-H load; for I/O-time
+//! experiments only cell coordinates matter, but this generator lets the
+//! whole pipeline (rows → cube cells → placement) run end to end.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use multimap_core::GridSpec;
+
+/// One synthetic line item, pre-bucketed to cube coordinates.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LineItemRow {
+    /// Order date in days since the epoch of the dataset (0..2361).
+    pub order_day: u64,
+    /// Product group (0..150).
+    pub product: u64,
+    /// Customer nation (0..25).
+    pub nation: u64,
+    /// Order quantity (0..50, i.e. quantity-1).
+    pub quantity: u64,
+    /// Profit contribution of the row.
+    pub profit: f64,
+}
+
+impl LineItemRow {
+    /// Cube cell of this row after the 2-day OrderDay roll-up.
+    pub fn rolled_cell(&self) -> [u64; 4] {
+        [self.order_day / 2, self.product, self.nation, self.quantity]
+    }
+}
+
+/// Generator parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct RowGenConfig {
+    /// Rows to generate.
+    pub rows: u64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for RowGenConfig {
+    fn default() -> Self {
+        RowGenConfig {
+            rows: 100_000,
+            seed: 0xDECAF,
+        }
+    }
+}
+
+/// Generate `cfg.rows` uniformly distributed rows.
+pub fn generate_rows(cfg: &RowGenConfig) -> Vec<LineItemRow> {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    (0..cfg.rows)
+        .map(|_| LineItemRow {
+            order_day: rng.random_range(0..2361),
+            product: rng.random_range(0..150),
+            nation: rng.random_range(0..25),
+            quantity: rng.random_range(0..50),
+            profit: rng.random_range(0.0..1000.0),
+        })
+        .collect()
+}
+
+/// Histogram rows into cells of the rolled-up cube; returns points per
+/// linear cell index.
+pub fn load_into_cube(rows: &[LineItemRow], cube: &GridSpec) -> Vec<u32> {
+    assert_eq!(cube.ndims(), 4);
+    let mut counts = vec![0u32; cube.cells() as usize];
+    for row in rows {
+        let cell = row.rolled_cell();
+        debug_assert!(cube.contains(&cell));
+        counts[cube.linear_index(&cell) as usize] += 1;
+    }
+    counts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cube::rolled_up_cube;
+
+    #[test]
+    fn rows_are_within_cube_bounds() {
+        let rows = generate_rows(&RowGenConfig {
+            rows: 5_000,
+            seed: 1,
+        });
+        let cube = rolled_up_cube();
+        for r in &rows {
+            assert!(cube.contains(&r.rolled_cell()));
+        }
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let cfg = RowGenConfig { rows: 100, seed: 9 };
+        assert_eq!(generate_rows(&cfg), generate_rows(&cfg));
+    }
+
+    #[test]
+    fn rollup_buckets_two_days() {
+        let row = LineItemRow {
+            order_day: 7,
+            product: 3,
+            nation: 1,
+            quantity: 10,
+            profit: 1.0,
+        };
+        assert_eq!(row.rolled_cell(), [3, 3, 1, 10]);
+    }
+
+    #[test]
+    fn histogram_counts_every_row() {
+        let rows = generate_rows(&RowGenConfig {
+            rows: 2_000,
+            seed: 2,
+        });
+        let cube = rolled_up_cube();
+        let counts = load_into_cube(&rows, &cube);
+        let total: u64 = counts.iter().map(|&c| c as u64).sum();
+        assert_eq!(total, 2_000);
+    }
+}

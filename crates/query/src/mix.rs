@@ -1,0 +1,231 @@
+//! Mixed workloads: weighted blends of beam and range queries, executed
+//! as one measured batch — the way a spatial database sees traffic.
+
+use multimap_core::{BoxRegion, GridSpec, Mapping};
+use rand::RngExt;
+
+use crate::executor::{QueryExecutor, QueryResult};
+use crate::workload::{random_anchor, random_range_with_edge, WorkloadRng};
+
+/// One query archetype in a mix.
+#[derive(Clone, Debug, PartialEq)]
+pub enum QueryKind {
+    /// A beam along the given dimension through a random anchor.
+    Beam {
+        /// Dimension the beam runs along.
+        dim: usize,
+    },
+    /// A random cube range of the given edge length (cells).
+    Range {
+        /// Edge length in cells (clamped per dimension).
+        edge: u64,
+    },
+}
+
+/// A weighted query archetype.
+#[derive(Clone, Debug, PartialEq)]
+pub struct MixEntry {
+    /// The query shape.
+    pub kind: QueryKind,
+    /// Relative weight (probability mass) of this entry.
+    pub weight: f64,
+}
+
+/// A workload mix: archetypes plus the number of queries to draw.
+#[derive(Clone, Debug)]
+pub struct WorkloadMix {
+    entries: Vec<MixEntry>,
+    queries: usize,
+}
+
+/// Per-archetype and overall outcome of a mix run.
+#[derive(Clone, Debug, Default)]
+pub struct MixReport {
+    /// Results per archetype, in the mix's entry order.
+    pub per_entry: Vec<QueryResult>,
+    /// Aggregate over the whole run.
+    pub total: QueryResult,
+}
+
+impl MixReport {
+    /// Queries per simulated second the disk sustained for this mix.
+    pub fn queries_per_second(&self, queries: u64) -> f64 {
+        if self.total.total_io_ms == 0.0 {
+            0.0
+        } else {
+            queries as f64 * 1000.0 / self.total.total_io_ms
+        }
+    }
+}
+
+impl WorkloadMix {
+    /// A mix of `queries` draws over the given entries.
+    ///
+    /// # Panics
+    /// Panics if no entry has positive weight.
+    pub fn new(entries: Vec<MixEntry>, queries: usize) -> Self {
+        assert!(
+            entries.iter().any(|e| e.weight > 0.0),
+            "mix needs at least one positively weighted entry"
+        );
+        WorkloadMix { entries, queries }
+    }
+
+    /// The classic OLAP-ish default: mostly small ranges, some beams.
+    pub fn default_mix(grid: &GridSpec, queries: usize) -> Self {
+        let edge = (grid.cells() as f64 * 0.001).powf(1.0 / grid.ndims() as f64) as u64;
+        WorkloadMix::new(
+            vec![
+                MixEntry {
+                    kind: QueryKind::Range { edge: edge.max(2) },
+                    weight: 0.6,
+                },
+                MixEntry {
+                    kind: QueryKind::Beam { dim: 0 },
+                    weight: 0.2,
+                },
+                MixEntry {
+                    kind: QueryKind::Beam { dim: 1 },
+                    weight: 0.2,
+                },
+            ],
+            queries,
+        )
+    }
+
+    /// Draw an entry index according to the weights.
+    fn draw(&self, rng: &mut WorkloadRng) -> usize {
+        let total: f64 = self.entries.iter().map(|e| e.weight.max(0.0)).sum();
+        let mut x = rng.random_range(0.0..total);
+        for (i, e) in self.entries.iter().enumerate() {
+            let w = e.weight.max(0.0);
+            if x < w {
+                return i;
+            }
+            x -= w;
+        }
+        self.entries.len() - 1
+    }
+
+    /// Execute the mix against one mapping, drawing queries from `rng`.
+    ///
+    /// The disk idles briefly between queries (modelling think time) so
+    /// rotational phases decorrelate.
+    pub fn run(
+        &self,
+        exec: &QueryExecutor<'_>,
+        mapping: &dyn Mapping,
+        rng: &mut WorkloadRng,
+        idle_between_ms: f64,
+    ) -> MixReport {
+        let grid = mapping.grid().clone();
+        let mut report = MixReport {
+            per_entry: vec![QueryResult::default(); self.entries.len()],
+            ..MixReport::default()
+        };
+        for _ in 0..self.queries {
+            let i = self.draw(rng);
+            let result = match self.entries[i].kind {
+                QueryKind::Beam { dim } => {
+                    let anchor = random_anchor(&grid, rng);
+                    let region = BoxRegion::beam(&grid, dim, &anchor);
+                    exec.beam(mapping, &region)
+                }
+                QueryKind::Range { edge } => {
+                    let region = random_range_with_edge(&grid, edge, rng);
+                    exec.range(mapping, &region)
+                }
+            };
+            report.per_entry[i].accumulate(&result);
+            report.total.accumulate(&result);
+        }
+        let _ = idle_between_ms; // idling is handled by the volume owner
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::workload_rng;
+    use multimap_core::{MultiMapping, NaiveMapping};
+    use multimap_disksim::profiles;
+    use multimap_lvm::LogicalVolume;
+
+    fn setup() -> (LogicalVolume, GridSpec) {
+        (
+            LogicalVolume::new(profiles::small(), 1),
+            GridSpec::new([60u64, 8, 6]),
+        )
+    }
+
+    #[test]
+    fn mix_runs_all_queries() {
+        let (vol, grid) = setup();
+        let naive = NaiveMapping::new(grid.clone(), 0);
+        let exec = QueryExecutor::new(&vol, 0);
+        let mix = WorkloadMix::default_mix(&grid, 30);
+        let mut rng = workload_rng(9);
+        let report = mix.run(&exec, &naive, &mut rng, 0.0);
+        let per_entry_cells: u64 = report.per_entry.iter().map(|r| r.cells).sum();
+        assert_eq!(per_entry_cells, report.total.cells);
+        assert!(report.total.total_io_ms > 0.0);
+        assert!(report.queries_per_second(30) > 0.0);
+    }
+
+    #[test]
+    fn weights_bias_the_draw() {
+        let (vol, grid) = setup();
+        let naive = NaiveMapping::new(grid.clone(), 0);
+        let exec = QueryExecutor::new(&vol, 0);
+        let mix = WorkloadMix::new(
+            vec![
+                MixEntry {
+                    kind: QueryKind::Beam { dim: 0 },
+                    weight: 1.0,
+                },
+                MixEntry {
+                    kind: QueryKind::Beam { dim: 2 },
+                    weight: 0.0,
+                },
+            ],
+            20,
+        );
+        let mut rng = workload_rng(4);
+        let report = mix.run(&exec, &naive, &mut rng, 0.0);
+        assert_eq!(report.per_entry[1].cells, 0);
+        assert_eq!(report.per_entry[0].cells, 20 * 60);
+    }
+
+    #[test]
+    fn multimap_wins_a_cross_dimensional_mix() {
+        let (vol, grid) = setup();
+        let naive = NaiveMapping::new(grid.clone(), 0);
+        let mm = MultiMapping::new(vol.geometry(), grid.clone()).unwrap();
+        let exec = QueryExecutor::new(&vol, 0);
+        let mix = WorkloadMix::new(
+            vec![
+                MixEntry {
+                    kind: QueryKind::Beam { dim: 1 },
+                    weight: 0.5,
+                },
+                MixEntry {
+                    kind: QueryKind::Beam { dim: 2 },
+                    weight: 0.5,
+                },
+            ],
+            20,
+        );
+        vol.reset();
+        let rn = mix.run(&exec, &naive, &mut workload_rng(5), 0.0);
+        vol.reset();
+        let rm = mix.run(&exec, &mm, &mut workload_rng(5), 0.0);
+        assert!(rm.total.total_io_ms < rn.total.total_io_ms);
+    }
+
+    #[test]
+    #[should_panic(expected = "positively weighted")]
+    fn empty_mix_panics() {
+        let _ = WorkloadMix::new(vec![], 5);
+    }
+}

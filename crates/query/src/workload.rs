@@ -1,0 +1,124 @@
+//! Deterministic workload generators for the paper's experiments.
+//!
+//! Beam queries pick random fixed coordinates for all but one dimension;
+//! range queries fetch an equal-length N-D cube at a given selectivity
+//! with a random corner (Section 5.1).
+
+use multimap_core::{BoxRegion, Coord, GridSpec};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// The RNG used by every workload generator (seeded for reproducibility).
+pub type WorkloadRng = StdRng;
+
+/// A seeded workload RNG.
+pub fn workload_rng(seed: u64) -> WorkloadRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// Random anchor cell within the grid.
+pub fn random_anchor(grid: &GridSpec, rng: &mut WorkloadRng) -> Coord {
+    grid.extents()
+        .iter()
+        .map(|&e| rng.random_range(0..e))
+        .collect()
+}
+
+/// Edge length of the equal-sided N-D cube whose volume is
+/// `selectivity_pct` percent of the grid, clamped to `1..=min extent`.
+pub fn range_edge_for_selectivity(grid: &GridSpec, selectivity_pct: f64) -> u64 {
+    assert!(selectivity_pct > 0.0, "selectivity must be positive");
+    let n = grid.ndims() as f64;
+    let target = grid.cells() as f64 * selectivity_pct / 100.0;
+    let edge = target.powf(1.0 / n).round().max(1.0) as u64;
+    let min_extent = grid.extents().iter().copied().min().expect("non-empty");
+    edge.min(min_extent)
+}
+
+/// Random equal-length cube range at the given selectivity.
+pub fn random_range(grid: &GridSpec, selectivity_pct: f64, rng: &mut WorkloadRng) -> BoxRegion {
+    let edge = range_edge_for_selectivity(grid, selectivity_pct);
+    random_range_with_edge(grid, edge, rng)
+}
+
+/// Random cube range with an explicit edge length (clamped per
+/// dimension).
+pub fn random_range_with_edge(grid: &GridSpec, edge: u64, rng: &mut WorkloadRng) -> BoxRegion {
+    let mut lo = Vec::with_capacity(grid.ndims());
+    let mut hi = Vec::with_capacity(grid.ndims());
+    for &e in grid.extents() {
+        let len = edge.clamp(1, e);
+        let start = rng.random_range(0..=(e - len));
+        lo.push(start);
+        hi.push(start + len - 1);
+    }
+    BoxRegion::new(lo, hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn anchors_stay_in_grid() {
+        let grid = GridSpec::new([10u64, 20, 5]);
+        let mut rng = workload_rng(42);
+        for _ in 0..200 {
+            let a = random_anchor(&grid, &mut rng);
+            assert!(grid.contains(&a));
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let grid = GridSpec::new([100u64, 100]);
+        let a: Vec<_> = {
+            let mut rng = workload_rng(7);
+            (0..10).map(|_| random_anchor(&grid, &mut rng)).collect()
+        };
+        let b: Vec<_> = {
+            let mut rng = workload_rng(7);
+            (0..10).map(|_| random_anchor(&grid, &mut rng)).collect()
+        };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn selectivity_edges() {
+        let grid = GridSpec::new([100u64, 100, 100]);
+        // 100% selectivity: the whole cube.
+        assert_eq!(range_edge_for_selectivity(&grid, 100.0), 100);
+        // 0.1% of 1e6 = 1000 cells -> edge 10.
+        assert_eq!(range_edge_for_selectivity(&grid, 0.1), 10);
+        // Tiny selectivities clamp to one cell.
+        assert_eq!(range_edge_for_selectivity(&grid, 1e-9), 1);
+    }
+
+    #[test]
+    fn ranges_fit_grid_and_have_requested_volume() {
+        let grid = GridSpec::new([50u64, 60, 70]);
+        let mut rng = workload_rng(3);
+        for _ in 0..100 {
+            let r = random_range(&grid, 1.0, &mut rng);
+            assert!(r.fits(&grid));
+            let edge = range_edge_for_selectivity(&grid, 1.0);
+            assert_eq!(r.cells(), edge.pow(3));
+        }
+    }
+
+    #[test]
+    fn edge_clamps_to_short_dimensions() {
+        let grid = GridSpec::new([100u64, 4]);
+        let mut rng = workload_rng(9);
+        let r = random_range_with_edge(&grid, 10, &mut rng);
+        assert_eq!(r.extent(1), 4);
+        assert_eq!(r.extent(0), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_selectivity_panics() {
+        let grid = GridSpec::new([10u64]);
+        range_edge_for_selectivity(&grid, 0.0);
+    }
+}

@@ -1,0 +1,114 @@
+//! Z-order (Morton) curve: bit-interleaving of coordinates.
+
+use crate::curve::{check_coords, check_shape, CurveError, SpaceFillingCurve};
+
+/// The Z-order curve of `dims` dimensions with `bits` bits per dimension.
+///
+/// The index interleaves coordinate bits most-significant first, cycling
+/// through dimensions: bit `b` of dimension `d` lands at index bit
+/// `b * dims + (dims - 1 - d)`, so dimension 0 provides the most
+/// significant bit of each group (row-major-like tie-breaking).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ZCurve {
+    dims: usize,
+    bits: u32,
+}
+
+impl ZCurve {
+    /// Create a Z-order curve; `dims * bits` must be in `1..=64`.
+    pub fn new(dims: usize, bits: u32) -> Result<Self, CurveError> {
+        check_shape(dims, bits)?;
+        Ok(ZCurve { dims, bits })
+    }
+}
+
+impl SpaceFillingCurve for ZCurve {
+    fn dims(&self) -> usize {
+        self.dims
+    }
+
+    fn bits(&self) -> u32 {
+        self.bits
+    }
+
+    fn try_index(&self, coords: &[u64]) -> Result<u64, CurveError> {
+        check_coords(coords, self.dims, self.bits)?;
+        let mut key = 0u64;
+        for b in (0..self.bits).rev() {
+            for &c in coords {
+                key = (key << 1) | ((c >> b) & 1);
+            }
+        }
+        Ok(key)
+    }
+
+    fn coords_into(&self, index: u64, out: &mut [u64]) {
+        assert_eq!(out.len(), self.dims, "coordinate arity mismatch");
+        out.fill(0);
+        let total = self.dims as u32 * self.bits;
+        let mut bit = total;
+        for b in (0..self.bits).rev() {
+            for c in out.iter_mut() {
+                bit -= 1;
+                *c |= ((index >> bit) & 1) << b;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_2d_order() {
+        // 2-D, 1 bit: Z visits (0,0) (0,1) (1,0) (1,1) with dim0 as the
+        // most significant interleaved bit.
+        let z = ZCurve::new(2, 1).unwrap();
+        let visit: Vec<Vec<u64>> = (0..4).map(|i| z.coords(i)).collect();
+        assert_eq!(visit, vec![vec![0, 0], vec![0, 1], vec![1, 0], vec![1, 1]]);
+    }
+
+    #[test]
+    fn known_2d_interleave() {
+        let z = ZCurve::new(2, 2).unwrap();
+        // coord (x0=0b10, x1=0b11) -> bits interleaved msb-first: 1 1 0 1
+        assert_eq!(z.index(&[0b10, 0b11]), 0b1101);
+    }
+
+    #[test]
+    fn roundtrip_exhaustive_3d() {
+        let z = ZCurve::new(3, 3).unwrap();
+        for i in 0..z.len() {
+            let c = z.coords(i);
+            assert_eq!(z.index(&c), i);
+        }
+    }
+
+    #[test]
+    fn bijective_on_small_cube() {
+        let z = ZCurve::new(2, 3).unwrap();
+        let mut seen = [false; 64];
+        for x in 0..8u64 {
+            for y in 0..8u64 {
+                let i = z.index(&[x, y]) as usize;
+                assert!(!seen[i], "collision at {i}");
+                seen[i] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn out_of_range_coordinate_rejected() {
+        let z = ZCurve::new(2, 2).unwrap();
+        assert!(z.try_index(&[4, 0]).is_err());
+    }
+
+    #[test]
+    fn full_width_single_dim() {
+        let z = ZCurve::new(1, 64).unwrap();
+        assert_eq!(z.index(&[u64::MAX]), u64::MAX);
+        assert_eq!(z.coords(u64::MAX), vec![u64::MAX]);
+    }
+}

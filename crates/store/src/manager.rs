@@ -1,0 +1,556 @@
+//! The storage manager: tables, loading, updates, and queries.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use multimap_core::{
+    hilbert_mapping, zorder_mapping, BoxRegion, CellStore, GridSpec, LoadReport, Mapping,
+    MappingError, MultiMapOptions, MultiMapping, NaiveMapping, UpdateConfig,
+};
+use multimap_disksim::{DiskGeometry, Lbn};
+use multimap_lvm::LogicalVolume;
+use multimap_query::{service_lbns, QueryExecutor, QueryResult};
+
+use crate::alloc::{ZoneAllocator, ZoneGrant};
+
+/// Which placement a table uses.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LayoutChoice {
+    /// Let the advisor pick (MultiMap when it clears the space budget).
+    Auto,
+    /// Force MultiMap.
+    MultiMap,
+    /// Force the naive row-major layout.
+    Naive,
+    /// Force the Z-order layout.
+    ZOrder,
+    /// Force the Hilbert layout.
+    Hilbert,
+}
+
+/// Errors from the storage manager.
+#[derive(Debug)]
+pub enum StoreError {
+    /// A table with this name already exists.
+    TableExists(String),
+    /// No table with this name.
+    NoSuchTable(String),
+    /// No disk has enough free zones for the table.
+    OutOfSpace {
+        /// What could not be placed.
+        what: String,
+    },
+    /// The mapping layer rejected the table.
+    Mapping(MappingError),
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::TableExists(n) => write!(f, "table {n:?} already exists"),
+            StoreError::NoSuchTable(n) => write!(f, "no table named {n:?}"),
+            StoreError::OutOfSpace { what } => write!(f, "out of space: {what}"),
+            StoreError::Mapping(e) => write!(f, "mapping error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+impl From<MappingError> for StoreError {
+    fn from(e: MappingError) -> Self {
+        StoreError::Mapping(e)
+    }
+}
+
+/// Result alias for the store.
+pub type Result<T> = std::result::Result<T, StoreError>;
+
+/// One table: a placed grid plus its cell occupancy.
+pub struct SpatialTable {
+    name: String,
+    grant: ZoneGrant,
+    mapping: Box<dyn Mapping>,
+    cells: CellStore,
+    loaded: bool,
+}
+
+impl SpatialTable {
+    /// Table name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The dataset grid.
+    pub fn grid(&self) -> &GridSpec {
+        self.mapping.grid()
+    }
+
+    /// The placement in use.
+    pub fn mapping(&self) -> &dyn Mapping {
+        self.mapping.as_ref()
+    }
+
+    /// The zone grant backing the table.
+    pub fn grant(&self) -> ZoneGrant {
+        self.grant
+    }
+
+    /// Whether the table has been bulk-loaded.
+    pub fn is_loaded(&self) -> bool {
+        self.loaded
+    }
+
+    /// Occupancy / overflow bookkeeping.
+    pub fn cells(&self) -> &CellStore {
+        &self.cells
+    }
+}
+
+/// The database storage manager of the paper's prototype: owns the
+/// logical volume, allocates zone ranges to tables, and runs loads,
+/// updates and queries against them.
+pub struct StorageManager {
+    volume: LogicalVolume,
+    allocator: ZoneAllocator,
+    tables: BTreeMap<String, SpatialTable>,
+    update_config: UpdateConfig,
+}
+
+impl StorageManager {
+    /// A manager over `ndisks` disks of the given geometry.
+    pub fn new(geometry: DiskGeometry, ndisks: usize) -> Self {
+        StorageManager {
+            volume: LogicalVolume::new(geometry, ndisks),
+            allocator: ZoneAllocator::new(ndisks),
+            tables: BTreeMap::new(),
+            update_config: UpdateConfig::default(),
+        }
+    }
+
+    /// Override the update tunables used for new tables.
+    pub fn set_update_config(&mut self, cfg: UpdateConfig) {
+        self.update_config = cfg;
+    }
+
+    /// The underlying volume (for direct experimentation).
+    pub fn volume(&self) -> &LogicalVolume {
+        &self.volume
+    }
+
+    /// Existing table names.
+    pub fn table_names(&self) -> Vec<&str> {
+        self.tables.keys().map(|s| s.as_str()).collect()
+    }
+
+    /// Look up a table.
+    pub fn table(&self, name: &str) -> Result<&SpatialTable> {
+        self.tables
+            .get(name)
+            .ok_or_else(|| StoreError::NoSuchTable(name.into()))
+    }
+
+    /// Create a table: allocate zones on the least-loaded disk and build
+    /// the chosen placement inside them.
+    pub fn create_table(
+        &mut self,
+        name: impl Into<String>,
+        grid: GridSpec,
+        layout: LayoutChoice,
+    ) -> Result<()> {
+        let name = name.into();
+        if self.tables.contains_key(&name) {
+            return Err(StoreError::TableExists(name));
+        }
+        let geom = self.volume.geometry().clone();
+        let disk = self.allocator.most_free_disk(&geom);
+
+        let layout = match layout {
+            LayoutChoice::Auto => {
+                // Advisor semantics, evaluated at the grant cursor.
+                match multimap_core::advise(&geom, &grid, &multimap_core::AdvisorConfig::default())
+                {
+                    multimap_core::Advice::UseMultiMap { .. } => LayoutChoice::MultiMap,
+                    multimap_core::Advice::UseLinear { .. } => LayoutChoice::Naive,
+                }
+            }
+            other => other,
+        };
+
+        let (grant, mapping): (ZoneGrant, Box<dyn Mapping>) = match layout {
+            LayoutChoice::MultiMap => {
+                let first_zone = self.allocator.cursor(disk);
+                if first_zone >= geom.zones().len() {
+                    return Err(StoreError::OutOfSpace {
+                        what: format!("table {name:?} (no zones left on disk {disk})"),
+                    });
+                }
+                let m = MultiMapping::with_options(
+                    &geom,
+                    grid,
+                    MultiMapOptions {
+                        first_zone,
+                        shape_override: None,
+                        zone_limit: None,
+                    },
+                )?;
+                let last_zone = m
+                    .layout()
+                    .zones()
+                    .last()
+                    .expect("layout uses at least one zone")
+                    .zone_index;
+                let zones = last_zone + 1 - first_zone;
+                let grant = self
+                    .allocator
+                    .grant(&geom, disk, zones)
+                    .expect("cursor was checked");
+                (grant, Box::new(m))
+            }
+            LayoutChoice::Naive | LayoutChoice::ZOrder | LayoutChoice::Hilbert => {
+                let blocks = grid.cells(); // one block per cell
+                let grant = self
+                    .allocator
+                    .grant_blocks(&geom, disk, blocks)
+                    .ok_or_else(|| StoreError::OutOfSpace {
+                        what: format!("table {name:?} ({blocks} blocks)"),
+                    })?;
+                let m: Box<dyn Mapping> = match layout {
+                    LayoutChoice::Naive => Box::new(NaiveMapping::new(grid, grant.base_lbn)),
+                    LayoutChoice::ZOrder => Box::new(zorder_mapping(grid, grant.base_lbn, 1)?),
+                    LayoutChoice::Hilbert => Box::new(hilbert_mapping(grid, grant.base_lbn, 1)?),
+                    _ => unreachable!(),
+                };
+                (grant, m)
+            }
+            LayoutChoice::Auto => unreachable!("resolved above"),
+        };
+
+        let overflow_base = grant.base_lbn + grant.blocks.min(self.spanned(&*mapping, &grant));
+        let cells = CellStore::new(self.update_config, overflow_base);
+        self.tables.insert(
+            name.clone(),
+            SpatialTable {
+                name,
+                grant,
+                mapping,
+                cells,
+                loaded: false,
+            },
+        );
+        Ok(())
+    }
+
+    /// Blocks the mapping spans within its grant.
+    fn spanned(&self, mapping: &dyn Mapping, grant: &ZoneGrant) -> u64 {
+        // Linear mappings span exactly their blocks; MultiMap spans its
+        // layout. Either way the overflow area starts after the span.
+        mapping.blocks_spanned().min(grant.blocks)
+    }
+
+    /// Bulk-load the table: write every cell (sorted, coalesced) and mark
+    /// occupancy at the configured fill factor.
+    pub fn load(&mut self, name: &str) -> Result<LoadReport> {
+        let table = self
+            .tables
+            .get_mut(name)
+            .ok_or_else(|| StoreError::NoSuchTable(name.into()))?;
+        let report = self.volume.with_disk(table.grant.disk, |sim| {
+            multimap_core::bulk_load(sim, table.mapping.as_ref())
+        })?;
+        let cells = table.grid().cells();
+        for c in 0..cells {
+            table.cells.bulk_load(c);
+        }
+        table.loaded = true;
+        Ok(report)
+    }
+
+    /// Insert one point at `coord`: updates occupancy and writes the
+    /// affected block (plus a new overflow page when one is allocated).
+    pub fn insert(&mut self, name: &str, coord: &[u64]) -> Result<()> {
+        let table = self
+            .tables
+            .get_mut(name)
+            .ok_or_else(|| StoreError::NoSuchTable(name.into()))?;
+        let lbn = table.mapping.lbn_of(coord)?;
+        let cell = table.grid().linear_index(coord);
+        let pages_before = table.cells.overflow_lbns(cell).len();
+        table.cells.insert(cell);
+        // Space budget: overflow pages must stay inside the grant.
+        let next = table.cells.next_overflow_lbn();
+        if next > table.grant.base_lbn + table.grant.blocks {
+            return Err(StoreError::OutOfSpace {
+                what: format!("overflow area of table {name:?}"),
+            });
+        }
+        let mut writes: Vec<Lbn> = vec![lbn];
+        if table.cells.overflow_lbns(cell).len() > pages_before {
+            writes.push(*table.cells.overflow_lbns(cell).last().expect("just added"));
+        }
+        self.volume.with_disk(table.grant.disk, |sim| {
+            for w in writes {
+                sim.service_write(multimap_disksim::Request::single(w))
+                    .expect("grant LBNs are on disk");
+            }
+        });
+        Ok(())
+    }
+
+    /// Delete one point at `coord` (no physical I/O beyond the in-memory
+    /// occupancy update; reclamation happens at [`Self::reorganize`]).
+    pub fn delete(&mut self, name: &str, coord: &[u64]) -> Result<()> {
+        let table = self
+            .tables
+            .get_mut(name)
+            .ok_or_else(|| StoreError::NoSuchTable(name.into()))?;
+        if !table.grid().contains(coord) {
+            return Err(StoreError::Mapping(MappingError::CoordOutOfGrid {
+                coord: coord.to_vec(),
+            }));
+        }
+        let cell = table.grid().linear_index(coord);
+        table.cells.delete(cell);
+        Ok(())
+    }
+
+    /// Run a beam query (cells plus their overflow chains).
+    pub fn beam(&self, name: &str, dim: usize, anchor: &[u64]) -> Result<QueryResult> {
+        let table = self.table(name)?;
+        let region = BoxRegion::beam(table.grid(), dim, anchor);
+        let exec = QueryExecutor::new(&self.volume, table.grant.disk);
+        let mut result = exec.beam(table.mapping.as_ref(), &region);
+        result.accumulate(&self.read_overflow(table, &region));
+        Ok(result)
+    }
+
+    /// Run a range query (cells plus their overflow chains).
+    pub fn range(&self, name: &str, region: &BoxRegion) -> Result<QueryResult> {
+        let table = self.table(name)?;
+        let exec = QueryExecutor::new(&self.volume, table.grant.disk);
+        let mut result = exec.range(table.mapping.as_ref(), region);
+        result.accumulate(&self.read_overflow(table, region));
+        Ok(result)
+    }
+
+    /// Reorganise a table (Section 4.6: "space reclaiming … done by
+    /// dataset reorganization, which is an expensive operation"):
+    /// rewrite every cell sequentially, folding overflow points back into
+    /// primary pages and resetting occupancy to the fill factor. Returns
+    /// the rewrite cost.
+    pub fn reorganize(&mut self, name: &str) -> Result<LoadReport> {
+        let table = self
+            .tables
+            .get_mut(name)
+            .ok_or_else(|| StoreError::NoSuchTable(name.into()))?;
+        let report = self.volume.with_disk(table.grant.disk, |sim| {
+            multimap_core::bulk_load(sim, table.mapping.as_ref())
+        })?;
+        // Fresh occupancy at the fill factor; overflow chains dissolve.
+        let overflow_base =
+            table.grant.base_lbn + table.mapping.blocks_spanned().min(table.grant.blocks);
+        table.cells = CellStore::new(self.update_config, overflow_base);
+        for c in 0..table.grid().cells() {
+            table.cells.bulk_load(c);
+        }
+        Ok(report)
+    }
+
+    /// Cells currently below the reclaim threshold across a table —
+    /// when this grows large, [`Self::reorganize`] is worthwhile.
+    pub fn underflowing_cells(&self, name: &str) -> Result<Vec<u64>> {
+        Ok(self.table(name)?.cells.underflowing_cells())
+    }
+
+    /// Drop a table. Its zone grant is *not* reused (the allocator is a
+    /// bump allocator, like the paper's static allocation).
+    pub fn drop_table(&mut self, name: &str) -> Result<()> {
+        self.tables
+            .remove(name)
+            .map(|_| ())
+            .ok_or_else(|| StoreError::NoSuchTable(name.into()))
+    }
+
+    /// Fetch the overflow chains of every cell in `region` (often empty).
+    fn read_overflow(&self, table: &SpatialTable, region: &BoxRegion) -> QueryResult {
+        let grid = table.grid();
+        let mut lbns: Vec<Lbn> = Vec::new();
+        region.for_each_cell(|c| {
+            let cell = grid.linear_index(c);
+            lbns.extend_from_slice(table.cells.overflow_lbns(cell));
+        });
+        if lbns.is_empty() {
+            return QueryResult::default();
+        }
+        service_lbns(&self.volume, table.grant.disk, &lbns, false)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use multimap_core::MappingKind;
+    use multimap_disksim::profiles;
+
+    fn manager() -> StorageManager {
+        StorageManager::new(profiles::small(), 2)
+    }
+
+    #[test]
+    fn create_load_query_roundtrip() {
+        let mut m = manager();
+        m.create_table("cube", GridSpec::new([80u64, 8, 4]), LayoutChoice::MultiMap)
+            .unwrap();
+        assert_eq!(m.table_names(), vec!["cube"]);
+        let report = m.load("cube").unwrap();
+        assert_eq!(report.cells, 80 * 8 * 4);
+        assert!(m.table("cube").unwrap().is_loaded());
+        let r = m.beam("cube", 1, &[10, 0, 2]).unwrap();
+        assert_eq!(r.cells, 8);
+        let r = m
+            .range("cube", &BoxRegion::new([0u64, 0, 0], [9u64, 3, 1]))
+            .unwrap();
+        assert_eq!(r.cells, 80);
+    }
+
+    #[test]
+    fn duplicate_and_missing_tables_error() {
+        let mut m = manager();
+        m.create_table("t", GridSpec::new([10u64, 4]), LayoutChoice::Naive)
+            .unwrap();
+        assert!(matches!(
+            m.create_table("t", GridSpec::new([10u64, 4]), LayoutChoice::Naive),
+            Err(StoreError::TableExists(_))
+        ));
+        assert!(matches!(m.load("nope"), Err(StoreError::NoSuchTable(_))));
+        assert!(matches!(
+            m.beam("nope", 0, &[0, 0]),
+            Err(StoreError::NoSuchTable(_))
+        ));
+    }
+
+    #[test]
+    fn tables_get_disjoint_grants() {
+        let mut m = manager();
+        m.create_table("a", GridSpec::new([60u64, 6, 4]), LayoutChoice::MultiMap)
+            .unwrap();
+        m.create_table("b", GridSpec::new([60u64, 6, 4]), LayoutChoice::MultiMap)
+            .unwrap();
+        let (ga, gb) = (m.table("a").unwrap().grant(), m.table("b").unwrap().grant());
+        assert!(
+            ga.disk != gb.disk || ga.first_zone + ga.zones <= gb.first_zone,
+            "grants overlap: {ga:?} vs {gb:?}"
+        );
+    }
+
+    #[test]
+    fn auto_layout_uses_the_advisor() {
+        let mut m = manager();
+        // Dim0 spans most of the track -> MultiMap.
+        m.create_table("good", GridSpec::new([110u64, 8, 4]), LayoutChoice::Auto)
+            .unwrap();
+        assert_eq!(
+            m.table("good").unwrap().mapping().kind(),
+            MappingKind::MultiMap
+        );
+        // 6-D dataset on a D=32 disk still fits (N_max = 7), but a
+        // wasteful short-Dim0 grid falls back to Naive.
+        m.create_table("short", GridSpec::new([20u64, 4, 4]), LayoutChoice::Auto)
+            .unwrap();
+        assert_eq!(
+            m.table("short").unwrap().mapping().kind(),
+            MappingKind::Naive
+        );
+    }
+
+    #[test]
+    fn inserts_spill_to_overflow_and_queries_read_it() {
+        let mut m = manager();
+        m.set_update_config(UpdateConfig {
+            cell_capacity: 4,
+            fill_factor: 1.0,
+            reclaim_threshold: 0.25,
+        });
+        m.create_table("t", GridSpec::new([40u64, 6, 4]), LayoutChoice::MultiMap)
+            .unwrap();
+        m.load("t").unwrap();
+        // The cell is full after load; inserts overflow.
+        for _ in 0..5 {
+            m.insert("t", &[3, 2, 1]).unwrap();
+        }
+        let table = m.table("t").unwrap();
+        let cell = table.grid().linear_index(&[3, 2, 1]);
+        assert_eq!(table.cells().overflow_lbns(cell).len(), 2);
+        // A range over that cell now reads extra blocks.
+        let region = BoxRegion::new([3u64, 2, 1], [3u64, 2, 1]);
+        let r = m.range("t", &region).unwrap();
+        assert_eq!(r.cells, 1 + 2);
+    }
+
+    #[test]
+    fn reorganize_dissolves_overflow_chains() {
+        let mut m = manager();
+        m.set_update_config(UpdateConfig {
+            cell_capacity: 4,
+            fill_factor: 1.0,
+            reclaim_threshold: 0.25,
+        });
+        m.create_table("t", GridSpec::new([40u64, 6, 4]), LayoutChoice::MultiMap)
+            .unwrap();
+        m.load("t").unwrap();
+        for _ in 0..6 {
+            m.insert("t", &[1, 1, 1]).unwrap();
+        }
+        let cell = m.table("t").unwrap().grid().linear_index(&[1, 1, 1]);
+        assert!(!m.table("t").unwrap().cells().overflow_lbns(cell).is_empty());
+        let report = m.reorganize("t").unwrap();
+        assert_eq!(report.cells, 40 * 6 * 4);
+        assert!(m.table("t").unwrap().cells().overflow_lbns(cell).is_empty());
+    }
+
+    #[test]
+    fn drop_table_removes_it() {
+        let mut m = manager();
+        m.create_table("t", GridSpec::new([10u64, 4]), LayoutChoice::Naive)
+            .unwrap();
+        m.drop_table("t").unwrap();
+        assert!(matches!(m.table("t"), Err(StoreError::NoSuchTable(_))));
+        assert!(matches!(m.drop_table("t"), Err(StoreError::NoSuchTable(_))));
+        // The name can be recreated (new grant).
+        m.create_table("t", GridSpec::new([10u64, 4]), LayoutChoice::Naive)
+            .unwrap();
+    }
+
+    #[test]
+    fn underflow_reporting() {
+        let mut m = manager();
+        m.set_update_config(UpdateConfig {
+            cell_capacity: 8,
+            fill_factor: 0.5,
+            reclaim_threshold: 0.4,
+        });
+        m.create_table("t", GridSpec::new([10u64, 4]), LayoutChoice::Naive)
+            .unwrap();
+        m.load("t").unwrap();
+        assert!(m.underflowing_cells("t").unwrap().is_empty());
+        // Deleting below 40% of 8 = 3.2 flags the cell.
+        m.delete("t", &[3, 1]).unwrap();
+        m.delete("t", &[3, 1]).unwrap();
+        let cell = m.table("t").unwrap().grid().linear_index(&[3, 1]);
+        assert_eq!(m.underflowing_cells("t").unwrap(), vec![cell]);
+        assert!(m.underflowing_cells("nope").is_err());
+        assert!(m.delete("t", &[99, 0]).is_err());
+    }
+
+    #[test]
+    fn hilbert_and_zorder_tables_work() {
+        let mut m = manager();
+        for (name, layout) in [("z", LayoutChoice::ZOrder), ("h", LayoutChoice::Hilbert)] {
+            m.create_table(name, GridSpec::new([16u64, 16]), layout)
+                .unwrap();
+            m.load(name).unwrap();
+            let r = m.beam(name, 0, &[0, 7]).unwrap();
+            assert_eq!(r.cells, 16);
+        }
+    }
+}

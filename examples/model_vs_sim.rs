@@ -1,0 +1,79 @@
+//! Validate the analytical I/O-cost model (crates/model) against the
+//! simulator, the way the paper's tech report validates its model.
+//!
+//! Run with: `cargo run --release --example model_vs_sim`
+
+use multimap::core::{BoxRegion, GridSpec, MultiMapping, NaiveMapping};
+use multimap::disksim::profiles;
+use multimap::lvm::LogicalVolume;
+use multimap::model::{
+    multimap_beam_per_cell_ms, multimap_range_total_ms, naive_beam_per_cell_ms,
+    naive_range_total_ms, ModelParams,
+};
+use multimap::query::{random_anchor, random_range, workload_rng, QueryExecutor};
+
+fn main() {
+    let geom = profiles::cheetah_36es();
+    let grid = GridSpec::new([259u64, 64, 32]);
+    let params = ModelParams::from_geometry(&geom, 0);
+    let volume = LogicalVolume::new(geom.clone(), 1);
+    let naive = NaiveMapping::new(grid.clone(), 0);
+    let mm = MultiMapping::new(&geom, grid.clone()).unwrap();
+    let exec = QueryExecutor::new(&volume, 0);
+    let mut rng = workload_rng(17);
+
+    println!("disk: {} | dataset {:?}\n", geom.name, grid.extents());
+    println!("beam queries (ms/cell): simulated vs analytical model");
+    println!(
+        "{:>8} {:>10} {:>10} {:>7}  {:>10} {:>10} {:>7}",
+        "dim", "naive_sim", "naive_mod", "err%", "mm_sim", "mm_mod", "err%"
+    );
+    for dim in 0..3usize {
+        let anchor = random_anchor(&grid, &mut rng);
+        let region = BoxRegion::beam(&grid, dim, &anchor);
+        volume.reset();
+        let ns = exec.beam(&naive, &region).per_cell_ms();
+        let nm = naive_beam_per_cell_ms(&params, grid.extents(), dim);
+        volume.reset();
+        let ms_ = exec.beam(&mm, &region).per_cell_ms();
+        let mm_mod = multimap_beam_per_cell_ms(&params, grid.extents(), dim);
+        println!(
+            "{:>8} {:>10.3} {:>10.3} {:>6.1}%  {:>10.3} {:>10.3} {:>6.1}%",
+            dim,
+            ns,
+            nm,
+            100.0 * (ns - nm).abs() / ns,
+            ms_,
+            mm_mod,
+            100.0 * (ms_ - mm_mod).abs() / ms_
+        );
+    }
+
+    println!("\nrange queries (total ms): simulated vs analytical model");
+    println!(
+        "{:>8} {:>10} {:>10} {:>7}  {:>10} {:>10} {:>7}",
+        "sel%", "naive_sim", "naive_mod", "err%", "mm_sim", "mm_mod", "err%"
+    );
+    for sel in [0.01, 0.1, 1.0, 10.0] {
+        let region = random_range(&grid, sel, &mut rng);
+        let qext: Vec<u64> = (0..3).map(|d| region.extent(d)).collect();
+        volume.reset();
+        let ns = exec.range(&naive, &region).total_io_ms;
+        let nm = naive_range_total_ms(&params, grid.extents(), &qext);
+        volume.reset();
+        let ms_ = exec.range(&mm, &region).total_io_ms;
+        let mm_mod = multimap_range_total_ms(&params, grid.extents(), &qext);
+        println!(
+            "{:>8} {:>10.1} {:>10.1} {:>6.1}%  {:>10.1} {:>10.1} {:>6.1}%",
+            sel,
+            ns,
+            nm,
+            100.0 * (ns - nm).abs() / ns,
+            ms_,
+            mm_mod,
+            100.0 * (ms_ - mm_mod).abs() / ms_
+        );
+    }
+    println!("\n(The model ignores track skew accumulation and scheduler details,");
+    println!(" so expect agreement within tens of percent, not exactness.)");
+}

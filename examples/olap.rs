@@ -1,0 +1,73 @@
+//! OLAP demo (the paper's Section 5.5): run queries Q1–Q5 over a
+//! TPC-H-shaped 4-D cube chunk under all four placements.
+//!
+//! Run with: `cargo run --release --example olap`
+//! Add `--paper` for the full (591, 75, 25, 25) per-disk chunk.
+
+use multimap::core::{hilbert_mapping, zorder_mapping, Mapping, MultiMapping, NaiveMapping};
+use multimap::disksim::profiles;
+use multimap::lvm::LogicalVolume;
+use multimap::olap::{self, ALL_QUERIES};
+use multimap::query::{workload_rng, QueryExecutor};
+
+fn main() {
+    let paper_scale = std::env::args().any(|a| a == "--paper");
+    let chunk = if paper_scale {
+        olap::disk_chunk()
+    } else {
+        olap::cube::small_chunk()
+    };
+    let geom = profiles::cheetah_36es();
+    let volume = LogicalVolume::new(geom.clone(), 1);
+    println!(
+        "OLAP chunk {:?} on {} ({} cells)",
+        chunk.extents(),
+        geom.name,
+        chunk.cells()
+    );
+
+    // Materialise the cube from synthetic rows, just to show the full
+    // pipeline (row counts do not affect I/O time).
+    let rows = olap::generate_rows(&olap::RowGenConfig {
+        rows: 50_000,
+        seed: 3,
+    });
+    println!("loaded {} synthetic line items into the cube", rows.len());
+
+    let mappings: Vec<Box<dyn Mapping>> = vec![
+        Box::new(NaiveMapping::new(chunk.clone(), 0)),
+        Box::new(zorder_mapping(chunk.clone(), 0, 1).expect("fits")),
+        Box::new(hilbert_mapping(chunk.clone(), 0, 1).expect("fits")),
+        Box::new(MultiMapping::new(&geom, chunk.clone()).expect("fits")),
+    ];
+
+    let exec = QueryExecutor::new(&volume, 0);
+    println!("\navg I/O time per cell (ms), 3 runs per query:");
+    print!("{:>10}", "mapping");
+    for q in ALL_QUERIES {
+        print!(" {:>8}", q.label());
+    }
+    println!();
+    for m in &mappings {
+        print!("{:>10}", m.name());
+        for q in ALL_QUERIES {
+            let mut rng = workload_rng(1000 + q.label().len() as u64);
+            let mut total = 0.0;
+            let mut cells = 0u64;
+            for _ in 0..3 {
+                let region = q.region(&chunk, &mut rng);
+                volume.reset();
+                let r = if q.is_beam() {
+                    exec.beam(m.as_ref(), &region)
+                } else {
+                    exec.range(m.as_ref(), &region)
+                };
+                total += r.total_io_ms;
+                cells += r.cells;
+            }
+            print!(" {:>8.3}", total / cells as f64);
+        }
+        println!();
+    }
+    println!("\nQ1 = OrderDay beam, Q2 = Nation beam, Q3 = 2-D, Q4 = 3-D, Q5 = 4-D range");
+}

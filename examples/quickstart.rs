@@ -1,0 +1,88 @@
+//! Quickstart: map a 3-D dataset four ways and compare beam / range
+//! query I/O times on a simulated disk.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use multimap::core::{
+    hilbert_mapping, zorder_mapping, BoxRegion, GridSpec, Mapping, MultiMapping, NaiveMapping,
+};
+use multimap::disksim::profiles;
+use multimap::lvm::LogicalVolume;
+use multimap::query::{random_anchor, workload_rng, QueryExecutor};
+
+fn main() {
+    // A two-zone test disk (use profiles::cheetah_36es() for the paper's
+    // drive) and a 3-D dataset grid.
+    let geom = profiles::small();
+    println!(
+        "disk: {} ({} blocks, {:.1} GB, D = {} adjacent blocks)",
+        geom.name,
+        geom.total_blocks(),
+        geom.capacity_bytes() as f64 / 1e9,
+        geom.adjacency_limit
+    );
+    let volume = LogicalVolume::new(geom.clone(), 1);
+    let grid = GridSpec::new([100u64, 16, 10]);
+    println!(
+        "dataset: {:?} = {} cells of one 512-byte block each\n",
+        grid.extents(),
+        grid.cells()
+    );
+
+    // The four placements evaluated in the paper.
+    let mappings: Vec<Box<dyn Mapping>> = vec![
+        Box::new(NaiveMapping::new(grid.clone(), 0)),
+        Box::new(zorder_mapping(grid.clone(), 0, 1).expect("fits")),
+        Box::new(hilbert_mapping(grid.clone(), 0, 1).expect("fits")),
+        Box::new(MultiMapping::new(&geom, grid.clone()).expect("fits")),
+    ];
+
+    let exec = QueryExecutor::new(&volume, 0);
+    let mut rng = workload_rng(7);
+    let anchor = random_anchor(&grid, &mut rng);
+
+    // Beam queries along each dimension.
+    println!("beam queries (avg I/O time per cell, ms):");
+    println!(
+        "{:>10} {:>8} {:>8} {:>8}",
+        "mapping", "Dim0", "Dim1", "Dim2"
+    );
+    for m in &mappings {
+        let mut row = format!("{:>10}", m.name());
+        for dim in 0..3 {
+            let region = BoxRegion::beam(&grid, dim, &anchor);
+            volume.reset();
+            let r = exec.beam(m.as_ref(), &region);
+            row.push_str(&format!(" {:>8.3}", r.per_cell_ms()));
+        }
+        println!("{row}");
+    }
+
+    // A 10% selectivity range query.
+    let query = multimap::query::random_range(&grid, 10.0, &mut rng);
+    println!(
+        "\nrange query {:?}..{:?} ({} cells, 10% selectivity), total I/O ms:",
+        query.lo(),
+        query.hi(),
+        query.cells()
+    );
+    let mut naive_ms = 0.0;
+    for m in &mappings {
+        volume.reset();
+        let r = exec.range(m.as_ref(), &query);
+        if m.name() == "Naive" {
+            naive_ms = r.total_io_ms;
+        }
+        println!(
+            "{:>10} {:>10.2}  (speedup vs Naive: {:.2}x)",
+            m.name(),
+            r.total_io_ms,
+            naive_ms / r.total_io_ms
+        );
+    }
+
+    println!(
+        "\nMultiMap basic cube for this dataset: K = {:?}",
+        MultiMapping::new(&geom, grid).unwrap().shape().k
+    );
+}

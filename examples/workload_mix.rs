@@ -1,0 +1,71 @@
+//! Mixed-workload throughput: a blend of beams and small ranges, the
+//! traffic a spatial database actually sees, across all four mappings.
+//!
+//! Run with: `cargo run --release --example workload_mix`
+
+use multimap::core::{
+    hilbert_mapping, zorder_mapping, GridSpec, Mapping, MultiMapping, NaiveMapping,
+};
+use multimap::disksim::profiles;
+use multimap::lvm::LogicalVolume;
+use multimap::query::{workload_rng, MixEntry, QueryExecutor, QueryKind, WorkloadMix};
+
+fn main() {
+    let geom = profiles::atlas_10k_iii();
+    let grid = GridSpec::new([259u64, 64, 32]);
+    let volume = LogicalVolume::new(geom.clone(), 1);
+    let queries = 60usize;
+
+    // 50% small ranges, 20% streaming beams, 30% cross-dimension beams.
+    let mix = WorkloadMix::new(
+        vec![
+            MixEntry {
+                kind: QueryKind::Range { edge: 12 },
+                weight: 0.5,
+            },
+            MixEntry {
+                kind: QueryKind::Beam { dim: 0 },
+                weight: 0.2,
+            },
+            MixEntry {
+                kind: QueryKind::Beam { dim: 1 },
+                weight: 0.15,
+            },
+            MixEntry {
+                kind: QueryKind::Beam { dim: 2 },
+                weight: 0.15,
+            },
+        ],
+        queries,
+    );
+
+    let mappings: Vec<Box<dyn Mapping>> = vec![
+        Box::new(NaiveMapping::new(grid.clone(), 0)),
+        Box::new(zorder_mapping(grid.clone(), 0, 1).expect("fits")),
+        Box::new(hilbert_mapping(grid.clone(), 0, 1).expect("fits")),
+        Box::new(MultiMapping::new(&geom, grid.clone()).expect("fits")),
+    ];
+
+    println!(
+        "mixed workload on {} — {} queries (50% 12^3 ranges, 50% beams)\n",
+        geom.name, queries
+    );
+    println!(
+        "{:>10} {:>12} {:>12} {:>10}",
+        "mapping", "total_io_ms", "ms/query", "queries/s"
+    );
+    for m in &mappings {
+        volume.reset();
+        let exec = QueryExecutor::new(&volume, 0);
+        // Same query stream for every mapping.
+        let mut rng = workload_rng(0x31337);
+        let report = mix.run(&exec, m.as_ref(), &mut rng, 5.0);
+        println!(
+            "{:>10} {:>12.1} {:>12.2} {:>10.1}",
+            m.name(),
+            report.total.total_io_ms,
+            report.total.total_io_ms / queries as f64,
+            report.queries_per_second(queries as u64)
+        );
+    }
+}

@@ -1,0 +1,53 @@
+//! # multimap — reproduction of *MultiMap: Preserving disk locality for
+//! multidimensional datasets* (Shao et al., ICDE 2007)
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! | module | crate | contents |
+//! |---|---|---|
+//! | [`disksim`] | `multimap-disksim` | zoned rotating-disk simulator + adjacency model |
+//! | [`lvm`] | `multimap-lvm` | logical volume manager (`GET_ADJACENT`, `GET_TRACK_BOUNDARIES`) |
+//! | [`sfc`] | `multimap-sfc` | Z-order / Hilbert / Gray space-filling curves |
+//! | [`core`] | `multimap-core` | the MultiMap algorithm + Naive/curve baselines |
+//! | [`octree`] | `multimap-octree` | octree substrate, skewed (earthquake) datasets |
+//! | [`olap`] | `multimap-olap` | the 4-D TPC-H-shaped OLAP cube and Q1–Q5 |
+//! | [`query`] | `multimap-query` | query executor: beam and range queries |
+//! | [`store`] | `multimap-store` | database storage manager: tables, loads, updates |
+//! | [`model`] | `multimap-model` | analytical I/O-cost model |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use multimap::core::{GridSpec, Mapping, MultiMapping, NaiveMapping};
+//! use multimap::disksim::profiles;
+//! use multimap::lvm::LogicalVolume;
+//! use multimap::query::QueryExecutor;
+//! use multimap::core::BoxRegion;
+//!
+//! // A small simulated disk and a 3-D dataset.
+//! let volume = LogicalVolume::new(profiles::small(), 1);
+//! let grid = GridSpec::new([60u64, 8, 6]);
+//!
+//! // Place it with MultiMap and with the naive row-major layout.
+//! let multimap = MultiMapping::new(volume.geometry(), grid.clone()).unwrap();
+//! let naive = NaiveMapping::new(grid.clone(), 0);
+//!
+//! // A beam along the second dimension: MultiMap fetches it
+//! // semi-sequentially, the naive layout pays rotational latency.
+//! let exec = QueryExecutor::new(&volume, 0);
+//! let beam = BoxRegion::beam(&grid, 1, &[3, 0, 2]);
+//! let t_mm = exec.beam(&multimap, &beam);
+//! volume.reset();
+//! let t_naive = exec.beam(&naive, &beam);
+//! assert!(t_mm.total_io_ms < t_naive.total_io_ms);
+//! ```
+
+pub use multimap_core as core;
+pub use multimap_disksim as disksim;
+pub use multimap_lvm as lvm;
+pub use multimap_model as model;
+pub use multimap_octree as octree;
+pub use multimap_olap as olap;
+pub use multimap_query as query;
+pub use multimap_sfc as sfc;
+pub use multimap_store as store;

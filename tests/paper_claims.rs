@@ -1,0 +1,182 @@
+//! End-to-end checks of the paper's headline claims, at reduced scale.
+//!
+//! These assert the *shape* of the results — who wins and by roughly what
+//! factor — not absolute milliseconds.
+
+use multimap::core::{
+    hilbert_mapping, zorder_mapping, BoxRegion, GridSpec, Mapping, MultiMapping, NaiveMapping,
+};
+use multimap::disksim::profiles;
+use multimap::lvm::LogicalVolume;
+use multimap::query::{random_anchor, random_range, workload_rng, QueryExecutor, QueryResult};
+
+/// Paper-shaped synthetic chunk: Dim0 keeps the 259-cell extent so the
+/// Naive baseline pays realistic strides.
+fn grid() -> GridSpec {
+    GridSpec::new([259u64, 64, 32])
+}
+
+fn mappings(geom: &multimap::disksim::DiskGeometry) -> Vec<Box<dyn Mapping>> {
+    let g = grid();
+    vec![
+        Box::new(NaiveMapping::new(g.clone(), 0)),
+        Box::new(zorder_mapping(g.clone(), 0, 1).unwrap()),
+        Box::new(hilbert_mapping(g.clone(), 0, 1).unwrap()),
+        Box::new(MultiMapping::new(geom, g).unwrap()),
+    ]
+}
+
+fn beam_per_cell(volume: &LogicalVolume, m: &dyn Mapping, dim: usize, runs: usize) -> f64 {
+    let g = grid();
+    let exec = QueryExecutor::new(volume, 0);
+    let mut rng = workload_rng(42);
+    let mut acc = QueryResult::default();
+    for _ in 0..runs {
+        let anchor = random_anchor(&g, &mut rng);
+        let region = BoxRegion::beam(&g, dim, &anchor);
+        volume.idle_all(7.3);
+        acc.accumulate(&exec.beam(m, &region));
+    }
+    acc.per_cell_ms()
+}
+
+/// "MultiMap matches the streaming performance of Naive along Dim0."
+#[test]
+fn multimap_matches_naive_streaming_on_dim0() {
+    for geom in profiles::evaluation_disks() {
+        let volume = LogicalVolume::new(geom.clone(), 1);
+        let ms = mappings(&geom);
+        let naive = beam_per_cell(&volume, ms[0].as_ref(), 0, 5);
+        volume.reset();
+        let mm = beam_per_cell(&volume, ms[3].as_ref(), 0, 5);
+        assert!(
+            mm < naive * 2.0,
+            "{}: MultiMap Dim0 {mm:.3} vs Naive {naive:.3}",
+            geom.name
+        );
+        // And both stream: well under a tenth of the settle time per cell.
+        assert!(naive < 0.2, "Naive Dim0 must stream: {naive:.3}");
+    }
+}
+
+/// "For scans of the primary dimension, MultiMap and traditional
+/// linearized layouts provide almost two orders of magnitude higher
+/// throughput than space-filling curve approaches."
+#[test]
+fn curves_lose_dim0_scans_by_an_order_of_magnitude() {
+    for geom in profiles::evaluation_disks() {
+        let volume = LogicalVolume::new(geom.clone(), 1);
+        let ms = mappings(&geom);
+        let naive = beam_per_cell(&volume, ms[0].as_ref(), 0, 5);
+        volume.reset();
+        let hilbert = beam_per_cell(&volume, ms[2].as_ref(), 0, 5);
+        assert!(
+            hilbert > 10.0 * naive,
+            "{}: Hilbert Dim0 {hilbert:.3} vs Naive {naive:.3}",
+            geom.name
+        );
+    }
+}
+
+/// "MultiMap outperforms Z-order and Hilbert for Dim1 and Dim2 by
+/// 25%-35% and Naive by 62%-214%."
+#[test]
+fn multimap_wins_nonprimary_beams() {
+    for geom in profiles::evaluation_disks() {
+        let volume = LogicalVolume::new(geom.clone(), 1);
+        let ms = mappings(&geom);
+        for dim in 1..3 {
+            volume.reset();
+            let naive = beam_per_cell(&volume, ms[0].as_ref(), dim, 5);
+            volume.reset();
+            let hilbert = beam_per_cell(&volume, ms[2].as_ref(), dim, 5);
+            volume.reset();
+            let mm = beam_per_cell(&volume, ms[3].as_ref(), dim, 5);
+            assert!(
+                mm < naive,
+                "{} dim {dim}: MultiMap {mm:.3} must beat Naive {naive:.3}",
+                geom.name
+            );
+            assert!(
+                mm < hilbert * 1.05,
+                "{} dim {dim}: MultiMap {mm:.3} must be at least on par with Hilbert {hilbert:.3}",
+                geom.name
+            );
+        }
+    }
+}
+
+/// Semi-sequential beams cost roughly the settle time per cell, far below
+/// half a revolution (the rotational-latency floor of strided access).
+#[test]
+fn multimap_nonprimary_beams_are_settle_bound() {
+    for geom in profiles::evaluation_disks() {
+        let volume = LogicalVolume::new(geom.clone(), 1);
+        let ms = mappings(&geom);
+        let mm = beam_per_cell(&volume, ms[3].as_ref(), 1, 5);
+        let floor = geom.command_overhead_ms + geom.settle_ms;
+        let half_rev = geom.revolution_ms() / 2.0;
+        assert!(
+            mm >= floor * 0.9 && mm < half_rev,
+            "{}: Dim1 per-cell {mm:.3} should be settle-bound (floor {floor:.3}, half-rev {half_rev:.3})",
+            geom.name
+        );
+    }
+}
+
+/// Range queries: MultiMap wins at low selectivity and never collapses;
+/// at full selectivity every mapping converges (everything is read).
+#[test]
+fn range_query_selectivity_shape() {
+    let geom = profiles::cheetah_36es();
+    let volume = LogicalVolume::new(geom.clone(), 1);
+    let ms = mappings(&geom);
+    let g = grid();
+    let exec = QueryExecutor::new(&volume, 0);
+
+    // Low selectivity: MultiMap beats Naive.
+    let mut rng = workload_rng(7);
+    let region = random_range(&g, 0.01, &mut rng);
+    volume.reset();
+    let naive_low = exec.range(ms[0].as_ref(), &region).total_io_ms;
+    volume.reset();
+    let mm_low = exec.range(ms[3].as_ref(), &region).total_io_ms;
+    assert!(
+        mm_low < naive_low,
+        "low selectivity: MultiMap {mm_low:.1} vs Naive {naive_low:.1}"
+    );
+
+    // Full scan of an aligned slab (contiguous for Naive): everything
+    // within 2x of each other.
+    let region = BoxRegion::new([0u64, 0, 0], [258u64, 63, 31]);
+    let mut totals = Vec::new();
+    for m in &ms {
+        volume.reset();
+        totals.push(exec.range(m.as_ref(), &region).total_io_ms);
+    }
+    let min = totals.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = totals.iter().cloned().fold(0.0, f64::max);
+    assert!(max < 2.0 * min, "full scans must converge: {totals:?}");
+}
+
+/// The executor fetches exactly the requested cells, for every mapping.
+#[test]
+fn executor_fetches_exactly_the_requested_cells() {
+    let geom = profiles::small();
+    let volume = LogicalVolume::new(geom.clone(), 1);
+    let g = GridSpec::new([40u64, 10, 6]);
+    let ms: Vec<Box<dyn Mapping>> = vec![
+        Box::new(NaiveMapping::new(g.clone(), 0)),
+        Box::new(zorder_mapping(g.clone(), 0, 1).unwrap()),
+        Box::new(hilbert_mapping(g.clone(), 0, 1).unwrap()),
+        Box::new(MultiMapping::new(&geom, g.clone()).unwrap()),
+    ];
+    let exec = QueryExecutor::new(&volume, 0);
+    let region = BoxRegion::new([3u64, 2, 1], [17u64, 7, 4]);
+    for m in &ms {
+        volume.reset();
+        let r = exec.range(m.as_ref(), &region);
+        assert_eq!(r.cells, region.cells(), "{}", m.name());
+        assert_eq!(r.blocks, region.cells(), "{}", m.name());
+    }
+}

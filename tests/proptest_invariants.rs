@@ -1,0 +1,181 @@
+//! Property-based tests on the core invariants, across crates.
+
+use multimap::core::{
+    gray_mapping, hilbert_mapping, zorder_mapping, GridSpec, Mapping, MultiMapping,
+};
+use multimap::disksim::{adjacent_lbn, DiskBuilder, DiskGeometry, DiskSim, Request, ZoneSpec};
+use multimap::sfc::{GrayCurve, HilbertCurve, SpaceFillingCurve, ZCurve};
+use proptest::prelude::*;
+
+/// Random but valid disk geometries.
+fn arb_geometry() -> impl Strategy<Value = DiskGeometry> {
+    (
+        2u32..=6,    // surfaces
+        20u32..=80,  // cylinders per zone
+        1usize..=3,  // zones
+        40u32..=200, // outer spt
+        1u32..=10,   // settle cylinders
+        0.5f64..2.0, // settle ms
+    )
+        .prop_map(|(surfaces, cyls, nzones, spt, c, settle)| {
+            let zones = (0..nzones)
+                .map(|i| ZoneSpec {
+                    cylinders: cyls,
+                    sectors_per_track: spt - 10 * i as u32,
+                })
+                .collect();
+            DiskBuilder::new("prop-disk")
+                .rpm(10_000.0)
+                .surfaces(surfaces)
+                .zones(zones)
+                .settle_ms(settle)
+                .settle_cylinders(c)
+                .head_switch_ms(settle * 0.8)
+                .command_overhead_ms(0.02)
+                .build()
+                .expect("generated geometry is valid")
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// LBN -> physical -> LBN is the identity for random geometries.
+    #[test]
+    fn lbn_physical_roundtrip(geom in arb_geometry(), salt in 0u64..1_000_000) {
+        let lbn = salt % geom.total_blocks();
+        let loc = geom.locate(lbn).unwrap();
+        prop_assert_eq!(geom.lbn_of(loc.cylinder, loc.surface, loc.sector).unwrap(), lbn);
+    }
+
+    /// Adjacent blocks are always on the requested later track, within
+    /// the same zone, and share the angular offset with step 1.
+    #[test]
+    fn adjacency_invariants(geom in arb_geometry(), salt in 0u64..1_000_000) {
+        let lbn = salt % geom.total_blocks();
+        let src = geom.locate(lbn).unwrap();
+        for step in [1u32, geom.adjacency_limit / 2, geom.adjacency_limit] {
+            if step == 0 { continue; }
+            match adjacent_lbn(&geom, lbn, step) {
+                Ok(a) => {
+                    let loc = geom.locate(a).unwrap();
+                    prop_assert_eq!(loc.track, src.track + step as u64);
+                    prop_assert_eq!(loc.zone, src.zone);
+                }
+                Err(_) => {
+                    // Only legal near the zone's end.
+                    let zone = &geom.zones()[src.zone];
+                    let zone_last_track = zone.first_track
+                        + zone.tracks(geom.surfaces) - 1;
+                    prop_assert!(src.track + step as u64 > zone_last_track);
+                }
+            }
+        }
+    }
+
+    /// Service times are always positive and the clock only moves forward.
+    #[test]
+    fn service_time_positive_and_monotone(
+        geom in arb_geometry(),
+        lbns in proptest::collection::vec(0u64..1_000_000, 1..20),
+    ) {
+        let mut sim = DiskSim::new(geom.clone());
+        let mut last = 0.0f64;
+        for salt in lbns {
+            let lbn = salt % geom.total_blocks();
+            let t = sim.service(Request::single(lbn)).unwrap();
+            prop_assert!(t.total_ms() > 0.0);
+            prop_assert!(sim.state().time_ms > last);
+            last = sim.state().time_ms;
+            // No component exceeds physics: rotation < one revolution,
+            // seek <= full stroke + head switch.
+            prop_assert!(t.rotation_ms < geom.revolution_ms());
+            prop_assert!(t.seek_ms <= geom.max_seek_ms + geom.head_switch_ms + 1e-9);
+        }
+    }
+
+    /// Space-filling curves are bijections: coords -> index -> coords.
+    #[test]
+    fn curve_roundtrips(dims in 2usize..=4, bits in 1u32..=5, salt in 0u64..u64::MAX) {
+        let z = ZCurve::new(dims, bits).unwrap();
+        let h = HilbertCurve::new(dims, bits).unwrap();
+        let g = GrayCurve::new(dims, bits).unwrap();
+        let idx = salt % z.len();
+        prop_assert_eq!(z.index(&z.coords(idx)), idx);
+        prop_assert_eq!(h.index(&h.coords(idx)), idx);
+        prop_assert_eq!(g.index(&g.coords(idx)), idx);
+    }
+
+    /// Every mapping is injective and invertible over random small grids.
+    #[test]
+    fn mappings_injective_and_invertible(
+        e0 in 2u64..40,
+        e1 in 1u64..10,
+        e2 in 1u64..6,
+        base in 0u64..1000,
+    ) {
+        let grid = GridSpec::new([e0, e1, e2]);
+        let geom = multimap::disksim::profiles::small();
+        let mappings: Vec<Box<dyn Mapping>> = vec![
+            Box::new(multimap::core::NaiveMapping::new(grid.clone(), base)),
+            Box::new(zorder_mapping(grid.clone(), base, 1).unwrap()),
+            Box::new(hilbert_mapping(grid.clone(), base, 1).unwrap()),
+            Box::new(gray_mapping(grid.clone(), base, 1).unwrap()),
+            Box::new(MultiMapping::new(&geom, grid.clone()).unwrap()),
+        ];
+        for m in &mappings {
+            let mut seen = std::collections::HashSet::new();
+            let mut ok = true;
+            grid.for_each_cell(|c| {
+                let l = m.lbn_of(c).unwrap();
+                ok &= seen.insert(l);
+                ok &= m.coord_of(l).as_deref() == Some(c);
+            });
+            prop_assert!(ok, "{} violated injectivity/inverse", m.name());
+        }
+    }
+
+    /// MultiMap's closed form always equals the literal Figure 5
+    /// adjacency walk.
+    #[test]
+    fn multimap_closed_form_equals_figure5(
+        e0 in 2u64..60,
+        e1 in 1u64..12,
+        e2 in 1u64..8,
+        salt in 0u64..10_000,
+    ) {
+        let grid = GridSpec::new([e0, e1, e2]);
+        let geom = multimap::disksim::profiles::small();
+        let m = MultiMapping::new(&geom, grid.clone()).unwrap();
+        let idx = salt % grid.cells();
+        let coord = grid.coord_of_linear(idx).unwrap();
+        prop_assert_eq!(
+            m.lbn_of(&coord).unwrap(),
+            m.lbn_of_iterative(&coord).unwrap()
+        );
+    }
+
+    /// Basic-cube shapes always satisfy Equations 1-3.
+    #[test]
+    fn solver_respects_equations(
+        extents in proptest::collection::vec(1u64..300, 1..5),
+        t in 50u64..800,
+        d in 4u64..256,
+        zt in 500u64..20_000,
+    ) {
+        let c = multimap::core::ShapeConstraints {
+            track_cells: t,
+            adjacency: d,
+            zone_tracks: zt,
+        };
+        match multimap::core::solve_basic_cube(&extents, &c) {
+            Ok(shape) => prop_assert!(shape.validate(&c).is_ok()),
+            Err(_) => {
+                // Infeasibility must come from dimensionality.
+                prop_assert!(
+                    extents.len() as u32 > multimap::core::max_dimensions(d)
+                );
+            }
+        }
+    }
+}

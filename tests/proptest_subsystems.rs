@@ -1,0 +1,147 @@
+//! Property tests for the storage manager, striped volume, bulk loader
+//! and Z-order range scanning.
+
+use multimap::core::{write_schedule, BoxRegion, GridSpec, Mapping, MultiMapping, NaiveMapping};
+use multimap::disksim::profiles;
+use multimap::lvm::{LogicalVolume, StripedVolume};
+use multimap::sfc::{SpaceFillingCurve, ZBoxScan, ZCurve};
+use multimap::store::{LayoutChoice, StorageManager};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Striped-volume address translation is a bijection.
+    #[test]
+    fn striped_volume_translation_roundtrips(
+        ndisks in 1usize..=5,
+        stripe in 1u64..=4096,
+        vlbn in 0u64..10_000_000,
+    ) {
+        let v = StripedVolume::new(
+            LogicalVolume::new(profiles::small(), ndisks),
+            stripe,
+        );
+        let (disk, local) = v.locate(vlbn);
+        prop_assert!(disk < ndisks);
+        prop_assert_eq!(v.volume_lbn(disk, local), vlbn);
+        // Within a stripe unit, consecutive volume LBNs stay on one disk.
+        if (vlbn + 1) % stripe != 0 {
+            prop_assert_eq!(v.locate(vlbn + 1).0, disk);
+        }
+    }
+
+    /// The bulk-load write schedule covers each mapped block exactly once.
+    #[test]
+    fn write_schedule_covers_region_exactly(
+        e0 in 2u64..40,
+        e1 in 1u64..8,
+        e2 in 1u64..5,
+    ) {
+        let grid = GridSpec::new([e0, e1, e2]);
+        let geom = profiles::small();
+        for m in [
+            Box::new(NaiveMapping::new(grid.clone(), 0)) as Box<dyn Mapping>,
+            Box::new(MultiMapping::new(&geom, grid.clone()).unwrap()),
+        ] {
+            let schedule =
+                write_schedule(m.as_ref(), &grid.bounding_region()).unwrap();
+            let mut blocks: Vec<u64> = Vec::new();
+            for r in &schedule {
+                for b in r.lbn..r.end() {
+                    blocks.push(b);
+                }
+            }
+            blocks.sort_unstable();
+            let dedup_len = {
+                let mut d = blocks.clone();
+                d.dedup();
+                d.len()
+            };
+            prop_assert_eq!(dedup_len, blocks.len(), "{} overlaps", m.name());
+            prop_assert_eq!(blocks.len() as u64, grid.cells());
+            // And each block is a mapped cell's block.
+            let mut expected: Vec<u64> = Vec::new();
+            grid.for_each_cell(|c| expected.push(m.lbn_of(c).unwrap()));
+            expected.sort_unstable();
+            prop_assert_eq!(blocks, expected, "{} block set", m.name());
+        }
+    }
+
+    /// Z-order box scans equal brute-force enumeration on random boxes.
+    #[test]
+    fn zscan_equals_enumeration(
+        bits in 2u32..=6,
+        seed in 0u64..1_000_000,
+    ) {
+        let curve = ZCurve::new(2, bits).unwrap();
+        let side = 1u64 << bits;
+        let x0 = seed % side;
+        let y0 = (seed / side) % side;
+        let x1 = x0 + (seed / 7) % (side - x0);
+        let y1 = y0 + (seed / 13) % (side - y0);
+        let got: Vec<u64> = ZBoxScan::new(&curve, &[x0, y0], &[x1, y1]).collect();
+        let mut expect = Vec::new();
+        for x in x0..=x1 {
+            for y in y0..=y1 {
+                expect.push(curve.index(&[x, y]));
+            }
+        }
+        expect.sort_unstable();
+        prop_assert_eq!(got, expect);
+    }
+
+    /// Storage-manager queries always fetch exactly the requested cells
+    /// (plus overflow, which starts at zero).
+    #[test]
+    fn store_queries_fetch_exact_cells(
+        e0 in 4u64..50,
+        e1 in 2u64..8,
+        lo0 in 0u64..3,
+        len0 in 1u64..4,
+    ) {
+        let mut db = StorageManager::new(profiles::small(), 1);
+        let grid = GridSpec::new([e0, e1]);
+        db.create_table("t", grid.clone(), LayoutChoice::Auto).unwrap();
+        db.load("t").unwrap();
+        let hi0 = (lo0 + len0 - 1).min(e0 - 1);
+        let lo0 = lo0.min(hi0);
+        let region = BoxRegion::new([lo0, 0], [hi0, e1 - 1]);
+        let r = db.range("t", &region).unwrap();
+        prop_assert_eq!(r.cells, region.cells());
+    }
+}
+
+/// Deterministic end-to-end: the storage manager's table survives a
+/// load-insert-query cycle with consistent accounting.
+#[test]
+fn store_accounting_is_consistent() {
+    let mut db = StorageManager::new(profiles::small(), 2);
+    let grid = GridSpec::new([60u64, 10, 4]);
+    db.create_table("t", grid.clone(), LayoutChoice::MultiMap)
+        .unwrap();
+    let load = db.load("t").unwrap();
+    assert_eq!(load.cells, grid.cells());
+    assert_eq!(load.blocks, grid.cells());
+    // Hammer one hot cell until its first overflow page appears
+    // (default config: capacity 64, fill factor 0.8 -> 13 free slots).
+    let hot = [30u64, 5, 2];
+    let cell = grid.linear_index(&hot);
+    let mut overflowed = false;
+    for _ in 0..100 {
+        db.insert("t", &hot).unwrap();
+        if !db
+            .table("t")
+            .unwrap()
+            .cells()
+            .overflow_lbns(cell)
+            .is_empty()
+        {
+            overflowed = true;
+            break;
+        }
+    }
+    assert!(overflowed, "hot-cell inserts must eventually overflow");
+    let stats = db.table("t").unwrap().cells().stats();
+    assert!(stats.direct_inserts + stats.overflow_inserts > 0);
+}

@@ -1,0 +1,107 @@
+//! Integration: per-zone cube shapes through the executor, and the
+//! write/bulk-load path end to end.
+
+use multimap::core::{
+    append_slab, bulk_load, BoxRegion, GridSpec, Mapping, MultiMapping, NaiveMapping,
+    ZonedMultiMapping,
+};
+use multimap::disksim::{profiles, DiskSim};
+use multimap::lvm::LogicalVolume;
+use multimap::query::QueryExecutor;
+
+/// The zoned mapping behaves like any other mapping under the executor:
+/// exact cell counts, and non-primary beams still semi-sequential.
+#[test]
+fn zoned_mapping_through_the_executor() {
+    let geom = profiles::small();
+    let volume = LogicalVolume::new(geom.clone(), 1);
+    let grid = GridSpec::new([100u64, 8, 300]);
+    let zoned = ZonedMultiMapping::new(&geom, grid.clone()).unwrap();
+    let exec = QueryExecutor::new(&volume, 0);
+
+    let beam = BoxRegion::beam(&grid, 1, &[50, 0, 10]);
+    let r = exec.beam(&zoned, &beam);
+    assert_eq!(r.cells, 8);
+    // Settle-bound, like the single-shape MultiMap.
+    assert!(r.per_cell_ms() < geom.revolution_ms() / 2.0);
+
+    let range = BoxRegion::new([0u64, 0, 0], [49u64, 3, 5]);
+    volume.reset();
+    let r = exec.range(&zoned, &range);
+    assert_eq!(r.cells, range.cells());
+}
+
+/// A beam crossing the segment boundary still fetches every cell.
+#[test]
+fn zoned_mapping_cross_segment_beam() {
+    let geom = profiles::small();
+    let volume = LogicalVolume::new(geom.clone(), 1);
+    // Deep enough along Dim2 to overflow zone 0 into zone 1.
+    let grid = GridSpec::new([100u64, 8, 500]);
+    let zoned = ZonedMultiMapping::new(&geom, grid.clone()).unwrap();
+    assert!(zoned.segment_count() >= 2, "dataset must span zones");
+    let exec = QueryExecutor::new(&volume, 0);
+    // Dim2 is the split dimension: this beam crosses every segment.
+    let beam = BoxRegion::beam(&grid, 2, &[10, 3, 0]);
+    let r = exec.beam(&zoned, &beam);
+    assert_eq!(r.cells, 500);
+}
+
+/// Bulk loads are much faster with coalesced sequential writes than the
+/// same cells written in random order, and slab appends cost a fraction
+/// of a full load.
+#[test]
+fn bulk_load_and_slab_append_costs() {
+    let geom = profiles::small();
+    let grid = GridSpec::new([100u64, 8, 6]);
+    let mm = MultiMapping::new(&geom, grid.clone()).unwrap();
+
+    let mut sim = DiskSim::new(geom.clone());
+    let full = bulk_load(&mut sim, &mm).unwrap();
+    assert_eq!(full.cells, grid.cells());
+
+    let mut sim2 = DiskSim::new(geom.clone());
+    let slab = append_slab(&mut sim2, &mm, 2, 0).unwrap();
+    assert_eq!(slab.cells, 100 * 8);
+    assert!(
+        slab.total_ms < full.total_ms,
+        "one slab must cost less than the whole dataset"
+    );
+
+    // Random-order per-cell writes of the same slab are far slower.
+    let mut sim3 = DiskSim::new(geom.clone());
+    let mut cost_random = 0.0;
+    let mut coords: Vec<Vec<u64>> = Vec::new();
+    BoxRegion::new([0u64, 0, 0], [99u64, 7, 0]).for_each_cell(|c| coords.push(c.to_vec()));
+    // Deterministic shuffle.
+    coords.sort_by_key(|c| (c[0].wrapping_mul(2654435761) ^ c[1]) % 977);
+    for c in &coords {
+        let lbn = mm.lbn_of(c).unwrap();
+        cost_random += sim3
+            .service_write(multimap::disksim::Request::single(lbn))
+            .unwrap()
+            .total_ms();
+    }
+    assert!(
+        slab.total_ms * 3.0 < cost_random,
+        "coalesced {:.1} ms vs random {:.1} ms",
+        slab.total_ms,
+        cost_random
+    );
+}
+
+/// Naive and zoned MultiMap load the same cells; the zoned layout's
+/// writes stay within its segments' zones.
+#[test]
+fn zoned_load_covers_all_cells() {
+    let geom = profiles::small();
+    let grid = GridSpec::new([100u64, 8, 500]);
+    let zoned = ZonedMultiMapping::new(&geom, grid.clone()).unwrap();
+    let naive = NaiveMapping::new(grid.clone(), 0);
+    let mut sim = DiskSim::new(geom.clone());
+    let a = bulk_load(&mut sim, &zoned).unwrap();
+    let mut sim2 = DiskSim::new(geom);
+    let b = bulk_load(&mut sim2, &naive).unwrap();
+    assert_eq!(a.cells, b.cells);
+    assert_eq!(a.blocks, b.blocks);
+}
