@@ -35,7 +35,7 @@ fn bench_lbn_of(c: &mut Criterion) {
     ];
     let mut group = c.benchmark_group("mapping/lbn_of");
     for (name, m) in &mappings {
-        group.bench_function(*name, |b| {
+        group.bench_function(name, |b| {
             let mut i = 0u64;
             b.iter(|| {
                 i = (i + 7919) % grid.cells();

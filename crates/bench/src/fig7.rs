@@ -183,10 +183,13 @@ mod tests {
             let naive_z: f64 = disk_rows[0][4].parse().unwrap();
             let mm_y: f64 = disk_rows[3][3].parse().unwrap();
             let mm_z: f64 = disk_rows[3][4].parse().unwrap();
-            // At quick scale Naive's Y stride is short, so only demand
-            // rough parity on Y; Z must be a clear MultiMap win.
-            assert!(mm_y < naive_y * 1.4, "MultiMap Y {mm_y} vs Naive {naive_y}");
-            assert!(mm_z < naive_z, "MultiMap Z {mm_z} vs Naive {naive_z}");
+            // At quick scale Naive's Y stride fits inside a track, so
+            // its Y beams are near-sequential while MultiMap pays one
+            // settle per cell: demand MultiMap stays within the
+            // settle/sequential cost gap on Y. Z must be a clear
+            // MultiMap win (Naive strides a full plane per cell).
+            assert!(mm_y < naive_y * 2.5, "MultiMap Y {mm_y} vs Naive {naive_y}");
+            assert!(mm_z * 2.0 < naive_z, "MultiMap Z {mm_z} vs Naive {naive_z}");
         }
     }
 }

@@ -44,19 +44,28 @@ pub fn run(scale: Scale) -> Table {
             ms(multimap_beam_per_cell_ms(&params, grid.extents(), dim)),
         ]);
     }
+    // Average several random boxes per selectivity: a single tiny range
+    // is dominated by one request's rotational phase, which the
+    // steady-state model deliberately ignores.
+    let range_draws = 4 * scale.range_runs();
     for sel in [0.01f64, 0.1, 1.0] {
-        let region = random_range(&grid, sel, &mut rng);
-        let qext: Vec<u64> = (0..grid.ndims()).map(|d| region.extent(d)).collect();
-        volume.reset();
-        let ns = exec.range(&naive, &region).total_io_ms;
-        volume.reset();
-        let ms_sim = exec.range(&mm, &region).total_io_ms;
+        let mut sums = [0.0f64; 4];
+        for _ in 0..range_draws {
+            let region = random_range(&grid, sel, &mut rng);
+            let qext: Vec<u64> = (0..grid.ndims()).map(|d| region.extent(d)).collect();
+            volume.reset();
+            sums[0] += exec.range(&naive, &region).total_io_ms;
+            sums[1] += naive_range_total_ms(&params, grid.extents(), &qext);
+            volume.reset();
+            sums[2] += exec.range(&mm, &region).total_io_ms;
+            sums[3] += multimap_range_total_ms(&params, grid.extents(), &qext);
+        }
         table.row(vec![
             format!("range_{sel}pct_total"),
-            ms(ns),
-            ms(naive_range_total_ms(&params, grid.extents(), &qext)),
-            ms(ms_sim),
-            ms(multimap_range_total_ms(&params, grid.extents(), &qext)),
+            ms(sums[0] / range_draws as f64),
+            ms(sums[1] / range_draws as f64),
+            ms(sums[2] / range_draws as f64),
+            ms(sums[3] / range_draws as f64),
         ]);
     }
     table

@@ -1,0 +1,323 @@
+//! Differential query checking: the same workload through every
+//! [`MappingKind`], asserting that what reaches the platter is the same
+//! set of dataset cells regardless of how they were laid out — and that
+//! the analytical cost model agrees with the simulator within the
+//! documented tolerances.
+
+use std::collections::BTreeSet;
+
+use multimap_core::{
+    hilbert_mapping, zorder_mapping, BoxRegion, Coord, GridSpec, Mapping, MultiMapping,
+    NaiveMapping,
+};
+use multimap_disksim::DiskGeometry;
+use multimap_lvm::LogicalVolume;
+use multimap_model::{
+    multimap_beam_per_cell_ms, multimap_range_total_ms, naive_beam_per_cell_ms,
+    naive_range_total_ms, ModelParams,
+};
+use multimap_query::{QueryExecutor, QueryResult};
+
+use crate::oracle::{check_log, OracleReport};
+
+/// Maximum relative error tolerated between the analytical model and the
+/// simulator on beam queries (matches the bound the model crate's own
+/// validation uses; see `docs/conformance.md` for the derivation).
+pub const MODEL_BEAM_TOLERANCE: f64 = 0.35;
+
+/// Maximum relative error tolerated on range queries. Ranges mix
+/// coalesced streaming with queued reordering the steady-state model
+/// ignores, hence the looser bound.
+pub const MODEL_RANGE_TOLERANCE: f64 = 0.5;
+
+/// Build the four mappings under differential test, all with
+/// one-block cells based at LBN 0: Naive (row-major), Z-order and
+/// Hilbert space-filling curves, and MultiMap.
+pub fn standard_mappings(geom: &DiskGeometry, grid: &GridSpec) -> Vec<Box<dyn Mapping>> {
+    vec![
+        Box::new(NaiveMapping::new(grid.clone(), 0)),
+        Box::new(zorder_mapping(grid.clone(), 0, 1).expect("z-order mapping must build")),
+        Box::new(hilbert_mapping(grid.clone(), 0, 1).expect("hilbert mapping must build")),
+        Box::new(MultiMapping::new(geom, grid.clone()).expect("multimap mapping must build")),
+    ]
+}
+
+/// What one mapping did for one query.
+#[derive(Debug)]
+pub struct DifferentialOutcome {
+    /// Mapping name (`Mapping::name`).
+    pub mapping: String,
+    /// The set of dataset cells actually transferred, recovered from the
+    /// serviced LBNs through the mapping's inverse.
+    pub cells: BTreeSet<Coord>,
+    /// The executor's measured result.
+    pub result: QueryResult,
+    /// Physics-oracle verdict over every request the query issued.
+    pub oracle: OracleReport,
+}
+
+/// Run one query region through all four mappings — as a beam
+/// (per-cell requests) or a range (sorted + coalesced) — each on a
+/// fresh disk, recovering the transferred cell set from the event log.
+pub fn differential_query(
+    geom: &DiskGeometry,
+    grid: &GridSpec,
+    region: &BoxRegion,
+    beam: bool,
+) -> Vec<DifferentialOutcome> {
+    standard_mappings(geom, grid)
+        .into_iter()
+        .map(|mapping| {
+            let volume = LogicalVolume::new(geom.clone(), 1);
+            let exec = QueryExecutor::new(&volume, 0);
+            let mut log = multimap_disksim::ServiceLog::new();
+            let result = {
+                let mut rec = log.recorder();
+                if beam {
+                    exec.beam_observed(mapping.as_ref(), region, &mut rec)
+                } else {
+                    exec.range_observed(mapping.as_ref(), region, &mut rec)
+                }
+            };
+            let mut cells = BTreeSet::new();
+            for e in log.events() {
+                for lbn in e.request.lbn..e.request.end() {
+                    if let Some(c) = mapping.coord_of(lbn) {
+                        cells.insert(c);
+                    }
+                }
+            }
+            DifferentialOutcome {
+                mapping: mapping.name().to_string(),
+                cells,
+                result,
+                oracle: check_log(geom, &log),
+            }
+        })
+        .collect()
+}
+
+/// Run [`differential_query`] and verify the conformance contract:
+/// every mapping transfers exactly the region's cell set, every mapping
+/// reports the same cell/block counts, and no request violated the
+/// physics oracle. Returns a description of the first discrepancy.
+pub fn check_region(
+    geom: &DiskGeometry,
+    grid: &GridSpec,
+    region: &BoxRegion,
+    beam: bool,
+) -> Result<(), String> {
+    let expected: BTreeSet<Coord> = region.cells_vec().into_iter().collect();
+    let outcomes = differential_query(geom, grid, region, beam);
+    for o in &outcomes {
+        if !o.oracle.is_clean() {
+            return Err(format!(
+                "{}: physics oracle flagged {} violation(s), first: {}",
+                o.mapping,
+                o.oracle.violations.len(),
+                o.oracle.violations[0]
+            ));
+        }
+        if o.cells != expected {
+            let missing = expected.difference(&o.cells).count();
+            let extra = o.cells.difference(&expected).count();
+            return Err(format!(
+                "{}: transferred cell set differs from the region \
+                 ({missing} missing, {extra} extra of {} expected)",
+                o.mapping,
+                expected.len()
+            ));
+        }
+        if o.result.cells != expected.len() as u64 {
+            return Err(format!(
+                "{}: executor reported {} cells, region has {}",
+                o.mapping,
+                o.result.cells,
+                expected.len()
+            ));
+        }
+        if o.result.blocks != expected.len() as u64 {
+            return Err(format!(
+                "{}: {} blocks transferred for {} one-block cells",
+                o.mapping,
+                o.result.blocks,
+                expected.len()
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// One model-vs-simulator comparison.
+#[derive(Clone, Debug)]
+pub struct ModelAgreementRow {
+    /// What was compared (e.g. `naive_beam_dim1`).
+    pub label: String,
+    /// Simulated cost in ms.
+    pub sim_ms: f64,
+    /// Analytical cost in ms.
+    pub model_ms: f64,
+    /// The tolerance this row must meet.
+    pub tolerance: f64,
+}
+
+impl ModelAgreementRow {
+    /// Symmetric relative error between simulator and model.
+    pub fn rel_err(&self) -> f64 {
+        (self.sim_ms - self.model_ms).abs() / self.sim_ms.max(self.model_ms)
+    }
+
+    /// Whether the row is within its tolerance.
+    pub fn ok(&self) -> bool {
+        self.rel_err() <= self.tolerance
+    }
+}
+
+/// Steady-state per-cell beam cost: the analytical model describes the
+/// repeating step cost, but a beam's first request lands at an arbitrary
+/// rotational phase from a cold head — a transient short beams cannot
+/// amortize. Excluding that one event compares like with like.
+fn steady_beam_per_cell(
+    exec: &QueryExecutor<'_>,
+    mapping: &dyn Mapping,
+    region: &BoxRegion,
+) -> f64 {
+    let mut log = multimap_disksim::ServiceLog::new();
+    let r = exec.beam_observed(mapping, region, &mut log.recorder());
+    let first = log
+        .events()
+        .first()
+        .map(|e| e.timing.total_ms())
+        .unwrap_or(0.0);
+    if r.cells > 1 {
+        (r.total_io_ms - first) / (r.cells - 1) as f64
+    } else {
+        r.total_io_ms
+    }
+}
+
+/// Compare analytical and simulated costs for Naive and MultiMap beam
+/// and range queries on one disk profile. The grid is sized to sit in
+/// the profile's outermost zone; anchors/extents are fixed so runs are
+/// reproducible.
+pub fn model_agreement(geom: &DiskGeometry) -> Vec<ModelAgreementRow> {
+    let p = ModelParams::from_geometry(geom, 0);
+    let grid = GridSpec::new([100u64, 12, 8]);
+    let volume = LogicalVolume::new(geom.clone(), 1);
+    let naive = NaiveMapping::new(grid.clone(), 0);
+    let mm = MultiMapping::new(geom, grid.clone()).expect("multimap mapping must build");
+    let exec = QueryExecutor::new(&volume, 0);
+    let mut rows = Vec::new();
+
+    for dim in 0..3 {
+        let region = BoxRegion::beam(&grid, dim, &[2, 3, 1]);
+        volume.reset();
+        rows.push(ModelAgreementRow {
+            label: format!("naive_beam_dim{dim}"),
+            sim_ms: steady_beam_per_cell(&exec, &naive, &region),
+            model_ms: naive_beam_per_cell_ms(&p, grid.extents(), dim),
+            tolerance: MODEL_BEAM_TOLERANCE,
+        });
+    }
+    for dim in 1..3 {
+        let region = BoxRegion::beam(&grid, dim, &[2, 3, 1]);
+        volume.reset();
+        rows.push(ModelAgreementRow {
+            label: format!("multimap_beam_dim{dim}"),
+            sim_ms: steady_beam_per_cell(&exec, &mm, &region),
+            model_ms: multimap_beam_per_cell_ms(&p, grid.extents(), dim),
+            tolerance: MODEL_BEAM_TOLERANCE,
+        });
+    }
+
+    let query = BoxRegion::new([10u64, 2, 1], [29u64, 7, 4]);
+    let qext = [20u64, 6, 4];
+    volume.reset();
+    rows.push(ModelAgreementRow {
+        label: "naive_range_20x6x4".into(),
+        sim_ms: exec.range(&naive, &query).total_io_ms,
+        model_ms: naive_range_total_ms(&p, grid.extents(), &qext),
+        tolerance: MODEL_RANGE_TOLERANCE,
+    });
+    volume.reset();
+    rows.push(ModelAgreementRow {
+        label: "multimap_range_20x6x4".into(),
+        sim_ms: exec.range(&mm, &query).total_io_ms,
+        model_ms: multimap_range_total_ms(&p, grid.extents(), &qext),
+        tolerance: MODEL_RANGE_TOLERANCE,
+    });
+    rows
+}
+
+/// Assert every [`model_agreement`] row is within tolerance, with a
+/// readable table on failure.
+pub fn assert_model_agreement(geom: &DiskGeometry) {
+    let rows = model_agreement(geom);
+    let bad: Vec<_> = rows.iter().filter(|r| !r.ok()).collect();
+    assert!(
+        bad.is_empty(),
+        "model disagrees with simulator on {}:\n{}",
+        geom.name,
+        bad.iter()
+            .map(|r| {
+                format!(
+                    "  {}: sim {:.3} ms vs model {:.3} ms (err {:.2} > tol {})",
+                    r.label,
+                    r.sim_ms,
+                    r.model_ms,
+                    r.rel_err(),
+                    r.tolerance
+                )
+            })
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use multimap_disksim::profiles;
+
+    #[test]
+    fn four_standard_mappings_cover_all_kinds() {
+        let geom = profiles::small();
+        let grid = GridSpec::new([40u64, 8, 6]);
+        let mappings = standard_mappings(&geom, &grid);
+        assert_eq!(mappings.len(), 4);
+        let kinds: BTreeSet<_> = mappings.iter().map(|m| format!("{:?}", m.kind())).collect();
+        // Naive, SpaceFillingCurve (x2), MultiMap.
+        assert_eq!(kinds.len(), 3);
+    }
+
+    #[test]
+    fn small_beam_and_range_agree_across_mappings() {
+        let geom = profiles::small();
+        let grid = GridSpec::new([40u64, 8, 6]);
+        check_region(&geom, &grid, &BoxRegion::beam(&grid, 1, &[3, 0, 2]), true).unwrap();
+        check_region(
+            &geom,
+            &grid,
+            &BoxRegion::new([2u64, 1, 0], [9u64, 6, 3]),
+            false,
+        )
+        .unwrap();
+    }
+}
+
+#[cfg(test)]
+mod dump_tests {
+    use super::*;
+    use multimap_disksim::profiles;
+
+    #[test]
+    #[ignore]
+    fn dump_agreement_tables() {
+        for geom in [profiles::small(), profiles::cheetah_36es(), profiles::atlas_10k_iii()] {
+            eprintln!("== {}", geom.name);
+            for r in model_agreement(&geom) {
+                eprintln!("  {:24} sim {:8.3} model {:8.3} err {:.3}", r.label, r.sim_ms, r.model_ms, r.rel_err());
+            }
+        }
+    }
+}

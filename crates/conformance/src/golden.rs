@@ -1,0 +1,283 @@
+//! Golden-trace regression harness.
+//!
+//! A fixed, seeded workload matrix (two disk profiles x five access
+//! patterns) is serviced through the scheduler layer, and the resulting
+//! [`TraceRecord`] streams are serialized to `tests/golden/*.json` at
+//! the repository root. The checked-in files pin the simulator's exact
+//! timing behaviour: any change to seek curve, skew, rotational phase or
+//! scheduling order shows up as a record-level diff.
+//!
+//! Regenerate after an *intentional* behaviour change with:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test -p multimap-conformance --test golden_traces
+//! ```
+//!
+//! Floats are written with Rust's shortest round-trip formatting, so a
+//! comparison after parse-back is exact to the bit.
+
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+
+use multimap_disksim::{
+    profiles, semi_sequential_path, DiskGeometry, Request, Trace, TraceRecord,
+};
+use multimap_lvm::{LogicalVolume, SchedulePolicy};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::json::{self, Value};
+
+/// One entry of the golden workload matrix.
+pub struct GoldenCase {
+    /// Disk profile slug (part of the file name).
+    pub profile: &'static str,
+    /// Workload slug (part of the file name).
+    pub workload: &'static str,
+    /// The geometry the workload runs on.
+    pub geometry: DiskGeometry,
+    /// Requests to service, in issue order.
+    pub requests: Vec<Request>,
+    /// Scheduling policy.
+    pub policy: SchedulePolicy,
+}
+
+impl GoldenCase {
+    /// File stem of this case's golden file.
+    pub fn name(&self) -> String {
+        format!("{}__{}", self.profile, self.workload)
+    }
+
+    /// Service the workload on a fresh disk and return its trace.
+    pub fn run(&self) -> Trace {
+        let volume = LogicalVolume::new(self.geometry.clone(), 1);
+        let (_, log) = volume
+            .service_batch_logged(0, &self.requests, self.policy)
+            .expect("golden workloads must be serviceable");
+        log.to_trace()
+    }
+}
+
+/// Deterministic random requests within the first `span` LBNs.
+fn random_requests(seed: u64, n: usize, span: u64, max_blocks: u64) -> Vec<Request> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let nblocks = rng.random_range(1..=max_blocks);
+            let lbn = rng.random_range(0..span - nblocks);
+            Request::new(lbn, nblocks)
+        })
+        .collect()
+}
+
+/// The full seeded workload matrix: both paper evaluation drives, five
+/// access patterns each (sequential streaming, coalesced ascending scan,
+/// semi-sequential adjacency walk, random SPTF, random queued SPTF).
+pub fn workload_matrix() -> Vec<GoldenCase> {
+    let mut out = Vec::new();
+    for (profile, geometry) in [
+        ("cheetah_36es", profiles::cheetah_36es()),
+        ("atlas_10k_iii", profiles::atlas_10k_iii()),
+    ] {
+        let span = geometry.total_blocks() / 4; // stay in the outer zones
+        out.push(GoldenCase {
+            profile,
+            workload: "sequential_stream",
+            geometry: geometry.clone(),
+            requests: (0..64u64).map(|i| Request::single(1_000 + i)).collect(),
+            policy: SchedulePolicy::InOrder,
+        });
+        out.push(GoldenCase {
+            profile,
+            workload: "ascending_scan",
+            geometry: geometry.clone(),
+            requests: (0..16u64)
+                .map(|i| Request::new(1_000 + i * 2_048, 32))
+                .collect(),
+            policy: SchedulePolicy::AscendingLbn,
+        });
+        out.push(GoldenCase {
+            profile,
+            workload: "semi_sequential",
+            geometry: geometry.clone(),
+            requests: semi_sequential_path(&geometry, 5_000, 1, 32)
+                .into_iter()
+                .map(Request::single)
+                .collect(),
+            policy: SchedulePolicy::InOrder,
+        });
+        out.push(GoldenCase {
+            profile,
+            workload: "random_sptf",
+            geometry: geometry.clone(),
+            requests: random_requests(0x5EED_0001, 40, span, 4),
+            policy: SchedulePolicy::Sptf,
+        });
+        out.push(GoldenCase {
+            profile,
+            workload: "random_queued_sptf",
+            geometry,
+            requests: random_requests(0x5EED_0002, 48, span, 4),
+            policy: SchedulePolicy::QueuedSptf(8),
+        });
+    }
+    out
+}
+
+/// Serialize one case's trace for its golden file.
+pub fn trace_to_json(case: &GoldenCase, trace: &Trace) -> Value {
+    let records = trace
+        .records()
+        .iter()
+        .map(|r| {
+            let mut m = BTreeMap::new();
+            m.insert("start_ms".into(), Value::Num(r.start_ms));
+            m.insert("lbn".into(), Value::Num(r.lbn as f64));
+            m.insert("nblocks".into(), Value::Num(r.nblocks as f64));
+            m.insert("overhead_ms".into(), Value::Num(r.overhead_ms));
+            m.insert("seek_ms".into(), Value::Num(r.seek_ms));
+            m.insert("rotation_ms".into(), Value::Num(r.rotation_ms));
+            m.insert("transfer_ms".into(), Value::Num(r.transfer_ms));
+            Value::Obj(m)
+        })
+        .collect();
+    let mut top = BTreeMap::new();
+    top.insert("profile".into(), Value::Str(case.profile.into()));
+    top.insert("workload".into(), Value::Str(case.workload.into()));
+    top.insert("policy".into(), Value::Str(format!("{:?}", case.policy)));
+    top.insert("records".into(), Value::Arr(records));
+    Value::Obj(top)
+}
+
+/// Parse the record stream back out of a golden file.
+pub fn records_from_json(v: &Value) -> Result<Vec<TraceRecord>, String> {
+    let arr = v
+        .get("records")
+        .and_then(Value::as_arr)
+        .ok_or("golden file has no 'records' array")?;
+    arr.iter()
+        .enumerate()
+        .map(|(i, r)| {
+            let num = |k: &str| {
+                r.get(k)
+                    .and_then(Value::as_f64)
+                    .ok_or(format!("record {i}: missing '{k}'"))
+            };
+            Ok(TraceRecord {
+                start_ms: num("start_ms")?,
+                lbn: r
+                    .get("lbn")
+                    .and_then(Value::as_u64)
+                    .ok_or(format!("record {i}: missing 'lbn'"))?,
+                nblocks: r
+                    .get("nblocks")
+                    .and_then(Value::as_u64)
+                    .ok_or(format!("record {i}: missing 'nblocks'"))?,
+                overhead_ms: num("overhead_ms")?,
+                seek_ms: num("seek_ms")?,
+                rotation_ms: num("rotation_ms")?,
+                transfer_ms: num("transfer_ms")?,
+            })
+        })
+        .collect()
+}
+
+/// Directory holding the golden files (`tests/golden` at the repo root).
+pub fn golden_dir() -> PathBuf {
+    PathBuf::from(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../tests/golden"
+    ))
+}
+
+/// Whether this run should (re)write golden files instead of diffing.
+pub fn update_mode() -> bool {
+    std::env::var_os("UPDATE_GOLDEN").is_some_and(|v| v != "0" && !v.is_empty())
+}
+
+/// Run one golden case: regenerate its file in update mode, otherwise
+/// diff the fresh trace against the checked-in file record by record.
+pub fn check_case(case: &GoldenCase) -> Result<(), String> {
+    let trace = case.run();
+    let fresh = trace_to_json(case, &trace);
+    let path = golden_dir().join(format!("{}.json", case.name()));
+    if update_mode() {
+        std::fs::create_dir_all(golden_dir()).map_err(|e| e.to_string())?;
+        std::fs::write(&path, fresh.to_pretty()).map_err(|e| e.to_string())?;
+        return Ok(());
+    }
+    let text = std::fs::read_to_string(&path).map_err(|e| {
+        format!(
+            "{}: {e} — generate golden files with \
+             `UPDATE_GOLDEN=1 cargo test -p multimap-conformance --test golden_traces`",
+            path.display()
+        )
+    })?;
+    let golden = json::parse(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+    diff_traces(&case.name(), &records_from_json(&golden)?, trace.records())
+}
+
+/// Record-by-record comparison with a first-divergence message.
+pub fn diff_traces(
+    name: &str,
+    golden: &[TraceRecord],
+    fresh: &[TraceRecord],
+) -> Result<(), String> {
+    if golden.len() != fresh.len() {
+        return Err(format!(
+            "{name}: golden has {} records, fresh run has {}",
+            golden.len(),
+            fresh.len()
+        ));
+    }
+    for (i, (g, f)) in golden.iter().zip(fresh).enumerate() {
+        if g != f {
+            return Err(format!(
+                "{name}: first divergence at record {i}:\n  golden: {g:?}\n  fresh:  {f:?}"
+            ));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matrix_is_deterministic() {
+        let a = workload_matrix();
+        let b = workload_matrix();
+        assert_eq!(a.len(), 10);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.name(), y.name());
+            assert_eq!(x.requests, y.requests);
+            let ta = x.run();
+            let tb = y.run();
+            assert_eq!(ta.records(), tb.records(), "{} replay differs", x.name());
+        }
+    }
+
+    #[test]
+    fn json_roundtrip_is_bit_exact() {
+        let case = &workload_matrix()[0];
+        let trace = case.run();
+        let v = trace_to_json(case, &trace);
+        let parsed = json::parse(&v.to_pretty()).unwrap();
+        let back = records_from_json(&parsed).unwrap();
+        assert_eq!(back.as_slice(), trace.records());
+        assert_eq!(parsed.get("profile").unwrap().as_str(), Some("cheetah_36es"));
+    }
+
+    #[test]
+    fn diff_reports_first_divergence() {
+        let case = &workload_matrix()[0];
+        let trace = case.run();
+        let mut tampered = trace.records().to_vec();
+        tampered[3].seek_ms += 0.5;
+        let err = diff_traces("t", trace.records(), &tampered).unwrap_err();
+        assert!(err.contains("record 3"), "{err}");
+        let err = diff_traces("t", &tampered[..5], trace.records()).unwrap_err();
+        assert!(err.contains("5 records"), "{err}");
+    }
+}

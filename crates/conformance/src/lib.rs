@@ -1,0 +1,42 @@
+//! # multimap-conformance — cross-layer conformance checking
+//!
+//! The simulator, the mappings, the query executor and the analytical
+//! model all claim to describe the same disk. This crate holds them to
+//! it, three ways:
+//!
+//! * **Physics oracle** ([`oracle`]): every serviced request is
+//!   re-derived from the public [`DiskGeometry`] model and checked
+//!   against mechanical invariants — rotational waits below one
+//!   revolution, the settle plateau for short seeks, free positioning on
+//!   read-ahead hits, components summing to the observed clock advance.
+//!   Attach it with [`OracleDisk`] or audit a [`ServiceLog`] after the
+//!   fact with [`oracle::check_log`].
+//! * **Differential query checking** ([`differential`]): the same beam
+//!   and range workloads run through all four mappings (Naive, Z-order,
+//!   Hilbert, MultiMap) must transfer exactly the same set of dataset
+//!   cells, and the analytical model must agree with the simulator
+//!   within [`MODEL_BEAM_TOLERANCE`] / [`MODEL_RANGE_TOLERANCE`] on both
+//!   paper evaluation drives.
+//! * **Golden traces** ([`golden`]): a seeded workload matrix pins the
+//!   simulator's exact per-request timings in `tests/golden/*.json`;
+//!   regenerate intentionally with `UPDATE_GOLDEN=1`.
+//!
+//! See `docs/conformance.md` for the invariant catalogue and workflow.
+//!
+//! [`DiskGeometry`]: multimap_disksim::DiskGeometry
+//! [`ServiceLog`]: multimap_disksim::ServiceLog
+
+#![warn(missing_docs)]
+
+pub mod differential;
+pub mod golden;
+pub mod json;
+pub mod oracle;
+
+pub use differential::{
+    assert_model_agreement, check_region, differential_query, model_agreement,
+    standard_mappings, DifferentialOutcome, ModelAgreementRow, MODEL_BEAM_TOLERANCE,
+    MODEL_RANGE_TOLERANCE,
+};
+pub use golden::{check_case, workload_matrix, GoldenCase};
+pub use oracle::{check_event, check_log, OracleDisk, OracleReport, Violation};

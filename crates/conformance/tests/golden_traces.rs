@@ -1,0 +1,48 @@
+//! Golden-trace regression: the seeded workload matrix must replay
+//! bit-identically against the checked-in `tests/golden/*.json` files.
+//!
+//! After an intentional timing change, regenerate with:
+//! `UPDATE_GOLDEN=1 cargo test -p multimap-conformance --test golden_traces`
+
+use multimap_conformance::golden::{check_case, golden_dir, update_mode, workload_matrix};
+use multimap_conformance::oracle::check_log;
+use multimap_lvm::LogicalVolume;
+
+#[test]
+fn golden_traces_match() {
+    let mut failures = Vec::new();
+    for case in workload_matrix() {
+        if let Err(e) = check_case(&case) {
+            failures.push(e);
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "{} golden case(s) diverged:\n{}",
+        failures.len(),
+        failures.join("\n")
+    );
+    if update_mode() {
+        eprintln!("golden files regenerated under {}", golden_dir().display());
+    }
+}
+
+#[test]
+fn golden_workloads_are_oracle_clean() {
+    // The matrix that pins timings must itself obey the physics oracle —
+    // a golden file can never freeze a mechanically impossible timing.
+    for case in workload_matrix() {
+        let volume = LogicalVolume::new(case.geometry.clone(), 1);
+        let (_, log) = volume
+            .service_batch_logged(0, &case.requests, case.policy)
+            .expect("golden workloads must be serviceable");
+        let report = check_log(&case.geometry, &log);
+        assert!(
+            report.is_clean(),
+            "{}: {} violation(s), first: {}",
+            case.name(),
+            report.violations.len(),
+            report.violations[0]
+        );
+    }
+}

@@ -40,6 +40,7 @@
 pub mod adjacency;
 pub mod error;
 pub mod geometry;
+pub mod observe;
 pub mod profiles;
 pub mod scheduler;
 pub mod sim;
@@ -49,9 +50,12 @@ pub mod trace;
 pub use adjacency::{adjacency_offset_sectors, adjacent_lbn, semi_sequential_path};
 pub use error::{DiskError, Result};
 pub use geometry::{DiskBuilder, DiskGeometry, Lbn, Location, Zone, ZoneSpec, SECTOR_BYTES};
+pub use observe::{ServiceEvent, ServiceLog};
 pub use scheduler::{
-    coalesce_sorted, service_batch_ascending, service_batch_in_order, service_batch_queued_sptf,
-    service_batch_sptf, BatchTiming,
+    coalesce_sorted, service_batch_ascending, service_batch_ascending_observed,
+    service_batch_in_order, service_batch_in_order_observed, service_batch_queued_sptf,
+    service_batch_queued_sptf_observed, service_batch_sptf, service_batch_sptf_observed,
+    BatchTiming,
 };
 pub use sim::{AccessKind, DiskSim, HeadState, Request, RequestTiming};
 pub use stats::AccessStats;

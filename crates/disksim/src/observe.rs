@@ -1,0 +1,140 @@
+//! Scheduler observation: a per-request record of what the scheduler
+//! decided and what the mechanics did, rich enough for an external
+//! physics oracle to re-derive every timing component from geometry
+//! alone.
+//!
+//! The batch-servicing functions in [`crate::scheduler`] have
+//! `*_observed` variants that emit one [`ServiceEvent`] per serviced
+//! request through a caller-supplied closure; [`ServiceLog`] is the
+//! common collector.
+
+use crate::sim::{AccessKind, HeadState, Request, RequestTiming};
+use crate::trace::Trace;
+
+/// One serviced request with full before/after mechanical state and the
+/// scheduler's decision context.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ServiceEvent {
+    /// Position in service order (0-based).
+    pub seq: usize,
+    /// Position in the order the scheduler admitted requests: the
+    /// issue order for in-order and queued policies, the sorted order
+    /// for ascending service, the original slice index for full SPTF.
+    pub admission_rank: usize,
+    /// Number of candidate requests the scheduler chose between when it
+    /// picked this one (1 for in-order service).
+    pub queue_len: usize,
+    /// Read or write.
+    pub kind: AccessKind,
+    /// The request serviced.
+    pub request: Request,
+    /// Mechanical state when service began.
+    pub before: HeadState,
+    /// Mechanical state when service completed.
+    pub after: HeadState,
+    /// Component breakdown of the service time.
+    pub timing: RequestTiming,
+}
+
+impl ServiceEvent {
+    /// Whether this request continued the previous one's read-ahead
+    /// stream (the simulator's prefetch fast path).
+    #[inline]
+    pub fn is_prefetch_hit(&self) -> bool {
+        self.before.last_end_lbn == Some(self.request.lbn)
+    }
+}
+
+/// An in-order collection of [`ServiceEvent`]s from one or more batches.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ServiceLog {
+    events: Vec<ServiceEvent>,
+}
+
+impl ServiceLog {
+    /// Empty log.
+    pub fn new() -> Self {
+        ServiceLog::default()
+    }
+
+    /// Events in service order.
+    pub fn events(&self) -> &[ServiceEvent] {
+        &self.events
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the log is empty.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Record one event.
+    pub fn push(&mut self, event: ServiceEvent) {
+        self.events.push(event);
+    }
+
+    /// A closure that records into this log, for the `*_observed`
+    /// scheduler entry points.
+    pub fn recorder(&mut self) -> impl FnMut(ServiceEvent) + '_ {
+        |event| self.events.push(event)
+    }
+
+    /// Sum of all recorded service times.
+    pub fn total_ms(&self) -> f64 {
+        self.events.iter().map(|e| e.timing.total_ms()).sum()
+    }
+
+    /// Project the log onto a plain [`Trace`] (timing components only).
+    pub fn to_trace(&self) -> Trace {
+        let mut trace = Trace::new();
+        for e in &self.events {
+            trace.push(e.before.time_ms, e.request, &e.timing);
+        }
+        trace
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profiles;
+    use crate::scheduler::service_batch_in_order_observed;
+    use crate::sim::DiskSim;
+
+    #[test]
+    fn log_collects_events_and_projects_trace() {
+        let mut sim = DiskSim::new(profiles::small());
+        let reqs: Vec<Request> = (0..8u64).map(|i| Request::single(i * 999)).collect();
+        let mut log = ServiceLog::new();
+        let timing =
+            service_batch_in_order_observed(&mut sim, &reqs, &mut log.recorder()).unwrap();
+        assert_eq!(log.len(), 8);
+        assert!(!log.is_empty());
+        assert!((log.total_ms() - timing.total_ms).abs() < 1e-9);
+        let trace = log.to_trace();
+        assert_eq!(trace.len(), 8);
+        assert!((trace.total_ms() - timing.total_ms).abs() < 1e-9);
+        for (i, e) in log.events().iter().enumerate() {
+            assert_eq!(e.seq, i);
+            assert_eq!(e.admission_rank, i);
+            assert_eq!(e.queue_len, 1);
+            assert_eq!(e.kind, AccessKind::Read);
+            assert!((e.after.time_ms - e.before.time_ms - e.timing.total_ms()).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn prefetch_hit_detection() {
+        let mut sim = DiskSim::new(profiles::small());
+        let reqs = [Request::new(0, 4), Request::new(4, 4), Request::new(100, 1)];
+        let mut log = ServiceLog::new();
+        service_batch_in_order_observed(&mut sim, &reqs, &mut log.recorder()).unwrap();
+        assert!(!log.events()[0].is_prefetch_hit());
+        assert!(log.events()[1].is_prefetch_hit());
+        assert!(!log.events()[2].is_prefetch_hit());
+    }
+}

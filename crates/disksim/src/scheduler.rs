@@ -12,7 +12,8 @@
 
 use crate::error::Result;
 use crate::geometry::Lbn;
-use crate::sim::{DiskSim, Request};
+use crate::observe::ServiceEvent;
+use crate::sim::{AccessKind, DiskSim, Request};
 
 /// Outcome of servicing a batch of requests.
 #[derive(Clone, Copy, Debug, Default, PartialEq)]
@@ -74,19 +75,64 @@ pub fn coalesce_sorted(lbns: &[Lbn]) -> Vec<Request> {
     out
 }
 
+/// Serve one request, emitting a [`ServiceEvent`] with the scheduler's
+/// decision context and the full before/after mechanical state.
+fn serve_observed(
+    sim: &mut DiskSim,
+    req: Request,
+    out: &mut BatchTiming,
+    admission_rank: usize,
+    queue_len: usize,
+    observe: &mut dyn FnMut(ServiceEvent),
+) -> Result<()> {
+    let seq = out.requests as usize;
+    let before = sim.state();
+    let t = sim.service(req)?;
+    observe(ServiceEvent {
+        seq,
+        admission_rank,
+        queue_len,
+        kind: AccessKind::Read,
+        request: req,
+        before,
+        after: sim.state(),
+        timing: t,
+    });
+    out.add(req.nblocks, t.total_ms());
+    Ok(())
+}
+
 /// Serve the requests in ascending LBN order (after sorting a copy).
 pub fn service_batch_ascending(sim: &mut DiskSim, requests: &[Request]) -> Result<BatchTiming> {
+    service_batch_ascending_observed(sim, requests, &mut |_| {})
+}
+
+/// [`service_batch_ascending`] with a per-request observer. Admission
+/// ranks report positions in the sorted order actually issued.
+pub fn service_batch_ascending_observed(
+    sim: &mut DiskSim,
+    requests: &[Request],
+    observe: &mut dyn FnMut(ServiceEvent),
+) -> Result<BatchTiming> {
     let mut sorted: Vec<Request> = requests.to_vec();
     sorted.sort_unstable_by_key(|r| r.lbn);
-    service_batch_in_order(sim, &sorted)
+    service_batch_in_order_observed(sim, &sorted, observe)
 }
 
 /// Serve the requests exactly in the order given.
 pub fn service_batch_in_order(sim: &mut DiskSim, requests: &[Request]) -> Result<BatchTiming> {
+    service_batch_in_order_observed(sim, requests, &mut |_| {})
+}
+
+/// [`service_batch_in_order`] with a per-request observer.
+pub fn service_batch_in_order_observed(
+    sim: &mut DiskSim,
+    requests: &[Request],
+    observe: &mut dyn FnMut(ServiceEvent),
+) -> Result<BatchTiming> {
     let mut out = BatchTiming::default();
-    for req in requests {
-        let t = sim.service(*req)?;
-        out.add(req.nblocks, t.total_ms());
+    for (rank, req) in requests.iter().enumerate() {
+        serve_observed(sim, *req, &mut out, rank, 1, observe)?;
     }
     Ok(out)
 }
@@ -98,21 +144,32 @@ pub fn service_batch_in_order(sim: &mut DiskSim, requests: &[Request]) -> Result
 /// Runs in `O(n^2)` service-time estimates; intended for batches up to a
 /// few thousand requests (beam queries).
 pub fn service_batch_sptf(sim: &mut DiskSim, requests: &[Request]) -> Result<BatchTiming> {
-    let mut pending: Vec<Request> = requests.to_vec();
+    service_batch_sptf_observed(sim, requests, &mut |_| {})
+}
+
+/// [`service_batch_sptf`] with a per-request observer. Admission ranks
+/// are indices into the submitted slice; `queue_len` is the number of
+/// pending candidates at each decision.
+pub fn service_batch_sptf_observed(
+    sim: &mut DiskSim,
+    requests: &[Request],
+    observe: &mut dyn FnMut(ServiceEvent),
+) -> Result<BatchTiming> {
+    let mut pending: Vec<(usize, Request)> = requests.iter().copied().enumerate().collect();
     let mut out = BatchTiming::default();
     while !pending.is_empty() {
         let mut best_idx = 0;
         let mut best_est = f64::INFINITY;
-        for (i, req) in pending.iter().enumerate() {
+        for (i, (_, req)) in pending.iter().enumerate() {
             let est = sim.estimate(*req)?;
             if est < best_est {
                 best_est = est;
                 best_idx = i;
             }
         }
-        let req = pending.swap_remove(best_idx);
-        let t = sim.service(req)?;
-        out.add(req.nblocks, t.total_ms());
+        let queue_len = pending.len();
+        let (rank, req) = pending.swap_remove(best_idx);
+        serve_observed(sim, req, &mut out, rank, queue_len, observe)?;
     }
     Ok(out)
 }
@@ -130,29 +187,41 @@ pub fn service_batch_queued_sptf(
     requests: &[Request],
     queue_depth: usize,
 ) -> Result<BatchTiming> {
+    service_batch_queued_sptf_observed(sim, requests, queue_depth, &mut |_| {})
+}
+
+/// [`service_batch_queued_sptf`] with a per-request observer. Admission
+/// ranks are indices in issue order, so an event's service position can
+/// never precede `admission_rank - (queue_depth - 1)`.
+pub fn service_batch_queued_sptf_observed(
+    sim: &mut DiskSim,
+    requests: &[Request],
+    queue_depth: usize,
+    observe: &mut dyn FnMut(ServiceEvent),
+) -> Result<BatchTiming> {
     let depth = queue_depth.max(1);
     let mut out = BatchTiming::default();
-    let mut queue: Vec<Request> = Vec::with_capacity(depth);
+    let mut queue: Vec<(usize, Request)> = Vec::with_capacity(depth);
     let mut next = 0usize;
     while next < requests.len() && queue.len() < depth {
-        queue.push(requests[next]);
+        queue.push((next, requests[next]));
         next += 1;
     }
     while !queue.is_empty() {
         let mut best_idx = 0;
         let mut best_est = f64::INFINITY;
-        for (i, req) in queue.iter().enumerate() {
+        for (i, (_, req)) in queue.iter().enumerate() {
             let est = sim.estimate(*req)?;
             if est < best_est {
                 best_est = est;
                 best_idx = i;
             }
         }
-        let req = queue.swap_remove(best_idx);
-        let t = sim.service(req)?;
-        out.add(req.nblocks, t.total_ms());
+        let queue_len = queue.len();
+        let (rank, req) = queue.swap_remove(best_idx);
+        serve_observed(sim, req, &mut out, rank, queue_len, observe)?;
         if next < requests.len() {
-            queue.push(requests[next]);
+            queue.push((next, requests[next]));
             next += 1;
         }
     }
@@ -295,5 +364,101 @@ mod tests {
         let t = service_batch_ascending(&mut s, &[Request::new(0, 10)]).unwrap();
         assert!((t.per_block_ms() - t.total_ms / 10.0).abs() < 1e-12);
         assert_eq!(BatchTiming::default().per_block_ms(), 0.0);
+    }
+
+    mod properties {
+        use super::*;
+        use crate::observe::ServiceLog;
+        use proptest::prelude::*;
+
+        /// Random request batches inside the test disk's address space
+        /// (total blocks = 400 cylinders * 4 surfaces * 120 spt).
+        fn arb_requests() -> impl Strategy<Value = Vec<Request>> {
+            proptest::collection::vec((0u64..190_000, 1u64..6), 1..40)
+                .prop_map(|pairs| pairs.into_iter().map(|(l, n)| Request::new(l, n)).collect())
+        }
+
+        fn served_multiset(log: &ServiceLog) -> Vec<Request> {
+            let mut served: Vec<Request> = log.events().iter().map(|e| e.request).collect();
+            served.sort_unstable_by_key(|r| (r.lbn, r.nblocks));
+            served
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(64))]
+
+            /// Every scheduling policy serves exactly the requested
+            /// multiset — nothing dropped, duplicated, or invented.
+            #[test]
+            fn served_set_equals_requested_set(reqs in arb_requests()) {
+                let mut expected = reqs.clone();
+                expected.sort_unstable_by_key(|r| (r.lbn, r.nblocks));
+                for depth in [1usize, 4, 16] {
+                    let mut s = sim();
+                    let mut log = ServiceLog::new();
+                    let t = service_batch_queued_sptf_observed(
+                        &mut s, &reqs, depth, &mut log.recorder(),
+                    ).unwrap();
+                    prop_assert_eq!(t.requests as usize, reqs.len());
+                    prop_assert_eq!(served_multiset(&log), expected.clone());
+                }
+                let mut s = sim();
+                let mut log = ServiceLog::new();
+                service_batch_sptf_observed(&mut s, &reqs, &mut log.recorder()).unwrap();
+                prop_assert_eq!(served_multiset(&log), expected.clone());
+                let mut s = sim();
+                let mut log = ServiceLog::new();
+                service_batch_ascending_observed(&mut s, &reqs, &mut log.recorder()).unwrap();
+                prop_assert_eq!(served_multiset(&log), expected);
+            }
+
+            /// Queue-depth-limited SPTF cannot starve: the request served
+            /// at position `seq` was among the first `seq + depth`
+            /// admitted, and conversely cannot be served before it
+            /// entered the queue.
+            #[test]
+            fn queued_sptf_never_starves_beyond_queue_depth(
+                reqs in arb_requests(),
+                depth in 1usize..20,
+            ) {
+                let mut s = sim();
+                let mut log = ServiceLog::new();
+                service_batch_queued_sptf_observed(&mut s, &reqs, depth, &mut log.recorder())
+                    .unwrap();
+                for e in log.events() {
+                    prop_assert!(
+                        e.admission_rank < e.seq + depth,
+                        "seq {} served rank {} with depth {}",
+                        e.seq, e.admission_rank, depth
+                    );
+                    // The queue is always as full as admissions allow.
+                    prop_assert_eq!(e.queue_len, depth.min(reqs.len() - e.seq));
+                }
+            }
+
+            /// On pre-sorted input, the ascending policy is *identical*
+            /// to in-order service: same event sequence, same timings.
+            #[test]
+            fn ascending_fallback_identical_on_sorted_input(reqs in arb_requests()) {
+                let mut sorted = reqs;
+                sorted.sort_unstable_by_key(|r| r.lbn);
+                // Duplicate LBNs would make the ascending policy's own
+                // (unstable) sort order of ties unspecified.
+                sorted.dedup_by_key(|r| r.lbn);
+                let mut a = sim();
+                let mut log_a = ServiceLog::new();
+                let ta = service_batch_ascending_observed(&mut a, &sorted, &mut log_a.recorder())
+                    .unwrap();
+                let mut b = sim();
+                let mut log_b = ServiceLog::new();
+                let tb = service_batch_in_order_observed(&mut b, &sorted, &mut log_b.recorder())
+                    .unwrap();
+                prop_assert_eq!(ta, tb);
+                prop_assert_eq!(log_a.events().len(), log_b.events().len());
+                for (ea, eb) in log_a.events().iter().zip(log_b.events()) {
+                    prop_assert_eq!(ea, eb);
+                }
+            }
+        }
     }
 }

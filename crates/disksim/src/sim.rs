@@ -574,6 +574,65 @@ mod tests {
         );
     }
 
+    fn jitter_geom(jitter_ms: f64) -> DiskGeometry {
+        crate::geometry::DiskBuilder::new("jitter-unit")
+            .rpm(10_000.0)
+            .surfaces(4)
+            .zones(vec![crate::geometry::ZoneSpec {
+                cylinders: 200,
+                sectors_per_track: 120,
+            }])
+            .settle_ms(1.2)
+            .settle_cylinders(8)
+            .settle_jitter_ms(jitter_ms)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn settle_jitter_same_inputs_same_jitter() {
+        let geom = jitter_geom(0.4);
+        for (t, track) in [(0.0, 0u64), (17.25, 3), (123.456, 799), (9999.0, 1)] {
+            let a = settle_jitter(&geom, t, track);
+            let b = settle_jitter(&geom, t, track);
+            assert_eq!(a, b, "jitter at (t={t}, track={track}) must be stable");
+        }
+    }
+
+    #[test]
+    fn settle_jitter_within_configured_bound() {
+        let geom = jitter_geom(0.4);
+        let mut distinct = std::collections::BTreeSet::new();
+        for i in 0..500u64 {
+            let t = i as f64 * 0.731;
+            let j = settle_jitter(&geom, t, i % 800);
+            assert!(
+                (0.0..geom.settle_jitter_ms).contains(&j),
+                "jitter {j} outside [0, {})",
+                geom.settle_jitter_ms
+            );
+            distinct.insert(j.to_bits());
+        }
+        // The hash must actually vary across inputs, not collapse.
+        assert!(distinct.len() > 400, "only {} distinct draws", distinct.len());
+    }
+
+    #[test]
+    fn settle_jitter_zero_profile_short_circuits() {
+        let geom = jitter_geom(0.0);
+        for (t, track) in [(0.0, 0u64), (55.5, 123), (f64::MAX, 799)] {
+            assert_eq!(settle_jitter(&geom, t, track), 0.0);
+        }
+    }
+
+    #[test]
+    fn settle_jitter_distinguishes_time_and_track() {
+        let geom = jitter_geom(0.4);
+        let base = settle_jitter(&geom, 10.0, 5);
+        assert_ne!(base, settle_jitter(&geom, 10.5, 5));
+        assert_ne!(base, settle_jitter(&geom, 10.0, 6));
+    }
+
     #[test]
     fn time_advances_monotonically() {
         let mut sim = disk();

@@ -2,9 +2,10 @@
 //! adjacency-model interface.
 
 use multimap_disksim::{
-    adjacent_lbn, coalesce_sorted, service_batch_ascending, service_batch_in_order,
-    service_batch_queued_sptf, service_batch_sptf, AccessStats, BatchTiming, DiskGeometry, DiskSim,
-    Lbn, Request, RequestTiming, Result,
+    adjacent_lbn, coalesce_sorted, service_batch_ascending_observed,
+    service_batch_in_order_observed, service_batch_queued_sptf_observed,
+    service_batch_sptf_observed, AccessStats, BatchTiming, DiskGeometry, DiskSim, Lbn, Request,
+    RequestTiming, Result, ServiceEvent, ServiceLog,
 };
 use parking_lot::Mutex;
 
@@ -114,15 +115,44 @@ impl LogicalVolume {
         requests: &[Request],
         policy: SchedulePolicy,
     ) -> Result<BatchTiming> {
+        self.service_batch_observed(disk, requests, policy, &mut |_| {})
+    }
+
+    /// [`LogicalVolume::service_batch`] with a per-request observer: the
+    /// scheduler emits one [`ServiceEvent`] per serviced request, so a
+    /// conformance oracle can inspect every decision (admission rank,
+    /// queue length, head state before/after, timing components).
+    pub fn service_batch_observed(
+        &self,
+        disk: usize,
+        requests: &[Request],
+        policy: SchedulePolicy,
+        observe: &mut dyn FnMut(ServiceEvent),
+    ) -> Result<BatchTiming> {
         let mut sim = self.disks[disk].lock();
         match policy {
-            SchedulePolicy::InOrder => service_batch_in_order(&mut sim, requests),
-            SchedulePolicy::AscendingLbn => service_batch_ascending(&mut sim, requests),
-            SchedulePolicy::Sptf => service_batch_sptf(&mut sim, requests),
+            SchedulePolicy::InOrder => service_batch_in_order_observed(&mut sim, requests, observe),
+            SchedulePolicy::AscendingLbn => {
+                service_batch_ascending_observed(&mut sim, requests, observe)
+            }
+            SchedulePolicy::Sptf => service_batch_sptf_observed(&mut sim, requests, observe),
             SchedulePolicy::QueuedSptf(depth) => {
-                service_batch_queued_sptf(&mut sim, requests, depth)
+                service_batch_queued_sptf_observed(&mut sim, requests, depth, observe)
             }
         }
+    }
+
+    /// [`LogicalVolume::service_batch`] that collects every scheduler
+    /// decision into a returned [`ServiceLog`].
+    pub fn service_batch_logged(
+        &self,
+        disk: usize,
+        requests: &[Request],
+        policy: SchedulePolicy,
+    ) -> Result<(BatchTiming, ServiceLog)> {
+        let mut log = ServiceLog::new();
+        let timing = self.service_batch_observed(disk, requests, policy, &mut log.recorder())?;
+        Ok((timing, log))
     }
 
     /// Service a sorted, deduplicated LBN list on one disk, coalescing

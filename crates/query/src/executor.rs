@@ -1,7 +1,7 @@
 //! The query executor.
 
 use multimap_core::{BoxRegion, Mapping, MappingKind};
-use multimap_disksim::{BatchTiming, Lbn, Request};
+use multimap_disksim::{coalesce_sorted, BatchTiming, Lbn, Request, ServiceEvent};
 use multimap_lvm::{LogicalVolume, SchedulePolicy};
 
 /// How beam-query blocks are handed to the disk.
@@ -147,6 +147,18 @@ impl<'a> QueryExecutor<'a> {
     /// Run a beam query: fetch all cells of `region` (usually a line
     /// along one dimension) as individual cell requests.
     pub fn beam(&self, mapping: &dyn Mapping, region: &BoxRegion) -> QueryResult {
+        self.beam_observed(mapping, region, &mut |_| {})
+    }
+
+    /// [`QueryExecutor::beam`] with a per-request observer; the scheduler
+    /// emits one [`ServiceEvent`] per serviced request, letting a
+    /// conformance oracle audit every disk decision the query caused.
+    pub fn beam_observed(
+        &self,
+        mapping: &dyn Mapping,
+        region: &BoxRegion,
+        observe: &mut dyn FnMut(ServiceEvent),
+    ) -> QueryResult {
         assert!(
             region.fits(mapping.grid()),
             "beam region must lie inside the dataset grid"
@@ -168,13 +180,24 @@ impl<'a> QueryExecutor<'a> {
         };
         let batch = self
             .volume
-            .service_batch(self.disk, &requests, policy)
+            .service_batch_observed(self.disk, &requests, policy, observe)
             .expect("mapped LBNs must be serviceable");
         QueryResult::from_batch(batch, lbns.len() as u64)
     }
 
     /// Run a range query: fetch every cell of the N-D box `region`.
     pub fn range(&self, mapping: &dyn Mapping, region: &BoxRegion) -> QueryResult {
+        self.range_observed(mapping, region, &mut |_| {})
+    }
+
+    /// [`QueryExecutor::range`] with a per-request observer (see
+    /// [`QueryExecutor::beam_observed`]).
+    pub fn range_observed(
+        &self,
+        mapping: &dyn Mapping,
+        region: &BoxRegion,
+        observe: &mut dyn FnMut(ServiceEvent),
+    ) -> QueryResult {
         assert!(
             region.fits(mapping.grid()),
             "range region must lie inside the dataset grid"
@@ -187,14 +210,14 @@ impl<'a> QueryExecutor<'a> {
                 let requests: Vec<Request> =
                     lbns.iter().map(|&l| Request::new(l, cell_blocks)).collect();
                 self.volume
-                    .service_batch(self.disk, &requests, SchedulePolicy::InOrder)
+                    .service_batch_observed(self.disk, &requests, SchedulePolicy::InOrder, observe)
             }
             RangeOrder::SortedSingles => {
                 lbns.sort_unstable();
                 let requests: Vec<Request> =
                     lbns.iter().map(|&l| Request::new(l, cell_blocks)).collect();
                 self.volume
-                    .service_batch(self.disk, &requests, SchedulePolicy::InOrder)
+                    .service_batch_observed(self.disk, &requests, SchedulePolicy::InOrder, observe)
             }
             RangeOrder::SortedCoalesced | RangeOrder::SortedCoalescedFifo => {
                 let policy = if self.options.range == RangeOrder::SortedCoalesced {
@@ -203,13 +226,14 @@ impl<'a> QueryExecutor<'a> {
                     SchedulePolicy::InOrder
                 };
                 lbns.sort_unstable();
-                if cell_blocks == 1 {
-                    self.volume.service_sorted_lbns(self.disk, &lbns, policy)
+                let requests = if cell_blocks == 1 {
+                    coalesce_sorted(&lbns)
                 } else {
                     // Expand cells into block runs before coalescing.
-                    let requests = coalesce_cells(&lbns, cell_blocks);
-                    self.volume.service_batch(self.disk, &requests, policy)
-                }
+                    coalesce_cells(&lbns, cell_blocks)
+                };
+                self.volume
+                    .service_batch_observed(self.disk, &requests, policy, observe)
             }
         }
         .expect("mapped LBNs must be serviceable");

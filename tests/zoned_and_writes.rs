@@ -105,3 +105,90 @@ fn zoned_load_covers_all_cells() {
     assert_eq!(a.cells, b.cells);
     assert_eq!(a.blocks, b.blocks);
 }
+
+/// `GET_TRACK_BOUNDARIES` and `GET_ADJACENT` must tell one consistent
+/// story right across every zone transition of both paper evaluation
+/// drives: track windows tile the LBN space with the correct per-zone
+/// width even where `T` changes, the volume interface agrees with the
+/// raw geometry, and adjacency never silently crosses a zone edge.
+#[test]
+fn zone_transition_boundaries_and_adjacency_agree() {
+    use multimap::disksim::adjacent_lbn;
+
+    for geom in [profiles::cheetah_36es(), profiles::atlas_10k_iii()] {
+        let volume = LogicalVolume::new(geom.clone(), 1);
+        let zones = geom.zones();
+        assert!(zones.len() >= 2, "{}: need zoned geometry", geom.name);
+
+        for pair in zones.windows(2) {
+            let (outer, inner) = (&pair[0], &pair[1]);
+            let boundary = inner.first_lbn;
+
+            // Probe a window straddling the transition: the last two
+            // tracks of `outer` and the first two tracks of `inner`.
+            let window = 2 * outer.sectors_per_track as u64;
+            for lbn in (boundary - window)..(boundary + 2 * inner.sectors_per_track as u64) {
+                let (first, last) = volume.get_track_boundaries(lbn).unwrap();
+                assert_eq!(
+                    (first, last),
+                    geom.track_boundaries(lbn).unwrap(),
+                    "{}: volume and geometry disagree at lbn {lbn}",
+                    geom.name
+                );
+                assert!(first <= lbn && lbn <= last);
+                let spt = if lbn < boundary {
+                    outer.sectors_per_track
+                } else {
+                    inner.sectors_per_track
+                };
+                assert_eq!(
+                    last - first + 1,
+                    spt as u64,
+                    "{}: track at lbn {lbn} has the wrong zone's width",
+                    geom.name
+                );
+            }
+
+            // Track windows tile: walking first LBNs track by track
+            // through the transition leaves no gap and no overlap.
+            let mut lbn = boundary - window;
+            while lbn < boundary + inner.sectors_per_track as u64 {
+                let (first, last) = volume.get_track_boundaries(lbn).unwrap();
+                assert_eq!(first, lbn, "{}: track tiling broke at {lbn}", geom.name);
+                lbn = last + 1;
+            }
+            assert_eq!(
+                volume.get_track_boundaries(boundary).unwrap().0,
+                boundary,
+                "{}: zone {} must open on a track boundary",
+                geom.name,
+                inner.index
+            );
+
+            // Adjacency: a block on the last track of `outer` has no
+            // adjacent block (the next track is another zone's), and the
+            // volume agrees with the raw model about it.
+            let last_track_lbn = boundary - 1;
+            assert!(volume.get_adjacent(last_track_lbn, 1).is_err());
+            assert!(adjacent_lbn(&geom, last_track_lbn, 1).is_err());
+            // From `D+1` tracks above the edge, every advertised step
+            // resolves, agrees across interfaces, and stays in-zone.
+            let d = volume.adjacency_limit();
+            let deep_lbn = boundary - (d as u64 + 1) * outer.sectors_per_track as u64;
+            for step in [1u32, 2, d / 2, d] {
+                let via_volume = volume.get_adjacent(deep_lbn, step).unwrap();
+                assert_eq!(via_volume, adjacent_lbn(&geom, deep_lbn, step).unwrap());
+                assert!(
+                    via_volume < boundary && via_volume >= outer.first_lbn,
+                    "{}: step {step} escaped zone {}",
+                    geom.name,
+                    outer.index
+                );
+            }
+            // One track closer and the deepest step crosses: error, not
+            // a silent wrap into the next zone.
+            let edge_lbn = boundary - d as u64 * outer.sectors_per_track as u64;
+            assert!(volume.get_adjacent(edge_lbn, d).is_err());
+        }
+    }
+}

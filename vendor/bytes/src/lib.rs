@@ -1,0 +1,247 @@
+//! Offline stand-in for the `bytes` crate.
+//!
+//! Implements the subset the workspace uses: [`Bytes`] (cheaply cloneable
+//! immutable view with `split_to`), [`BytesMut`] (growable buffer with
+//! `put_*`, `resize`, `freeze`), and the [`Buf`] / [`BufMut`] traits for
+//! little-endian u16 access.
+
+#![warn(missing_docs)]
+
+use std::ops::{Deref, DerefMut};
+use std::sync::Arc;
+
+/// Immutable, cheaply cloneable byte view.
+#[derive(Clone, Default)]
+pub struct Bytes {
+    data: Arc<Vec<u8>>,
+    start: usize,
+    end: usize,
+}
+
+impl Bytes {
+    /// Empty bytes.
+    pub fn new() -> Self {
+        Bytes::default()
+    }
+
+    /// Copy a slice into a new `Bytes`.
+    pub fn copy_from_slice(src: &[u8]) -> Self {
+        Bytes::from(src.to_vec())
+    }
+
+    /// View a static slice (copied; lifetimes don't matter for this
+    /// stand-in's uses).
+    pub fn from_static(src: &'static [u8]) -> Self {
+        Bytes::copy_from_slice(src)
+    }
+
+    /// Number of bytes in the view.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Whether the view is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Split off and return the first `at` bytes, advancing `self` past
+    /// them.
+    ///
+    /// # Panics
+    /// Panics if `at > self.len()`.
+    pub fn split_to(&mut self, at: usize) -> Bytes {
+        assert!(at <= self.len(), "split_to out of bounds");
+        let head = Bytes {
+            data: Arc::clone(&self.data),
+            start: self.start,
+            end: self.start + at,
+        };
+        self.start += at;
+        head
+    }
+
+    fn as_slice(&self) -> &[u8] {
+        &self.data[self.start..self.end]
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        let end = v.len();
+        Bytes {
+            data: Arc::new(v),
+            start: 0,
+            end,
+        }
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for Bytes {}
+
+impl PartialEq<[u8]> for Bytes {
+    fn eq(&self, other: &[u8]) -> bool {
+        self.as_slice() == other
+    }
+}
+
+impl std::hash::Hash for Bytes {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.as_slice().hash(state)
+    }
+}
+
+impl std::fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "b\"")?;
+        for &b in self.as_slice() {
+            write!(f, "\\x{b:02x}")?;
+        }
+        write!(f, "\"")
+    }
+}
+
+/// Growable byte buffer.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    buf: Vec<u8>,
+}
+
+impl BytesMut {
+    /// Empty buffer with room for `cap` bytes.
+    pub fn with_capacity(cap: usize) -> Self {
+        BytesMut {
+            buf: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Buffer of `len` zero bytes.
+    pub fn zeroed(len: usize) -> Self {
+        BytesMut { buf: vec![0; len] }
+    }
+
+    /// Number of bytes written.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Resize to `len` bytes, filling with `fill`.
+    pub fn resize(&mut self, len: usize, fill: u8) {
+        self.buf.resize(len, fill);
+    }
+
+    /// Freeze into an immutable [`Bytes`].
+    pub fn freeze(self) -> Bytes {
+        Bytes::from(self.buf)
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.buf
+    }
+}
+
+impl DerefMut for BytesMut {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        &mut self.buf
+    }
+}
+
+/// Read-side cursor operations.
+pub trait Buf {
+    /// Consume and return one little-endian `u16`.
+    fn get_u16_le(&mut self) -> u16;
+}
+
+impl Buf for Bytes {
+    fn get_u16_le(&mut self) -> u16 {
+        let head = self.split_to(2);
+        u16::from_le_bytes([head[0], head[1]])
+    }
+}
+
+/// Write-side append operations.
+pub trait BufMut {
+    /// Append one little-endian `u16`.
+    fn put_u16_le(&mut self, v: u16);
+    /// Append a slice.
+    fn put_slice(&mut self, src: &[u8]);
+}
+
+impl BufMut for BytesMut {
+    fn put_u16_le(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn put_slice(&mut self, src: &[u8]) {
+        self.buf.extend_from_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_u16_and_slices() {
+        let mut m = BytesMut::with_capacity(8);
+        m.put_u16_le(0x4D4D);
+        m.put_slice(&[1, 2, 3]);
+        m.resize(8, 0);
+        let mut b = m.freeze();
+        assert_eq!(b.len(), 8);
+        assert_eq!(b.get_u16_le(), 0x4D4D);
+        let head = b.split_to(3);
+        assert_eq!(head.as_ref(), &[1, 2, 3]);
+        assert_eq!(b.as_ref(), &[0, 0, 0]);
+    }
+
+    #[test]
+    fn split_shares_storage() {
+        let mut b = Bytes::from(vec![9u8; 100]);
+        let head = b.split_to(40);
+        assert_eq!(head.len(), 40);
+        assert_eq!(b.len(), 60);
+        assert_eq!(head, Bytes::from(vec![9u8; 40]));
+    }
+
+    #[test]
+    fn zeroed_and_index() {
+        let mut m = BytesMut::zeroed(4);
+        m[0] = 7;
+        assert_eq!(m.as_ref(), &[7u8, 0, 0, 0][..]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn oversplit_panics() {
+        let mut b = Bytes::from(vec![1u8]);
+        let _ = b.split_to(2);
+    }
+}

@@ -1,0 +1,215 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Keeps the `criterion_group!` / `criterion_main!` / `Criterion` /
+//! `Bencher` surface so `cargo bench` compiles and runs without network
+//! access. Measurement is a simple calibrated wall-clock loop printed as
+//! mean ns/iter — no statistics, plots, or baselines.
+
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// How `iter_batched` amortises setup; sizes are accepted but all
+/// batches run one routine call per setup in this stand-in.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One routine call per batch.
+    PerIteration,
+}
+
+/// Per-benchmark timing driver handed to the closure.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `routine` over the calibrated iteration count.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    /// Time `routine` on fresh inputs from `setup`, excluding setup
+    /// time from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let mut total = Duration::ZERO;
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.elapsed = total;
+    }
+}
+
+/// Benchmark registry and runner.
+pub struct Criterion {
+    target_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            target_time: Duration::from_millis(200),
+        }
+    }
+}
+
+impl Criterion {
+    /// Register and immediately run one benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(id, self.target_time, f);
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+        }
+    }
+
+    /// Parse CLI arguments; accepted and ignored by this stand-in.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Run any deferred work; nothing to do in this stand-in.
+    pub fn final_summary(&mut self) {}
+}
+
+/// Benchmarks sharing a common name prefix.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Register and immediately run one benchmark in the group.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id);
+        run_benchmark(&full, self.criterion.target_time, f);
+        self
+    }
+
+    /// Accepted for API compatibility; sampling is time-based here.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Bound the measurement time for benchmarks in this group.
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.criterion.target_time = t;
+        self
+    }
+
+    /// Close the group.
+    pub fn finish(self) {}
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(id: &str, target: Duration, mut f: F) {
+    // Calibrate: grow the iteration count until a probe run is long
+    // enough to time meaningfully, then scale to the target time.
+    let mut iters = 1u64;
+    let mut probe;
+    loop {
+        probe = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut probe);
+        if probe.elapsed >= Duration::from_millis(1) || iters >= 1 << 20 {
+            break;
+        }
+        iters *= 8;
+    }
+    let per_iter = probe.elapsed.as_nanos().max(1) / probe.iters.max(1) as u128;
+    let final_iters = ((target.as_nanos() / per_iter.max(1)) as u64).clamp(1, 10_000_000);
+    let mut bench = Bencher {
+        iters: final_iters,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut bench);
+    let mean_ns = bench.elapsed.as_nanos() as f64 / bench.iters.max(1) as f64;
+    println!("{id:<48} {mean_ns:>12.1} ns/iter ({final_iters} iters)");
+}
+
+/// Bundle benchmark functions into a named group runner, mirroring
+/// criterion's macro of the same name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Emit `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_closure() {
+        let mut c = Criterion {
+            target_time: Duration::from_millis(2),
+        };
+        let mut ran = false;
+        c.bench_function("smoke/iter", |b| {
+            ran = true;
+            let mut x = 0u64;
+            b.iter(|| {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+                x
+            });
+        });
+        assert!(ran);
+    }
+
+    #[test]
+    fn group_runs_batched() {
+        let mut c = Criterion {
+            target_time: Duration::from_millis(2),
+        };
+        let mut group = c.benchmark_group("smoke");
+        group.bench_function("batched", |b| {
+            b.iter_batched(
+                || vec![1u8; 64],
+                |v| v.iter().map(|&b| b as u64).sum::<u64>(),
+                BatchSize::SmallInput,
+            );
+        });
+        group.finish();
+    }
+}

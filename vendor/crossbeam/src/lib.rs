@@ -1,0 +1,108 @@
+//! Offline stand-in for `crossbeam`.
+//!
+//! Provides `crossbeam::thread::scope` with the crossbeam calling
+//! convention (`scope.spawn(|scope| ...)`, `scope(..)` returning a
+//! `Result`) implemented on top of `std::thread::scope`.
+
+#![warn(missing_docs)]
+
+/// Scoped-thread API mirroring `crossbeam::thread`.
+pub mod thread {
+    use std::any::Any;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    /// Error payload from a panicked scope, matching crossbeam's alias.
+    pub type ScopeError = Box<dyn Any + Send + 'static>;
+
+    /// Handle for spawning threads tied to the enclosing scope.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawn a scoped thread; the closure receives the scope so it
+        /// can spawn further threads, as in crossbeam.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            ScopedJoinHandle {
+                inner: inner.spawn(move || f(&Scope { inner })),
+            }
+        }
+    }
+
+    /// Join handle for a scoped thread.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        /// Wait for the thread to finish, returning its result or the
+        /// panic payload.
+        pub fn join(self) -> Result<T, ScopeError> {
+            self.inner.join()
+        }
+    }
+
+    /// Run `f` with a scope whose spawned threads are all joined before
+    /// this returns. Returns `Err` with the panic payload if the
+    /// closure or an un-joined spawned thread panicked.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, ScopeError>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        catch_unwind(AssertUnwindSafe(|| {
+            std::thread::scope(|s| f(&Scope { inner: s }))
+        }))
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+
+        #[test]
+        fn spawned_threads_see_borrowed_state() {
+            let counter = AtomicUsize::new(0);
+            let counter = &counter;
+            let total: usize = super::scope(|scope| {
+                let handles: Vec<_> = (0..4)
+                    .map(|i| {
+                        scope.spawn(move |_| {
+                            counter.fetch_add(1, Ordering::SeqCst);
+                            i * 10
+                        })
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().unwrap()).sum()
+            })
+            .expect("crossbeam scope");
+            assert_eq!(counter.load(Ordering::SeqCst), 4);
+            assert_eq!(total, 60);
+        }
+
+        #[test]
+        fn nested_spawn_through_scope_arg() {
+            let hits = AtomicUsize::new(0);
+            super::scope(|scope| {
+                scope.spawn(|inner| {
+                    inner.spawn(|_| {
+                        hits.fetch_add(1, Ordering::SeqCst);
+                    });
+                });
+            })
+            .expect("crossbeam scope");
+            assert_eq!(hits.load(Ordering::SeqCst), 1);
+        }
+
+        #[test]
+        fn panicked_thread_yields_err() {
+            let r = super::scope(|scope| {
+                scope.spawn(|_| panic!("boom"));
+            });
+            assert!(r.is_err());
+        }
+    }
+}

@@ -1,0 +1,21 @@
+//! No-op `Serialize` / `Deserialize` derive macros.
+//!
+//! The workspace's structs carry serde derives for downstream users, but
+//! this offline build has no crates.io access and nothing in-tree calls a
+//! serde serializer (the conformance crate writes its own JSON). These
+//! derives accept the annotated item and expand to nothing, so the
+//! attributes stay source-compatible at zero cost.
+
+use proc_macro::TokenStream;
+
+/// Accepts `#[derive(Serialize)]` and expands to nothing.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts `#[derive(Deserialize)]` and expands to nothing.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
