@@ -20,13 +20,13 @@ fn bench_beam(c: &mut Criterion) {
     group.bench_function("naive", |b| {
         b.iter(|| {
             let region = BoxRegion::beam(&grid, 1, &[10, 0, 5]);
-            black_box(exec.beam(&naive, &region))
+            black_box(exec.beam(&naive, &region).unwrap())
         })
     });
     group.bench_function("multimap", |b| {
         b.iter(|| {
             let region = BoxRegion::beam(&grid, 1, &[10, 0, 5]);
-            black_box(exec.beam(&mm, &region))
+            black_box(exec.beam(&mm, &region).unwrap())
         })
     });
     group.finish();
@@ -44,7 +44,7 @@ fn bench_range(c: &mut Criterion) {
                 let mut rng = workload_rng(42);
                 random_range(&grid, 1.0, &mut rng)
             },
-            |region| black_box(exec.range(&mm, &region)),
+            |region| black_box(exec.range(&mm, &region).unwrap()),
             BatchSize::SmallInput,
         )
     });
@@ -84,7 +84,7 @@ fn bench_explain(c: &mut Criterion) {
                 let mut rng = workload_rng(9);
                 random_range(&grid, 1.0, &mut rng)
             },
-            |region| black_box(explain_range(&geom, &mm, &region, &ExecOptions::default())),
+            |region| black_box(explain_range(&geom, &mm, &region, &ExecOptions::default()).unwrap()),
             BatchSize::SmallInput,
         )
     });

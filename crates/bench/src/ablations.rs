@@ -2,6 +2,8 @@
 //! None of these appear in the paper; they quantify how much each
 //! mechanism contributes.
 
+// staticcheck: allow-file(no-unwrap) — figure/CLI generator: aborting with a message on a malformed experiment is the intended failure mode.
+
 use multimap_core::{
     hilbert_mapping, BoxRegion, Mapping, MultiMapOptions, MultiMapping, NaiveMapping,
     ZonedMultiMapping,
@@ -56,11 +58,11 @@ pub fn cube_shape(scale: Scale) -> Table {
         for dim in 1..3 {
             let region = BoxRegion::beam(&grid, dim, &anchor);
             volume.idle_all(7.3);
-            cells.push(ms(exec.beam(m, &region).per_cell_ms()));
+            cells.push(ms(exec.beam(m, &region).expect("figure query runs in-grid").per_cell_ms()));
         }
         let region = random_range(&grid, 1.0, &mut rng);
         volume.idle_all(7.3);
-        let range = exec.range(m, &region).total_io_ms;
+        let range = exec.range(m, &region).expect("figure query runs in-grid").total_io_ms;
         table.row(vec![label, cells[0].clone(), cells[1].clone(), ms(range)]);
     }
     table
@@ -91,9 +93,9 @@ pub fn queue_depth(scale: Scale) -> Table {
         let mut rng = workload_rng(0xab2);
         let region = random_range(&grid, 10.0, &mut rng);
         volume.idle_all(5.0);
-        let t_naive = exec.range(&naive, &region).total_io_ms;
+        let t_naive = exec.range(&naive, &region).expect("figure query runs in-grid").total_io_ms;
         volume.idle_all(5.0);
-        let t_mm = exec.range(&mm, &region).total_io_ms;
+        let t_mm = exec.range(&mm, &region).expect("figure query runs in-grid").total_io_ms;
         table.row(vec![depth.to_string(), ms(t_naive), ms(t_mm)]);
     }
     table
@@ -131,7 +133,7 @@ pub fn request_sorting(scale: Scale) -> Table {
             let mut rng = workload_rng(0xab3);
             let region = random_range(&grid, 1.0, &mut rng);
             volume.idle_all(5.0);
-            row.push(ms(exec.range(m, &region).total_io_ms));
+            row.push(ms(exec.range(m, &region).expect("figure query runs in-grid").total_io_ms));
         }
         table.row(row);
     }
@@ -179,7 +181,7 @@ pub fn adjacency_depth(scale: Scale) -> Table {
         for dim in 1..3 {
             let region = BoxRegion::beam(&grid, dim, &anchor);
             volume.idle_all(7.3);
-            row.push(ms(exec.beam(&mm, &region).per_cell_ms()));
+            row.push(ms(exec.beam(&mm, &region).expect("figure query runs in-grid").per_cell_ms()));
         }
         table.row(row);
     }
@@ -220,10 +222,10 @@ pub fn adjacency_slack(scale: Scale) -> Table {
         let anchor = multimap_query::random_anchor(&grid, &mut rng);
         let region = BoxRegion::beam(&grid, 1, &anchor);
         volume.idle_all(7.3);
-        let beam = exec.beam(&mm, &region).per_cell_ms();
+        let beam = exec.beam(&mm, &region).expect("figure query runs in-grid").per_cell_ms();
         let range_region = random_range(&grid, 0.1, &mut rng);
         volume.idle_all(7.3);
-        let range = exec.range(&mm, &range_region).total_io_ms;
+        let range = exec.range(&mm, &range_region).expect("figure query runs in-grid").total_io_ms;
         table.row(vec![format!("{slack}"), ms(beam), ms(range)]);
     }
     table
@@ -296,9 +298,9 @@ pub fn track_waste(scale: Scale) -> Table {
         let exec = QueryExecutor::new(&volume, 0);
         let region = grid.bounding_region();
         volume.idle_all(5.0);
-        let t_naive = exec.range(&naive, &region).total_io_ms;
+        let t_naive = exec.range(&naive, &region).expect("figure query runs in-grid").total_io_ms;
         volume.idle_all(5.0);
-        let t_mm = exec.range(&mm, &region).total_io_ms;
+        let t_mm = exec.range(&mm, &region).expect("figure query runs in-grid").total_io_ms;
         table.row(vec![
             spt.to_string(),
             format!("{util:.2}"),
@@ -330,7 +332,7 @@ pub fn density_trend(scale: Scale) -> Table {
         let anchor = multimap_query::random_anchor(&grid, &mut rng);
         let region = BoxRegion::beam(&grid, 1, &anchor);
         volume.idle_all(7.3);
-        let beam = exec.beam(&mm, &region).per_cell_ms();
+        let beam = exec.beam(&mm, &region).expect("figure query runs in-grid").per_cell_ms();
         table.row(vec![
             generation.to_string(),
             d.to_string(),
@@ -378,7 +380,7 @@ pub fn settle_jitter(scale: Scale) -> Table {
             let anchor = multimap_query::random_anchor(&grid, &mut rng);
             let region = BoxRegion::beam(&grid, 1, &anchor);
             volume.idle_all(7.3);
-            row.push(ms(exec.beam(&mm, &region).per_cell_ms()));
+            row.push(ms(exec.beam(&mm, &region).expect("figure query runs in-grid").per_cell_ms()));
         }
         table.row(row);
     }
@@ -406,7 +408,7 @@ pub fn zoned_shapes(_scale: Scale) -> Table {
 
     let single = MultiMapping::new(&geom, grid.clone()).expect("fits");
     volume.idle_all(7.3);
-    let b1 = exec.beam(&single, &region).per_cell_ms();
+    let b1 = exec.beam(&single, &region).expect("figure query runs in-grid").per_cell_ms();
     table.row(vec![
         "single-shape".into(),
         "1".into(),
@@ -417,7 +419,7 @@ pub fn zoned_shapes(_scale: Scale) -> Table {
     let zoned = ZonedMultiMapping::new(&geom, grid.clone()).expect("fits");
     volume.reset();
     volume.idle_all(7.3);
-    let b2 = exec.beam(&zoned, &region).per_cell_ms();
+    let b2 = exec.beam(&zoned, &region).expect("figure query runs in-grid").per_cell_ms();
     table.row(vec![
         "per-zone".into(),
         zoned.segment_count().to_string(),

@@ -1,5 +1,7 @@
 //! Shared experiment scaffolding.
 
+// staticcheck: allow-file(no-unwrap) — figure/CLI generator: aborting with a message on a malformed experiment is the intended failure mode.
+
 use std::fmt::Write as _;
 use std::fs;
 use std::path::Path;

@@ -11,6 +11,7 @@
 //! proportionally for smoke tests and CI.
 
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 pub mod ablations;
 pub mod fig1;

@@ -2,6 +2,8 @@
 //! grouped bars (Figures 6a, 7a, 8) and line plots with optional log-x
 //! (Figures 1 and 6b).
 
+// staticcheck: allow-file(no-unwrap) — figure/CLI generator: aborting with a message on a malformed experiment is the intended failure mode.
+
 use std::fmt::Write as _;
 use std::fs;
 use std::path::Path;

@@ -16,7 +16,7 @@ use multimap_model::{
     multimap_beam_per_cell_ms, multimap_range_total_ms, naive_beam_per_cell_ms,
     naive_range_total_ms, ModelParams,
 };
-use multimap_query::{QueryExecutor, QueryResult};
+use multimap_query::{QueryError, QueryExecutor, QueryResult};
 
 use crate::oracle::{check_log, OracleReport};
 
@@ -36,8 +36,11 @@ pub const MODEL_RANGE_TOLERANCE: f64 = 0.5;
 pub fn standard_mappings(geom: &DiskGeometry, grid: &GridSpec) -> Vec<Box<dyn Mapping>> {
     vec![
         Box::new(NaiveMapping::new(grid.clone(), 0)),
+        // staticcheck: allow(no-unwrap) — standard curves on a fresh grid always build; failure is harness setup breakage.
         Box::new(zorder_mapping(grid.clone(), 0, 1).expect("z-order mapping must build")),
+        // staticcheck: allow(no-unwrap) — same setup-breakage argument as the z-order line above.
         Box::new(hilbert_mapping(grid.clone(), 0, 1).expect("hilbert mapping must build")),
+        // staticcheck: allow(no-unwrap) — same setup-breakage argument as the curve lines above.
         Box::new(MultiMapping::new(geom, grid.clone()).expect("multimap mapping must build")),
     ]
 }
@@ -64,37 +67,36 @@ pub fn differential_query(
     grid: &GridSpec,
     region: &BoxRegion,
     beam: bool,
-) -> Vec<DifferentialOutcome> {
-    standard_mappings(geom, grid)
-        .into_iter()
-        .map(|mapping| {
-            let volume = LogicalVolume::new(geom.clone(), 1);
-            let exec = QueryExecutor::new(&volume, 0);
-            let mut log = multimap_disksim::ServiceLog::new();
-            let result = {
-                let mut rec = log.recorder();
-                if beam {
-                    exec.beam_observed(mapping.as_ref(), region, &mut rec)
-                } else {
-                    exec.range_observed(mapping.as_ref(), region, &mut rec)
-                }
-            };
-            let mut cells = BTreeSet::new();
-            for e in log.events() {
-                for lbn in e.request.lbn..e.request.end() {
-                    if let Some(c) = mapping.coord_of(lbn) {
-                        cells.insert(c);
-                    }
+) -> Result<Vec<DifferentialOutcome>, QueryError> {
+    let mut outcomes = Vec::new();
+    for mapping in standard_mappings(geom, grid) {
+        let volume = LogicalVolume::new(geom.clone(), 1);
+        let exec = QueryExecutor::new(&volume, 0);
+        let mut log = multimap_disksim::ServiceLog::new();
+        let result = {
+            let mut rec = log.recorder();
+            if beam {
+                exec.beam_observed(mapping.as_ref(), region, &mut rec)?
+            } else {
+                exec.range_observed(mapping.as_ref(), region, &mut rec)?
+            }
+        };
+        let mut cells = BTreeSet::new();
+        for e in log.events() {
+            for lbn in e.request.lbn..e.request.end() {
+                if let Some(c) = mapping.coord_of(lbn) {
+                    cells.insert(c);
                 }
             }
-            DifferentialOutcome {
-                mapping: mapping.name().to_string(),
-                cells,
-                result,
-                oracle: check_log(geom, &log),
-            }
-        })
-        .collect()
+        }
+        outcomes.push(DifferentialOutcome {
+            mapping: mapping.name().to_string(),
+            cells,
+            result,
+            oracle: check_log(geom, &log),
+        });
+    }
+    Ok(outcomes)
 }
 
 /// Run [`differential_query`] and verify the conformance contract:
@@ -108,7 +110,8 @@ pub fn check_region(
     beam: bool,
 ) -> Result<(), String> {
     let expected: BTreeSet<Coord> = region.cells_vec().into_iter().collect();
-    let outcomes = differential_query(geom, grid, region, beam);
+    let outcomes =
+        differential_query(geom, grid, region, beam).map_err(|e| format!("query failed: {e}"))?;
     for o in &outcomes {
         if !o.oracle.is_clean() {
             return Err(format!(
@@ -183,7 +186,10 @@ fn steady_beam_per_cell(
     region: &BoxRegion,
 ) -> f64 {
     let mut log = multimap_disksim::ServiceLog::new();
-    let r = exec.beam_observed(mapping, region, &mut log.recorder());
+    let r = exec
+        .beam_observed(mapping, region, &mut log.recorder())
+        // staticcheck: allow(no-unwrap) — agreement rows use fixed in-grid regions; failure is harness breakage.
+        .expect("agreement beam must execute");
     let first = log
         .events()
         .first()
@@ -205,6 +211,7 @@ pub fn model_agreement(geom: &DiskGeometry) -> Vec<ModelAgreementRow> {
     let grid = GridSpec::new([100u64, 12, 8]);
     let volume = LogicalVolume::new(geom.clone(), 1);
     let naive = NaiveMapping::new(grid.clone(), 0);
+    // staticcheck: allow(no-unwrap) — agreement grid is sized for every evaluation profile; build failure is harness breakage.
     let mm = MultiMapping::new(geom, grid.clone()).expect("multimap mapping must build");
     let exec = QueryExecutor::new(&volume, 0);
     let mut rows = Vec::new();
@@ -233,16 +240,20 @@ pub fn model_agreement(geom: &DiskGeometry) -> Vec<ModelAgreementRow> {
     let query = BoxRegion::new([10u64, 2, 1], [29u64, 7, 4]);
     let qext = [20u64, 6, 4];
     volume.reset();
+    // staticcheck: allow(no-unwrap) — same fixed in-grid range as above.
+    let sim_naive = exec.range(&naive, &query).expect("agreement range runs");
     rows.push(ModelAgreementRow {
         label: "naive_range_20x6x4".into(),
-        sim_ms: exec.range(&naive, &query).total_io_ms,
+        sim_ms: sim_naive.total_io_ms,
         model_ms: naive_range_total_ms(&p, grid.extents(), &qext),
         tolerance: MODEL_RANGE_TOLERANCE,
     });
     volume.reset();
+    // staticcheck: allow(no-unwrap) — same fixed in-grid range as above.
+    let sim_mm = exec.range(&mm, &query).expect("agreement range runs");
     rows.push(ModelAgreementRow {
         label: "multimap_range_20x6x4".into(),
-        sim_ms: exec.range(&mm, &query).total_io_ms,
+        sim_ms: sim_mm.total_io_ms,
         model_ms: multimap_range_total_ms(&p, grid.extents(), &qext),
         tolerance: MODEL_RANGE_TOLERANCE,
     });

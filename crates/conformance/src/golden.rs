@@ -53,6 +53,7 @@ impl GoldenCase {
         let volume = LogicalVolume::new(self.geometry.clone(), 1);
         let (_, log) = volume
             .service_batch_logged(0, &self.requests, self.policy)
+            // staticcheck: allow(no-unwrap) — golden workloads are generated in-range; a service failure is trace-harness breakage.
             .expect("golden workloads must be serviceable");
         log.to_trace()
     }

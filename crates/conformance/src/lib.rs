@@ -27,6 +27,7 @@
 //! [`ServiceLog`]: multimap_disksim::ServiceLog
 
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 pub mod differential;
 pub mod golden;

@@ -197,6 +197,7 @@ pub fn check_event(geom: &DiskGeometry, e: &ServiceEvent) -> Vec<Violation> {
     if e.is_prefetch_hit() {
         // A sequential continuation never repositions and never waits:
         // the next sector is already arriving under the head.
+        // staticcheck: allow(float-cmp) — a prefetch hit must report exactly-zero positioning; the sim writes literal 0.0.
         if t.seek_ms != 0.0 || t.rotation_ms != 0.0 {
             fail(
                 "prefetch-free-positioning",
@@ -408,6 +409,7 @@ impl OracleDisk {
     fn service_kind(&mut self, req: Request, kind: AccessKind) -> Result<RequestTiming> {
         let before = self.sim.state();
         let timing = match kind {
+            // staticcheck: allow(no-direct-service) — the oracle wraps its own private sim and audits every call right here.
             AccessKind::Read => self.sim.service(req)?,
             AccessKind::Write => self.sim.service_write(req)?,
         };

@@ -66,7 +66,7 @@ fn mappings_disagree_on_layout_but_not_on_content() {
     let geom = profiles::small();
     let grid = grid();
     let region = BoxRegion::beam(&grid, 2, &[9, 4, 0]);
-    let outcomes = differential_query(&geom, &grid, &region, true);
+    let outcomes = differential_query(&geom, &grid, &region, true).unwrap();
     assert_eq!(outcomes.len(), 4);
     let all_cells: Vec<_> = outcomes.iter().map(|o| &o.cells).collect();
     assert!(all_cells.windows(2).all(|w| w[0] == w[1]));

@@ -95,6 +95,7 @@ impl ChunkedDataset {
         let c = self
             .chunk_grid
             .coord_of_linear(chunk_id)
+            // staticcheck: allow(no-unwrap) — chunk_id is drawn from the chunk grid's own linear range.
             .expect("chunk id in range");
         let extents: Vec<u64> = (0..self.global.ndims())
             .map(|d| {
@@ -110,6 +111,7 @@ impl ChunkedDataset {
         let c = self
             .chunk_grid
             .coord_of_linear(chunk_id)
+            // staticcheck: allow(no-unwrap) — chunk_id is drawn from the chunk grid's own linear range.
             .expect("chunk id in range");
         c.iter()
             .zip(&self.chunk_extents)

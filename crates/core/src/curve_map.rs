@@ -95,6 +95,15 @@ impl<C: SpaceFillingCurve> CurveMapping<C> {
         self.base_lbn
     }
 
+    /// The sorted curve keys of all occupied cells (ascending, one per
+    /// cell). Exposed for static analysis: strict ascent of this table,
+    /// together with the rank-based `lbn_of`/`coord_of` construction,
+    /// proves the mapping is a bijection onto its dense LBN range.
+    #[inline]
+    pub fn curve_keys(&self) -> &[u64] {
+        &self.keys
+    }
+
     /// Rank of a cell among all cells, by curve value.
     pub fn rank_of(&self, coord: &[u64]) -> Result<u64> {
         if !self.grid.contains(coord) {

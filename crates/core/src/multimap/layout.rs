@@ -177,6 +177,7 @@ impl CubeLayout {
         let cylinder = end_track / geom.surfaces as u64;
         let surface = (end_track % geom.surfaces as u64) as u32;
         geom.lbn_of(cylinder, surface, zone.sectors_per_track - 1)
+            // staticcheck: allow(no-unwrap) — end_track is derived from a placement this layout produced.
             .expect("laid-out track must exist")
             + 1
     }

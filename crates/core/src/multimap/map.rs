@@ -93,6 +93,7 @@ impl MultiMapping {
                 .map(|z| z.sectors_per_track as u64)
                 .collect();
             track_candidates.dedup();
+            // staticcheck: allow(no-unwrap) — DiskGeometry validates at least one zone at build time.
             let mut t = *track_candidates.last().expect("zones non-empty") / 2;
             while t >= 8 && track_candidates.len() < 24 {
                 track_candidates.push(t);
@@ -240,6 +241,7 @@ impl MultiMapping {
         let mut lbn = self
             .geom
             .lbn_of(cylinder, surface, place.base_sector + within[0] as u32)
+            // staticcheck: allow(no-unwrap) — placements come from the layout, which only uses on-disk tracks.
             .expect("cube base must be on disk");
         #[allow(clippy::needless_range_loop)] // parallel index into shape.k
         for i in 1..within.len() {
@@ -306,6 +308,7 @@ impl Mapping for MultiMapping {
         Ok(self
             .geom
             .lbn_of(cylinder, surface, sector)
+            // staticcheck: allow(no-unwrap) — cylinder/surface/sector are derived from this disk's own zone table.
             .expect("mapped cell must be on disk"))
     }
 

@@ -57,6 +57,7 @@ impl ZonedMultiMapping {
                 continue; // Zone too small for even one layer.
             }
             let mapping = Self::try_segment(geom, &grid, zone, start, lo)
+                // staticcheck: allow(no-unwrap) — the preceding binary search proved try_segment succeeds at lo.
                 .expect("binary search verified this length");
             segments.push(Segment { start, mapping });
             start += lo;

@@ -35,6 +35,7 @@ pub fn cheetah_36es() -> DiskGeometry {
         .max_seek_ms(10.5)
         .adjacency_limit(128)
         .build()
+        // staticcheck: allow(no-unwrap) — compiled-in profile constants; unit tests build every profile.
         .expect("static profile must be valid")
 }
 
@@ -52,6 +53,7 @@ pub fn atlas_10k_iii() -> DiskGeometry {
         .max_seek_ms(9.5)
         .adjacency_limit(128)
         .build()
+        // staticcheck: allow(no-unwrap) — compiled-in profile constants; unit tests build every profile.
         .expect("static profile must be valid")
 }
 
@@ -85,6 +87,7 @@ pub fn toy() -> DiskGeometry {
         .max_seek_ms(6.0)
         .adjacency_limit(9)
         .build()
+        // staticcheck: allow(no-unwrap) — compiled-in profile constants; unit tests build every profile.
         .expect("static profile must be valid")
 }
 
@@ -107,6 +110,7 @@ pub fn density_trend(generations: u32) -> DiskGeometry {
         .max_seek_ms(10.5)
         .adjacency_limit(128 * factor)
         .build()
+        // staticcheck: allow(no-unwrap) — compiled-in profile constants; unit tests build every profile.
         .expect("static profile must be valid")
 }
 
@@ -133,6 +137,7 @@ pub fn small() -> DiskGeometry {
         .max_seek_ms(9.0)
         .adjacency_limit(32)
         .build()
+        // staticcheck: allow(no-unwrap) — compiled-in profile constants; unit tests build every profile.
         .expect("static profile must be valid")
 }
 

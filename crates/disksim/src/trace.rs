@@ -82,6 +82,7 @@ impl Trace {
     /// transfer)` fractions summing to 1 (all zeros when empty).
     pub fn component_fractions(&self) -> (f64, f64, f64, f64) {
         let total = self.total_ms();
+        // staticcheck: allow(float-cmp) — sentinel: an empty trace sums to exactly 0.0; avoids 0/0.
         if total == 0.0 {
             return (0.0, 0.0, 0.0, 0.0);
         }

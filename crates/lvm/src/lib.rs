@@ -24,12 +24,15 @@
 //! assert_eq!(volume.adjacency_limit(), 32);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod decluster;
+pub mod error;
 pub mod striped;
 pub mod volume;
 
 pub use decluster::{Cyclic, Declustering, RoundRobin};
+pub use error::{LvmError, Result};
 pub use striped::{StripedVolume, VolumeLbn};
 pub use volume::{LogicalVolume, SchedulePolicy, VolumeBatchTiming};

@@ -97,7 +97,7 @@ impl StripedVolume {
         &self,
         vlbns: &[VolumeLbn],
         policy: SchedulePolicy,
-    ) -> multimap_disksim::Result<VolumeBatchTiming> {
+    ) -> crate::Result<VolumeBatchTiming> {
         let ndisks = self.volume.num_disks();
         let mut per_disk: Vec<Vec<Request>> = vec![Vec::new(); ndisks];
         for &v in vlbns {

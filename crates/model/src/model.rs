@@ -231,6 +231,7 @@ fn multimap_shape(p: &ModelParams, extents: &[u64]) -> BasicCubeShape {
             zone_tracks: p.zone_tracks,
         },
     )
+    // staticcheck: allow(no-unwrap) — ModelParams::from_geometry derives feasible constraints from a real geometry.
     .expect("model inputs must admit a basic cube")
 }
 
@@ -268,7 +269,7 @@ mod tests {
         for dim in 0..3 {
             let region = BoxRegion::beam(&grid, dim, &[2, 3, 1]);
             vol.reset();
-            let sim = exec.beam(&naive, &region).per_cell_ms();
+            let sim = exec.beam(&naive, &region).unwrap().per_cell_ms();
             let model = naive_beam_per_cell_ms(&p, grid.extents(), dim);
             let err = (sim - model).abs() / sim.max(model);
             assert!(
@@ -288,7 +289,7 @@ mod tests {
         for dim in 1..3 {
             let region = BoxRegion::beam(&grid, dim, &[2, 3, 1]);
             vol.reset();
-            let sim = exec.beam(&mm, &region).per_cell_ms();
+            let sim = exec.beam(&mm, &region).unwrap().per_cell_ms();
             let model = multimap_beam_per_cell_ms(&p, grid.extents(), dim);
             let err = (sim - model).abs() / sim.max(model);
             assert!(
@@ -310,7 +311,7 @@ mod tests {
         let qext = [20u64, 6, 4];
 
         vol.reset();
-        let sim_naive = exec.range(&naive, &query).total_io_ms;
+        let sim_naive = exec.range(&naive, &query).unwrap().total_io_ms;
         let model_naive = naive_range_total_ms(&p, grid.extents(), &qext);
         let err_n = (sim_naive - model_naive).abs() / sim_naive.max(model_naive);
         assert!(
@@ -319,7 +320,7 @@ mod tests {
         );
 
         vol.reset();
-        let sim_mm = exec.range(&mm, &query).total_io_ms;
+        let sim_mm = exec.range(&mm, &query).unwrap().total_io_ms;
         let model_mm = multimap_range_total_ms(&p, grid.extents(), &qext);
         let err_m = (sim_mm - model_mm).abs() / sim_mm.max(model_mm);
         assert!(err_m < 0.5, "mm: sim {sim_mm:.2} vs model {model_mm:.2}");

@@ -8,7 +8,7 @@
 
 use multimap_disksim::Lbn;
 use multimap_lvm::LogicalVolume;
-use multimap_query::{service_lbns, QueryResult};
+use multimap_query::{service_lbns, QueryResult, Result};
 
 use crate::placement::{beam_box, LeafLinearMapping, SkewedMultiMap};
 use crate::tree::{Leaf, Octree};
@@ -70,7 +70,7 @@ impl<'a> LeafQueryExecutor<'a> {
         placement: &LeafPlacement<'_>,
         dim: usize,
         anchor: [u64; 3],
-    ) -> QueryResult {
+    ) -> Result<QueryResult> {
         let (lo, hi) = beam_box(tree, dim, anchor);
         let leaves = tree.leaves_intersecting(lo, hi);
         let lbns = placement.lbns(&leaves);
@@ -85,7 +85,7 @@ impl<'a> LeafQueryExecutor<'a> {
         placement: &LeafPlacement<'_>,
         lo: [u64; 3],
         hi: [u64; 3],
-    ) -> QueryResult {
+    ) -> Result<QueryResult> {
         let leaves = tree.leaves_intersecting(lo, hi);
         let lbns = placement.lbns(&leaves);
         service_lbns(self.volume, self.disk, &lbns, false)
@@ -108,11 +108,11 @@ mod tests {
         let p = LeafPlacement::Linear(&naive);
         let exec = LeafQueryExecutor::new(&volume, 0);
 
-        let r = exec.beam(&tree, &p, 0, [0, 5, 3]);
+        let r = exec.beam(&tree, &p, 0, [0, 5, 3]).unwrap();
         let (lo, hi) = beam_box(&tree, 0, [0, 5, 3]);
         assert_eq!(r.cells as usize, tree.leaves_intersecting(lo, hi).len());
 
-        let r = exec.range(&tree, &p, [0, 0, 0], [15, 15, 15]);
+        let r = exec.range(&tree, &p, [0, 0, 0], [15, 15, 15]).unwrap();
         assert_eq!(
             r.cells as usize,
             tree.leaves_intersecting([0, 0, 0], [15, 15, 15]).len()
@@ -130,9 +130,9 @@ mod tests {
         let exec = LeafQueryExecutor::new(&volume, 0);
 
         volume.reset();
-        let rn = exec.beam(&tree, &LeafPlacement::Linear(&naive), 2, [9, 3, 0]);
+        let rn = exec.beam(&tree, &LeafPlacement::Linear(&naive), 2, [9, 3, 0]).unwrap();
         volume.reset();
-        let rm = exec.beam(&tree, &LeafPlacement::MultiMap(&skewed), 2, [9, 3, 0]);
+        let rm = exec.beam(&tree, &LeafPlacement::MultiMap(&skewed), 2, [9, 3, 0]).unwrap();
         assert_eq!(rn.cells, rm.cells);
         assert!(rm.total_io_ms <= rn.total_io_ms * 1.2);
     }

@@ -23,6 +23,7 @@
 //! ```
 
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 pub mod cube;
 pub mod queries;

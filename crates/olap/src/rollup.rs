@@ -42,6 +42,7 @@ pub fn rollup_counts(grid: &GridSpec, counts: &[u32], dim: usize, factor: u64) -
         if c == 0 {
             continue;
         }
+        // staticcheck: allow(no-unwrap) — idx enumerates counts, whose length equals the grid's cell count.
         let fine = grid.coord_of_linear(idx as u64).expect("index in range");
         coord.copy_from_slice(&fine);
         coord[dim] /= factor;

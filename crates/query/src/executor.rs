@@ -1,8 +1,18 @@
 //! The query executor.
 
-use multimap_core::{BoxRegion, Mapping, MappingKind};
+use multimap_core::{BoxRegion, GridSpec, Mapping, MappingKind};
 use multimap_disksim::{coalesce_sorted, BatchTiming, Lbn, Request, ServiceEvent};
 use multimap_lvm::{LogicalVolume, SchedulePolicy};
+
+use crate::error::{QueryError, Result};
+
+/// [`QueryError::RegionOutsideGrid`] for a region/grid pair.
+pub(crate) fn region_outside(region: &BoxRegion, grid: &GridSpec) -> QueryError {
+    QueryError::RegionOutsideGrid {
+        region: format!("lo {:?} hi {:?}", region.lo(), region.hi()),
+        grid: grid.extents().to_vec(),
+    }
+}
 
 /// How beam-query blocks are handed to the disk.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -133,20 +143,27 @@ impl<'a> QueryExecutor<'a> {
 
     /// Map every cell of `region` to the first LBN of its cell, in
     /// row-major cell order.
-    fn region_lbns(&self, mapping: &dyn Mapping, region: &BoxRegion) -> Vec<Lbn> {
+    fn region_lbns(&self, mapping: &dyn Mapping, region: &BoxRegion) -> Result<Vec<Lbn>> {
         let mut lbns = Vec::with_capacity(region.cells().min(1 << 26) as usize);
+        let mut failed = None;
         region.for_each_cell(|c| {
-            let lbn = mapping
-                .lbn_of(c)
-                .expect("query region must lie inside the dataset grid");
-            lbns.push(lbn);
+            if failed.is_some() {
+                return;
+            }
+            match mapping.lbn_of(c) {
+                Ok(lbn) => lbns.push(lbn),
+                Err(e) => failed = Some(e),
+            }
         });
-        lbns
+        match failed {
+            Some(e) => Err(e.into()),
+            None => Ok(lbns),
+        }
     }
 
     /// Run a beam query: fetch all cells of `region` (usually a line
     /// along one dimension) as individual cell requests.
-    pub fn beam(&self, mapping: &dyn Mapping, region: &BoxRegion) -> QueryResult {
+    pub fn beam(&self, mapping: &dyn Mapping, region: &BoxRegion) -> Result<QueryResult> {
         self.beam_observed(mapping, region, &mut |_| {})
     }
 
@@ -158,12 +175,11 @@ impl<'a> QueryExecutor<'a> {
         mapping: &dyn Mapping,
         region: &BoxRegion,
         observe: &mut dyn FnMut(ServiceEvent),
-    ) -> QueryResult {
-        assert!(
-            region.fits(mapping.grid()),
-            "beam region must lie inside the dataset grid"
-        );
-        let lbns = self.region_lbns(mapping, region);
+    ) -> Result<QueryResult> {
+        if !region.fits(mapping.grid()) {
+            return Err(region_outside(region, mapping.grid()));
+        }
+        let lbns = self.region_lbns(mapping, region)?;
         let cell_blocks = mapping.cell_blocks();
         let requests: Vec<Request> = lbns.iter().map(|&l| Request::new(l, cell_blocks)).collect();
         let policy = match self.options.beam {
@@ -180,13 +196,12 @@ impl<'a> QueryExecutor<'a> {
         };
         let batch = self
             .volume
-            .service_batch_observed(self.disk, &requests, policy, observe)
-            .expect("mapped LBNs must be serviceable");
-        QueryResult::from_batch(batch, lbns.len() as u64)
+            .service_batch_observed(self.disk, &requests, policy, observe)?;
+        Ok(QueryResult::from_batch(batch, lbns.len() as u64))
     }
 
     /// Run a range query: fetch every cell of the N-D box `region`.
-    pub fn range(&self, mapping: &dyn Mapping, region: &BoxRegion) -> QueryResult {
+    pub fn range(&self, mapping: &dyn Mapping, region: &BoxRegion) -> Result<QueryResult> {
         self.range_observed(mapping, region, &mut |_| {})
     }
 
@@ -197,13 +212,12 @@ impl<'a> QueryExecutor<'a> {
         mapping: &dyn Mapping,
         region: &BoxRegion,
         observe: &mut dyn FnMut(ServiceEvent),
-    ) -> QueryResult {
-        assert!(
-            region.fits(mapping.grid()),
-            "range region must lie inside the dataset grid"
-        );
+    ) -> Result<QueryResult> {
+        if !region.fits(mapping.grid()) {
+            return Err(region_outside(region, mapping.grid()));
+        }
         let cell_blocks = mapping.cell_blocks();
-        let mut lbns = self.region_lbns(mapping, region);
+        let mut lbns = self.region_lbns(mapping, region)?;
         let cells = lbns.len() as u64;
         let batch = match self.options.range {
             RangeOrder::NaturalCellOrder => {
@@ -235,9 +249,8 @@ impl<'a> QueryExecutor<'a> {
                 self.volume
                     .service_batch_observed(self.disk, &requests, policy, observe)
             }
-        }
-        .expect("mapped LBNs must be serviceable");
-        QueryResult::from_batch(batch, cells)
+        }?;
+        Ok(QueryResult::from_batch(batch, cells))
     }
 }
 
@@ -248,22 +261,23 @@ impl<'a> QueryExecutor<'a> {
 /// `sptf` issues the whole batch to the disk scheduler (MultiMap beams);
 /// otherwise LBNs are sorted ascending and coalesced (the linearised
 /// mappings' policy).
-pub fn service_lbns(volume: &LogicalVolume, disk: usize, lbns: &[Lbn], sptf: bool) -> QueryResult {
+pub fn service_lbns(
+    volume: &LogicalVolume,
+    disk: usize,
+    lbns: &[Lbn],
+    sptf: bool,
+) -> Result<QueryResult> {
     let cells = lbns.len() as u64;
     let batch = if sptf {
         let requests: Vec<Request> = lbns.iter().map(|&l| Request::single(l)).collect();
-        volume
-            .service_batch(disk, &requests, SchedulePolicy::Sptf)
-            .expect("LBNs must be serviceable")
+        volume.service_batch(disk, &requests, SchedulePolicy::Sptf)?
     } else {
         let mut sorted = lbns.to_vec();
         sorted.sort_unstable();
         sorted.dedup();
-        volume
-            .service_sorted_lbns(disk, &sorted, SchedulePolicy::InOrder)
-            .expect("LBNs must be serviceable")
+        volume.service_sorted_lbns(disk, &sorted, SchedulePolicy::InOrder)?
     };
-    QueryResult::from_batch(batch, cells)
+    Ok(QueryResult::from_batch(batch, cells))
 }
 
 /// Coalesce sorted cell-start LBNs (each `cell_blocks` long) into maximal
@@ -310,7 +324,7 @@ mod tests {
         let naive = NaiveMapping::new(grid.clone(), 0);
         let exec = QueryExecutor::new(&vol, 0);
         let region = BoxRegion::beam(&grid, 1, &[3, 0, 2]);
-        let r = exec.beam(&naive, &region);
+        let r = exec.beam(&naive, &region).unwrap();
         assert_eq!(r.cells, 8);
         assert_eq!(r.blocks, 8);
         assert_eq!(r.requests, 8);
@@ -324,7 +338,7 @@ mod tests {
         let naive = NaiveMapping::new(grid.clone(), 0);
         let exec = QueryExecutor::new(&vol, 0);
         let region = BoxRegion::new([0u64, 0, 0], [59u64, 1, 0]);
-        let r = exec.range(&naive, &region);
+        let r = exec.range(&naive, &region).unwrap();
         assert_eq!(r.cells, 120);
         // Two Dim1 rows are LBN-contiguous under row-major order.
         assert_eq!(r.requests, 1);
@@ -336,7 +350,7 @@ mod tests {
         let mm = MultiMapping::new(vol.geometry(), grid.clone()).unwrap();
         let exec = QueryExecutor::new(&vol, 0);
         let region = BoxRegion::beam(&grid, 1, &[0, 0, 0]);
-        let r = exec.beam(&mm, &region);
+        let r = exec.beam(&mm, &region).unwrap();
         assert_eq!(r.cells, 8);
         // Dominated by settle time, far below half-revolution latency.
         let settle = vol.geometry().settle_ms;
@@ -354,9 +368,9 @@ mod tests {
         let mm = MultiMapping::new(vol.geometry(), grid.clone()).unwrap();
         let exec = QueryExecutor::new(&vol, 0);
         let region = BoxRegion::beam(&grid, 2, &[5, 3, 0]);
-        let rn = exec.beam(&naive, &region);
+        let rn = exec.beam(&naive, &region).unwrap();
         vol.reset();
-        let rm = exec.beam(&mm, &region);
+        let rm = exec.beam(&mm, &region).unwrap();
         assert!(
             rm.total_io_ms < rn.total_io_ms,
             "multimap {} vs naive {}",
@@ -371,7 +385,7 @@ mod tests {
         let mm = MultiMapping::new(vol.geometry(), grid.clone()).unwrap();
         let region = BoxRegion::new([0u64, 0, 0], [40u64, 5, 3]);
 
-        let sorted = QueryExecutor::new(&vol, 0).range(&mm, &region);
+        let sorted = QueryExecutor::new(&vol, 0).range(&mm, &region).unwrap();
         vol.reset();
         let natural = QueryExecutor::with_options(
             &vol,
@@ -381,7 +395,8 @@ mod tests {
                 ..ExecOptions::default()
             },
         )
-        .range(&mm, &region);
+        .range(&mm, &region)
+        .unwrap();
         assert_eq!(sorted.cells, natural.cells);
         assert!(sorted.total_io_ms <= natural.total_io_ms * 1.01 + 0.5);
     }
@@ -394,11 +409,21 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "inside the dataset grid")]
-    fn oversized_region_panics() {
+    fn oversized_region_is_a_typed_error() {
         let (vol, grid) = setup();
         let naive = NaiveMapping::new(grid, 0);
         let region = BoxRegion::new([0u64, 0, 0], [60u64, 0, 0]);
-        QueryExecutor::new(&vol, 0).range(&naive, &region);
+        let err = QueryExecutor::new(&vol, 0)
+            .range(&naive, &region)
+            .unwrap_err();
+        assert!(
+            matches!(err, QueryError::RegionOutsideGrid { .. }),
+            "{err:?}"
+        );
+        assert!(err.to_string().contains("inside the dataset grid"));
+        let err = QueryExecutor::new(&vol, 0)
+            .beam(&naive, &region)
+            .unwrap_err();
+        assert!(matches!(err, QueryError::RegionOutsideGrid { .. }));
     }
 }

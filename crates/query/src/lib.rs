@@ -23,18 +23,23 @@
 //! let grid = GridSpec::new([60u64, 8, 6]);
 //! let mapping = MultiMapping::new(volume.geometry(), grid.clone()).unwrap();
 //! let exec = QueryExecutor::new(&volume, 0);
-//! let result = exec.beam(&mapping, &BoxRegion::beam(&grid, 1, &[3, 0, 2]));
+//! let result = exec
+//!     .beam(&mapping, &BoxRegion::beam(&grid, 1, &[3, 0, 2]))
+//!     .unwrap();
 //! assert_eq!(result.cells, 8);
 //! assert!(result.total_io_ms > 0.0);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod error;
 pub mod executor;
 pub mod mix;
 pub mod plan;
 pub mod workload;
 
+pub use error::{QueryError, Result};
 pub use executor::{service_lbns, BeamPolicy, ExecOptions, QueryExecutor, QueryResult, RangeOrder};
 pub use mix::{MixEntry, MixReport, QueryKind, WorkloadMix};
 pub use plan::{explain_beam, explain_range, AccessPlan, PlanKind};

@@ -50,6 +50,7 @@ pub struct MixReport {
 impl MixReport {
     /// Queries per simulated second the disk sustained for this mix.
     pub fn queries_per_second(&self, queries: u64) -> f64 {
+        // staticcheck: allow(float-cmp) — sentinel: an empty mix accumulates exactly 0.0 total I/O; avoids 0/0.
         if self.total.total_io_ms == 0.0 {
             0.0
         } else {
@@ -117,7 +118,7 @@ impl WorkloadMix {
         mapping: &dyn Mapping,
         rng: &mut WorkloadRng,
         idle_between_ms: f64,
-    ) -> MixReport {
+    ) -> crate::error::Result<MixReport> {
         let grid = mapping.grid().clone();
         let mut report = MixReport {
             per_entry: vec![QueryResult::default(); self.entries.len()],
@@ -129,18 +130,18 @@ impl WorkloadMix {
                 QueryKind::Beam { dim } => {
                     let anchor = random_anchor(&grid, rng);
                     let region = BoxRegion::beam(&grid, dim, &anchor);
-                    exec.beam(mapping, &region)
+                    exec.beam(mapping, &region)?
                 }
                 QueryKind::Range { edge } => {
                     let region = random_range_with_edge(&grid, edge, rng);
-                    exec.range(mapping, &region)
+                    exec.range(mapping, &region)?
                 }
             };
             report.per_entry[i].accumulate(&result);
             report.total.accumulate(&result);
         }
         let _ = idle_between_ms; // idling is handled by the volume owner
-        report
+        Ok(report)
     }
 }
 
@@ -166,7 +167,7 @@ mod tests {
         let exec = QueryExecutor::new(&vol, 0);
         let mix = WorkloadMix::default_mix(&grid, 30);
         let mut rng = workload_rng(9);
-        let report = mix.run(&exec, &naive, &mut rng, 0.0);
+        let report = mix.run(&exec, &naive, &mut rng, 0.0).unwrap();
         let per_entry_cells: u64 = report.per_entry.iter().map(|r| r.cells).sum();
         assert_eq!(per_entry_cells, report.total.cells);
         assert!(report.total.total_io_ms > 0.0);
@@ -192,7 +193,7 @@ mod tests {
             20,
         );
         let mut rng = workload_rng(4);
-        let report = mix.run(&exec, &naive, &mut rng, 0.0);
+        let report = mix.run(&exec, &naive, &mut rng, 0.0).unwrap();
         assert_eq!(report.per_entry[1].cells, 0);
         assert_eq!(report.per_entry[0].cells, 20 * 60);
     }
@@ -217,9 +218,9 @@ mod tests {
             20,
         );
         vol.reset();
-        let rn = mix.run(&exec, &naive, &mut workload_rng(5), 0.0);
+        let rn = mix.run(&exec, &naive, &mut workload_rng(5), 0.0).unwrap();
         vol.reset();
-        let rm = mix.run(&exec, &mm, &mut workload_rng(5), 0.0);
+        let rm = mix.run(&exec, &mm, &mut workload_rng(5), 0.0).unwrap();
         assert!(rm.total.total_io_ms < rn.total.total_io_ms);
     }
 

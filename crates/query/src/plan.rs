@@ -11,7 +11,8 @@ use std::fmt;
 use multimap_core::{BoxRegion, Mapping, MappingKind};
 use multimap_disksim::{coalesce_sorted, DiskGeometry, DiskSim, Request};
 
-use crate::executor::ExecOptions;
+use crate::error::Result;
+use crate::executor::{region_outside, ExecOptions};
 
 /// Shape of the planned query.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -67,13 +68,22 @@ pub fn explain_range(
     mapping: &dyn Mapping,
     region: &BoxRegion,
     options: &ExecOptions,
-) -> AccessPlan {
-    assert!(region.fits(mapping.grid()), "region outside the grid");
+) -> Result<AccessPlan> {
+    if !region.fits(mapping.grid()) {
+        return Err(region_outside(region, mapping.grid()));
+    }
     let mut lbns = Vec::with_capacity(region.cells().min(1 << 24) as usize);
-    region.for_each_cell(|c| lbns.push(mapping.lbn_of(c).expect("cell maps")));
+    let mut failed = None;
+    region.for_each_cell(|c| match mapping.lbn_of(c) {
+        Ok(l) => lbns.push(l),
+        Err(e) => failed = Some(e),
+    });
+    if let Some(e) = failed {
+        return Err(e.into());
+    }
     lbns.sort_unstable();
     let requests = coalesce_sorted(&lbns);
-    price(
+    Ok(price(
         geom,
         mapping,
         PlanKind::Range,
@@ -81,7 +91,7 @@ pub fn explain_range(
         &requests,
         format!("sorted + queued SPTF (depth {})", options.queue_depth),
         false,
-    )
+    ))
 }
 
 /// Plan a beam query (per-cell requests) along `region`.
@@ -90,12 +100,19 @@ pub fn explain_beam(
     mapping: &dyn Mapping,
     region: &BoxRegion,
     options: &ExecOptions,
-) -> AccessPlan {
-    assert!(region.fits(mapping.grid()), "region outside the grid");
+) -> Result<AccessPlan> {
+    if !region.fits(mapping.grid()) {
+        return Err(region_outside(region, mapping.grid()));
+    }
     let mut requests = Vec::with_capacity(region.cells().min(1 << 24) as usize);
-    region.for_each_cell(|c| {
-        requests.push(Request::single(mapping.lbn_of(c).expect("cell maps")));
+    let mut failed = None;
+    region.for_each_cell(|c| match mapping.lbn_of(c) {
+        Ok(l) => requests.push(Request::single(l)),
+        Err(e) => failed = Some(e),
     });
+    if let Some(e) = failed {
+        return Err(e.into());
+    }
     let (policy, full_sptf) = match mapping.kind() {
         MappingKind::MultiMap if requests.len() <= options.sptf_limit => {
             ("all-at-once SPTF (semi-sequential path)".to_string(), true)
@@ -107,7 +124,7 @@ pub fn explain_beam(
         _ => ("ascending LBN".to_string(), false),
     };
     requests.sort_unstable_by_key(|r| r.lbn);
-    price(
+    Ok(price(
         geom,
         mapping,
         PlanKind::Beam,
@@ -115,7 +132,7 @@ pub fn explain_beam(
         &requests,
         policy,
         full_sptf,
-    )
+    ))
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -166,7 +183,7 @@ mod tests {
         let grid = GridSpec::new([60u64, 8, 6]);
         let naive = NaiveMapping::new(grid.clone(), 0);
         let region = BoxRegion::new([0u64, 0, 0], [9u64, 3, 2]);
-        let plan = explain_range(&geom, &naive, &region, &ExecOptions::default());
+        let plan = explain_range(&geom, &naive, &region, &ExecOptions::default()).unwrap();
         assert_eq!(plan.cells, 120);
         assert_eq!(plan.requests, 12); // 4 x 3 runs of 10
         assert_eq!(plan.max_run, 10);
@@ -186,8 +203,8 @@ mod tests {
         let naive = NaiveMapping::new(grid.clone(), 0);
         let mm = MultiMapping::new(&geom, grid.clone()).unwrap();
         let region = BoxRegion::beam(&grid, 2, &[3, 4, 0]);
-        let p_naive = explain_beam(&geom, &naive, &region, &ExecOptions::default());
-        let p_mm = explain_beam(&geom, &mm, &region, &ExecOptions::default());
+        let p_naive = explain_beam(&geom, &naive, &region, &ExecOptions::default()).unwrap();
+        let p_mm = explain_beam(&geom, &mm, &region, &ExecOptions::default()).unwrap();
         assert!(p_naive.policy.contains("ascending"));
         assert!(p_mm.policy.contains("semi-sequential"));
         assert!(p_mm.estimated_ms < p_naive.estimated_ms);
@@ -201,9 +218,9 @@ mod tests {
         let grid = GridSpec::new([40u64, 6, 4]);
         let mm = MultiMapping::new(&geom, grid.clone()).unwrap();
         let region = BoxRegion::new([2u64, 1, 0], [21u64, 4, 3]);
-        let plan = explain_range(&geom, &mm, &region, &ExecOptions::default());
+        let plan = explain_range(&geom, &mm, &region, &ExecOptions::default()).unwrap();
         let volume = LogicalVolume::new(geom, 1);
-        let actual = QueryExecutor::new(&volume, 0).range(&mm, &region);
+        let actual = QueryExecutor::new(&volume, 0).range(&mm, &region).unwrap();
         let err = (plan.estimated_ms - actual.total_io_ms).abs() / actual.total_io_ms;
         assert!(
             err < 0.05,

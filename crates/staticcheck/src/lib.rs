@@ -1,0 +1,34 @@
+//! # staticcheck — static invariant analyzer and source lint
+//!
+//! Two prongs of offline correctness tooling for the MultiMap workspace:
+//!
+//! 1. **Layout invariant prover** ([`sweep`], [`bijection`],
+//!    [`adjacency`], [`zones`]): for a sweep of (drive profile × dataset
+//!    geometry) configurations, statically verify — without running the
+//!    simulator — that the four mappings are bijections onto their LBN
+//!    ranges, that every non-primary-dimension neighbor step in MultiMap
+//!    lands within the adjacency distance `D`, and that zone-transition
+//!    cells respect `GET_TRACK_BOUNDARIES` constraints.
+//! 2. **Source lint** ([`lint`]): repo-specific rules the stock clippy
+//!    set cannot express — no `f64` equality in timing code, no
+//!    `unwrap`/`expect`/`panic!` in library code, no `service()` calls
+//!    bypassing the `ServiceLog` observed paths, and `deny(unsafe_code)`
+//!    in every crate root — with a justification-carrying allowlist.
+//!
+//! Both prongs reduce to a [`report::Report`] that serializes to JSON and
+//! drives the CI exit code. Run them with
+//! `cargo run --release -p staticcheck -- verify` and
+//! `cargo run -p staticcheck -- lint`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod adjacency;
+pub mod bijection;
+pub mod lint;
+pub mod report;
+pub mod sample;
+pub mod sweep;
+pub mod zones;
+
+pub use report::{CheckOutcome, Report, Verdict};

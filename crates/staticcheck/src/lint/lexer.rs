@@ -1,0 +1,351 @@
+//! A small Rust source scanner for the lint pass.
+//!
+//! Not a full parser: the lint rules are textual patterns that only make
+//! sense *outside* of comments, string literals and `#[cfg(test)]` code,
+//! so this module produces a *scrubbed* copy of the source — identical
+//! byte offsets, with comment and string interiors blanked — plus the
+//! extracted line comments (for allowlist directives) and the byte spans
+//! of test-only items.
+
+/// A scrubbed source file.
+pub struct Scrubbed {
+    /// The source with comment and string interiors replaced by spaces.
+    /// Byte length and line structure match the original exactly.
+    pub text: String,
+    /// Line comments, as `(0-based line, full comment text)`.
+    pub comments: Vec<(usize, String)>,
+    /// Byte offset of the start of each line.
+    line_starts: Vec<usize>,
+    /// Byte ranges covered by `#[cfg(test)]` / `#[test]` items, merged.
+    test_spans: Vec<(usize, usize)>,
+}
+
+impl Scrubbed {
+    /// Scan `src` and build the scrubbed view.
+    pub fn new(src: &str) -> Self {
+        let (text, comments) = scrub(src);
+        let line_starts = std::iter::once(0)
+            .chain(
+                text.bytes()
+                    .enumerate()
+                    .filter(|&(_, b)| b == b'\n')
+                    .map(|(i, _)| i + 1),
+            )
+            .collect();
+        let test_spans = find_test_spans(&text);
+        Scrubbed {
+            text,
+            comments,
+            line_starts,
+            test_spans,
+        }
+    }
+
+    /// 0-based line containing the byte at `offset`.
+    pub fn line_of(&self, offset: usize) -> usize {
+        self.line_starts
+            .partition_point(|&s| s <= offset)
+            .saturating_sub(1)
+    }
+
+    /// The scrubbed text of the given 0-based line (no newline).
+    pub fn line_text(&self, line: usize) -> &str {
+        let start = self.line_starts[line];
+        let end = self
+            .line_starts
+            .get(line + 1)
+            .map(|&e| e - 1)
+            .unwrap_or(self.text.len());
+        &self.text[start..end]
+    }
+
+    /// Whether the byte at `offset` lies inside test-only code.
+    pub fn in_test_code(&self, offset: usize) -> bool {
+        let i = self.test_spans.partition_point(|&(_, end)| end <= offset);
+        self.test_spans
+            .get(i)
+            .is_some_and(|&(start, _)| start <= offset)
+    }
+}
+
+fn prev_is_ident(b: &[u8], i: usize) -> bool {
+    i > 0 && (b[i - 1].is_ascii_alphanumeric() || b[i - 1] == b'_')
+}
+
+/// Blank comments and string/char-literal interiors, preserving length
+/// and newlines; collect line comments.
+fn scrub(src: &str) -> (String, Vec<(usize, String)>) {
+    let b = src.as_bytes();
+    let mut out: Vec<u8> = Vec::with_capacity(b.len());
+    let mut comments = Vec::new();
+    let mut line = 0usize;
+    let mut i = 0usize;
+    while i < b.len() {
+        let c = b[i];
+        if c == b'\n' {
+            line += 1;
+            out.push(c);
+            i += 1;
+        } else if c == b'/' && b.get(i + 1) == Some(&b'/') {
+            let start = i;
+            while i < b.len() && b[i] != b'\n' {
+                out.push(b' ');
+                i += 1;
+            }
+            comments.push((line, src[start..i].to_string()));
+        } else if c == b'/' && b.get(i + 1) == Some(&b'*') {
+            let mut depth = 1usize;
+            out.extend_from_slice(b"  ");
+            i += 2;
+            while i < b.len() && depth > 0 {
+                if b[i] == b'/' && b.get(i + 1) == Some(&b'*') {
+                    depth += 1;
+                    out.extend_from_slice(b"  ");
+                    i += 2;
+                } else if b[i] == b'*' && b.get(i + 1) == Some(&b'/') {
+                    depth -= 1;
+                    out.extend_from_slice(b"  ");
+                    i += 2;
+                } else {
+                    out.push(if b[i] == b'\n' {
+                        line += 1;
+                        b'\n'
+                    } else {
+                        b' '
+                    });
+                    i += 1;
+                }
+            }
+        } else if (c == b'r' || c == b'b') && !prev_is_ident(b, i) && raw_string_at(b, i).is_some()
+        {
+            let (quote, hashes) = raw_string_at(b, i).unwrap_or((i, 0));
+            // Copy the prefix (r/br + hashes + quote) verbatim.
+            out.extend_from_slice(&b[i..=quote]);
+            i = quote + 1;
+            loop {
+                if i >= b.len() {
+                    break;
+                }
+                if b[i] == b'"' && b[i + 1..].len() >= hashes
+                    && b[i + 1..i + 1 + hashes].iter().all(|&h| h == b'#')
+                {
+                    out.extend_from_slice(&b[i..i + 1 + hashes]);
+                    i += 1 + hashes;
+                    break;
+                }
+                out.push(if b[i] == b'\n' {
+                    line += 1;
+                    b'\n'
+                } else {
+                    b' '
+                });
+                i += 1;
+            }
+        } else if c == b'b' && b.get(i + 1) == Some(&b'"') && !prev_is_ident(b, i) {
+            out.push(b'b');
+            i += 1; // Fall through to the string case on the next loop.
+        } else if c == b'"' {
+            out.push(b'"');
+            i += 1;
+            while i < b.len() {
+                if b[i] == b'\\' && i + 1 < b.len() {
+                    out.extend_from_slice(b"  ");
+                    i += 2;
+                } else if b[i] == b'"' {
+                    out.push(b'"');
+                    i += 1;
+                    break;
+                } else {
+                    out.push(if b[i] == b'\n' {
+                        line += 1;
+                        b'\n'
+                    } else {
+                        b' '
+                    });
+                    i += 1;
+                }
+            }
+        } else if c == b'\'' {
+            let next = b.get(i + 1).copied().unwrap_or(0);
+            let is_lifetime = (next.is_ascii_alphabetic() || next == b'_')
+                && b.get(i + 2) != Some(&b'\'');
+            if is_lifetime {
+                out.push(c);
+                i += 1;
+            } else {
+                out.push(b'\'');
+                i += 1;
+                while i < b.len() {
+                    if b[i] == b'\\' && i + 1 < b.len() {
+                        out.extend_from_slice(b"  ");
+                        i += 2;
+                    } else if b[i] == b'\'' {
+                        out.push(b'\'');
+                        i += 1;
+                        break;
+                    } else if b[i] == b'\n' {
+                        break; // Malformed literal; bail out of it.
+                    } else {
+                        out.push(b' ');
+                        i += 1;
+                    }
+                }
+            }
+        } else {
+            out.push(c);
+            i += 1;
+        }
+    }
+    let text = String::from_utf8(out).unwrap_or_default();
+    (text, comments)
+}
+
+/// If a raw (byte) string starts at `i`, return the byte offset of its
+/// opening quote and its hash count.
+fn raw_string_at(b: &[u8], i: usize) -> Option<(usize, usize)> {
+    let mut j = i;
+    if b[j] == b'b' {
+        j += 1;
+    }
+    if b.get(j) != Some(&b'r') {
+        return None;
+    }
+    j += 1;
+    let mut hashes = 0usize;
+    while b.get(j) == Some(&b'#') {
+        hashes += 1;
+        j += 1;
+    }
+    if b.get(j) == Some(&b'"') {
+        Some((j, hashes))
+    } else {
+        None
+    }
+}
+
+/// Byte ranges of `#[cfg(test)]` / `#[test]` items, found by brace
+/// matching on the scrubbed text.
+fn find_test_spans(text: &str) -> Vec<(usize, usize)> {
+    let b = text.as_bytes();
+    let mut spans = Vec::new();
+    for pat in ["#[cfg(test)]", "#[test]"] {
+        let mut from = 0usize;
+        while let Some(pos) = text[from..].find(pat) {
+            let attr_start = from + pos;
+            let mut i = attr_start + pat.len();
+            // Skip whitespace and any further attributes on the item.
+            loop {
+                while i < b.len() && b[i].is_ascii_whitespace() {
+                    i += 1;
+                }
+                if b.get(i) == Some(&b'#') {
+                    let mut depth = 0i32;
+                    while i < b.len() {
+                        match b[i] {
+                            b'[' => depth += 1,
+                            b']' => {
+                                depth -= 1;
+                                if depth == 0 {
+                                    i += 1;
+                                    break;
+                                }
+                            }
+                            _ => {}
+                        }
+                        i += 1;
+                    }
+                } else {
+                    break;
+                }
+            }
+            // The item body: everything to the matching close brace (or
+            // the semicolon of a braceless item).
+            while i < b.len() && b[i] != b'{' && b[i] != b';' {
+                i += 1;
+            }
+            if b.get(i) == Some(&b'{') {
+                let mut depth = 0i32;
+                while i < b.len() {
+                    match b[i] {
+                        b'{' => depth += 1,
+                        b'}' => {
+                            depth -= 1;
+                            if depth == 0 {
+                                i += 1;
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                    i += 1;
+                }
+            }
+            spans.push((attr_start, i.min(b.len())));
+            from = attr_start + pat.len();
+        }
+    }
+    spans.sort_unstable();
+    // Merge overlaps (a #[test] fn inside a #[cfg(test)] mod).
+    let mut merged: Vec<(usize, usize)> = Vec::with_capacity(spans.len());
+    for (s, e) in spans {
+        match merged.last_mut() {
+            Some(last) if s <= last.1 => last.1 = last.1.max(e),
+            _ => merged.push((s, e)),
+        }
+    }
+    merged
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strings_and_comments_are_blanked_but_lines_survive() {
+        let src = "let a = \"un.wrap()\"; // trailing .unwrap()\nlet b = 1;\n";
+        let s = Scrubbed::new(src);
+        assert_eq!(s.text.len(), src.len());
+        assert!(!s.text.contains("un.wrap"));
+        assert!(!s.text.contains("trailing"));
+        assert_eq!(s.comments.len(), 1);
+        assert_eq!(s.comments[0].0, 0);
+        assert!(s.comments[0].1.contains("trailing"));
+        assert_eq!(s.line_of(src.find("let b").unwrap()), 1);
+    }
+
+    #[test]
+    fn raw_strings_and_char_literals_are_blanked() {
+        let src = "let r = r#\"panic!(\"x\")\"#; let c = '\\n'; let lt: &'static str = \"\";";
+        let s = Scrubbed::new(src);
+        assert!(!s.text.contains("panic!"));
+        assert!(s.text.contains("'static"), "lifetime survives: {}", s.text);
+    }
+
+    #[test]
+    fn nested_block_comments_are_blanked() {
+        let src = "a /* x /* y */ z */ b\nc\n";
+        let s = Scrubbed::new(src);
+        assert!(s.text.starts_with("a "));
+        assert!(s.text.contains(" b\nc\n"));
+        assert!(!s.text.contains('y'));
+    }
+
+    #[test]
+    fn test_spans_cover_cfg_test_modules() {
+        let src = "fn lib() { x.unwrap(); }\n#[cfg(test)]\nmod tests {\n    fn t() { y.unwrap(); }\n}\nfn tail() {}\n";
+        let s = Scrubbed::new(src);
+        let lib_off = src.find("x.unwrap").unwrap();
+        let test_off = src.find("y.unwrap").unwrap();
+        let tail_off = src.find("fn tail").unwrap();
+        assert!(!s.in_test_code(lib_off));
+        assert!(s.in_test_code(test_off));
+        assert!(!s.in_test_code(tail_off));
+    }
+
+    #[test]
+    fn char_literal_quote_does_not_eat_the_file() {
+        let src = "let q = '\"'; x.unwrap();\n";
+        let s = Scrubbed::new(src);
+        assert!(s.text.contains(".unwrap("), "{}", s.text);
+    }
+}

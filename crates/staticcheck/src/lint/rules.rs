@@ -1,0 +1,248 @@
+//! The lint rules.
+//!
+//! Each rule scans the scrubbed text of one file and yields findings;
+//! the driver in [`super`] applies the allowlist and file-class
+//! exemptions. Rules are deliberately textual — the workspace vendors no
+//! Rust parser — but operate only outside comments, strings and
+//! `#[cfg(test)]` code, which removes essentially all false positives
+//! these patterns admit.
+
+use super::lexer::Scrubbed;
+
+/// Every rule the lint pass knows, with its identifier and rationale.
+pub const RULES: &[(&str, &str)] = &[
+    (
+        "no-unwrap",
+        "library code must return typed errors, not abort the process",
+    ),
+    (
+        "float-cmp",
+        "exact f64 equality in timing code hides representation drift",
+    ),
+    (
+        "no-direct-service",
+        "requests must flow through ServiceLog-observed paths",
+    ),
+    (
+        "unsafe-attr",
+        "every crate root must carry #![forbid(unsafe_code)] or deny",
+    ),
+];
+
+/// One raw finding before allowlisting.
+#[derive(Clone, Debug)]
+pub struct Finding {
+    /// Rule identifier (one of [`RULES`]).
+    pub rule: &'static str,
+    /// 0-based line of the finding.
+    pub line: usize,
+    /// The offending (scrubbed) source line, trimmed.
+    pub excerpt: String,
+}
+
+fn finding(rule: &'static str, s: &Scrubbed, offset: usize) -> Finding {
+    let line = s.line_of(offset);
+    Finding {
+        rule,
+        line,
+        excerpt: s.line_text(line).trim().to_string(),
+    }
+}
+
+/// Occurrences of `pat` in non-test scrubbed code.
+fn scan<'a>(s: &'a Scrubbed, pat: &'a str) -> impl Iterator<Item = usize> + 'a {
+    let mut from = 0usize;
+    std::iter::from_fn(move || {
+        while let Some(pos) = s.text[from..].find(pat) {
+            let off = from + pos;
+            from = off + pat.len();
+            if !s.in_test_code(off) {
+                return Some(off);
+            }
+        }
+        None
+    })
+}
+
+/// `no-unwrap`: no `.unwrap()`, `.expect(...)` or `panic!` in library
+/// code. (`.unwrap_or*` and `.expect_err` do not match these patterns.)
+pub fn no_unwrap(s: &Scrubbed) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for pat in [".unwrap()", ".expect(", "panic!"] {
+        out.extend(scan(s, pat).map(|off| finding("no-unwrap", s, off)));
+    }
+    out.sort_by_key(|f| f.line);
+    out
+}
+
+/// `float-cmp`: no `==`/`!=` where either operand is a float literal or
+/// a `_ms`-suffixed timing identifier.
+pub fn float_cmp(s: &Scrubbed) -> Vec<Finding> {
+    let mut out = Vec::new();
+    let b = s.text.as_bytes();
+    for pat in ["==", "!="] {
+        for off in scan(s, pat) {
+            // Not part of `<=`, `>=`, `=>`, `===`-like runs.
+            let prev = off.checked_sub(1).map(|i| b[i]);
+            let next = b.get(off + 2).copied();
+            if matches!(prev, Some(b'<' | b'>' | b'=' | b'!')) || next == Some(b'=') {
+                continue;
+            }
+            if pat == "==" && prev == Some(b'(') {
+                continue; // Closure/pattern artifacts such as `(==`.
+            }
+            let line = s.line_of(off);
+            let text = s.line_text(line);
+            let col = off - s.text[..off].rfind('\n').map(|p| p + 1).unwrap_or(0);
+            let (left, right) = text.split_at(col.min(text.len()));
+            let right = &right[pat.len().min(right.len())..];
+            if operand_is_floaty(left, true) || operand_is_floaty(right, false) {
+                out.push(finding("float-cmp", s, off));
+            }
+        }
+    }
+    out.sort_by_key(|f| f.line);
+    out.dedup_by(|a, b| a.line == b.line);
+    out
+}
+
+/// Whether the operand adjacent to the comparison looks like timing math:
+/// a float literal (`1.0`, `6e-9`) or an identifier ending in `_ms`.
+/// `tail` selects which end of the slice touches the operator.
+fn operand_is_floaty(slice: &str, tail: bool) -> bool {
+    // Cut at the nearest expression separator so unrelated floats on the
+    // same line do not trigger.
+    let cut: &[&str] = &["&&", "||", ",", ";", "{", "}"];
+    let mut s = slice;
+    if tail {
+        for c in cut {
+            if let Some(p) = s.rfind(c) {
+                s = &s[p + c.len()..];
+            }
+        }
+    } else {
+        for c in cut {
+            if let Some(p) = s.find(c) {
+                s = &s[..p];
+            }
+        }
+    }
+    has_float_literal(s) || has_ms_ident(s)
+}
+
+fn has_float_literal(s: &str) -> bool {
+    let b = s.as_bytes();
+    for i in 1..b.len().saturating_sub(1) {
+        if b[i] == b'.' && b[i - 1].is_ascii_digit() && b[i + 1].is_ascii_digit() {
+            return true;
+        }
+        if (b[i] == b'e' || b[i] == b'E')
+            && b[i - 1].is_ascii_digit()
+            && (b[i + 1].is_ascii_digit() || b[i + 1] == b'-')
+            && !b[..i]
+                .iter()
+                .rev()
+                .take_while(|c| c.is_ascii_alphanumeric() || **c == b'_')
+                .any(|c| c.is_ascii_alphabetic())
+        {
+            return true;
+        }
+    }
+    false
+}
+
+fn has_ms_ident(s: &str) -> bool {
+    let b = s.as_bytes();
+    let mut i = 0usize;
+    while let Some(pos) = s[i..].find("_ms") {
+        let off = i + pos;
+        let end = off + 3;
+        let next = b.get(end).copied().unwrap_or(b' ');
+        if !(next.is_ascii_alphanumeric() || next == b'_' || next == b'(') {
+            return true;
+        }
+        i = end;
+    }
+    false
+}
+
+/// `no-direct-service`: no `.service(` outside the disk simulator crate
+/// (requests must go through the ServiceLog-observed batch paths).
+pub fn no_direct_service(s: &Scrubbed) -> Vec<Finding> {
+    scan(s, ".service(")
+        .map(|off| finding("no-direct-service", s, off))
+        .collect()
+}
+
+/// `unsafe-attr`: crate roots must carry `#![forbid(unsafe_code)]` (or
+/// `deny`).
+pub fn unsafe_attr(s: &Scrubbed) -> Vec<Finding> {
+    let ok = s.text.contains("#![forbid(unsafe_code)]")
+        || s.text.contains("#![deny(unsafe_code)]");
+    if ok {
+        Vec::new()
+    } else {
+        vec![Finding {
+            rule: "unsafe-attr",
+            line: 0,
+            excerpt: "crate root lacks #![forbid(unsafe_code)] / #![deny(unsafe_code)]".into(),
+        }]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scrub(src: &str) -> Scrubbed {
+        Scrubbed::new(src)
+    }
+
+    #[test]
+    fn unwrap_found_outside_tests_only() {
+        let src = "fn f() { x.unwrap(); y.expect(\"m\"); panic!(\"no\"); }\n\
+                   #[cfg(test)]\nmod t { fn g() { z.unwrap(); } }\n";
+        let f = no_unwrap(&scrub(src));
+        assert_eq!(f.len(), 3, "{f:?}");
+        assert!(f.iter().all(|f| f.line == 0));
+    }
+
+    #[test]
+    fn unwrap_or_and_strings_do_not_match() {
+        let src = "fn f() { x.unwrap_or(0); let s = \".unwrap()\"; } // .expect(\n";
+        assert!(no_unwrap(&scrub(src)).is_empty());
+    }
+
+    #[test]
+    fn float_eq_flagged_int_eq_not() {
+        let src = "fn f() { if a == 1.0 {} if b == 1 {} if t_ms != c {} if d <= 2.0 {} }\n";
+        let f = float_cmp(&scrub(src));
+        assert_eq!(f.len(), 1, "{f:?}"); // Lines dedup: 1.0 and t_ms share a line.
+        let src2 = "fn f() { if a == 1 && b > 1.5 {} }\n";
+        assert!(float_cmp(&scrub(src2)).is_empty(), "separator cut failed");
+    }
+
+    #[test]
+    fn exponent_literals_are_floaty_but_idents_are_not() {
+        assert!(has_float_literal("x - 1e-9"));
+        assert!(has_float_literal("delta == 0.5"));
+        assert!(!has_float_literal("case9 == other"));
+        assert!(!has_float_literal("base9e4_name"));
+        assert!(has_ms_ident("settle_ms"));
+        assert!(!has_ms_ident("settle_msg"));
+        assert!(!has_ms_ident("sector_time_ms(zone)"));
+    }
+
+    #[test]
+    fn direct_service_flagged() {
+        let src = "fn f(d: &mut Sim) { d.service(req); }\n";
+        assert_eq!(no_direct_service(&scrub(src)).len(), 1);
+    }
+
+    #[test]
+    fn unsafe_attr_requires_deny_or_forbid() {
+        assert_eq!(unsafe_attr(&scrub("#![warn(missing_docs)]\n")).len(), 1);
+        assert!(unsafe_attr(&scrub("#![forbid(unsafe_code)]\n")).is_empty());
+        assert!(unsafe_attr(&scrub("#![deny(unsafe_code)]\n")).is_empty());
+    }
+}

@@ -1,0 +1,126 @@
+//! `staticcheck` CLI: run the invariant prover and/or the source lint.
+//!
+//! ```text
+//! staticcheck verify [--quick] [--json PATH]   layout invariant sweep
+//! staticcheck lint   [--json PATH] [ROOT]      source lint pass
+//! staticcheck all    [--quick] [--json PATH]   both prongs
+//! ```
+//!
+//! Exit code 0 when every check passes (or is skipped), 1 on any
+//! violation, 2 on usage or I/O errors.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use staticcheck::lint;
+use staticcheck::report::Report;
+use staticcheck::sweep;
+
+struct Args {
+    command: String,
+    quick: bool,
+    json: Option<PathBuf>,
+    root: Option<PathBuf>,
+}
+
+fn usage() -> ExitCode {
+    eprintln!("usage: staticcheck <verify|lint|all> [--quick] [--json PATH] [ROOT]");
+    ExitCode::from(2)
+}
+
+fn parse_args() -> Option<Args> {
+    let mut args = std::env::args().skip(1);
+    let command = args.next()?;
+    let mut parsed = Args {
+        command,
+        quick: false,
+        json: None,
+        root: None,
+    };
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--quick" => parsed.quick = true,
+            "--json" => parsed.json = Some(PathBuf::from(args.next()?)),
+            _ if a.starts_with("--") => return None,
+            _ => parsed.root = Some(PathBuf::from(a)),
+        }
+    }
+    Some(parsed)
+}
+
+fn run_verify(quick: bool) -> Report {
+    let configs = if quick {
+        sweep::quick_sweep()
+    } else {
+        sweep::default_sweep()
+    };
+    eprintln!("staticcheck: proving layout invariants over {} configurations…", configs.len());
+    sweep::run_sweep(&configs)
+}
+
+fn run_lint(root: &std::path::Path) -> std::io::Result<Report> {
+    let outcome = lint::lint_workspace(root)?;
+    let allowed: usize = outcome.allowed.values().sum();
+    eprintln!(
+        "staticcheck: linted {} files ({allowed} findings allowlisted)",
+        outcome.files
+    );
+    Ok(outcome.report)
+}
+
+fn workspace_root(explicit: Option<PathBuf>) -> PathBuf {
+    if let Some(r) = explicit {
+        return r;
+    }
+    // The manifest dir is crates/staticcheck; the workspace root is two up.
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    manifest
+        .parent()
+        .and_then(|p| p.parent())
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("."))
+}
+
+fn main() -> ExitCode {
+    let Some(args) = parse_args() else {
+        return usage();
+    };
+    let mut report = Report::new();
+    match args.command.as_str() {
+        "verify" => report.merge(run_verify(args.quick)),
+        "lint" => match run_lint(&workspace_root(args.root.clone())) {
+            Ok(r) => report.merge(r),
+            Err(e) => {
+                eprintln!("staticcheck: lint failed: {e}");
+                return ExitCode::from(2);
+            }
+        },
+        "all" => {
+            report.merge(run_verify(args.quick));
+            match run_lint(&workspace_root(args.root.clone())) {
+                Ok(r) => report.merge(r),
+                Err(e) => {
+                    eprintln!("staticcheck: lint failed: {e}");
+                    return ExitCode::from(2);
+                }
+            }
+        }
+        _ => return usage(),
+    }
+    print!("{}", report.render_text());
+    if let Some(path) = &args.json {
+        let doc = report.to_json().to_pretty();
+        if let Err(e) = std::fs::write(path, doc) {
+            eprintln!("staticcheck: cannot write {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+        eprintln!("staticcheck: wrote {}", path.display());
+    }
+    if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        let (_, violated, _) = report.tallies();
+        eprintln!("staticcheck: {violated} violation(s)");
+        ExitCode::FAILURE
+    }
+}

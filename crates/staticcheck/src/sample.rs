@@ -1,0 +1,76 @@
+//! Deterministic cell sampling for large-grid spot checks.
+//!
+//! Structural proofs carry the quantifier over all cells; sampling exists
+//! only to cross-check that the *implementation* matches the structure the
+//! proof reasoned about. Samples are deterministic (corners plus an
+//! equally-spaced strided scan) so failures reproduce exactly.
+
+use multimap_core::{Coord, GridSpec};
+
+/// All corners of the grid (up to 2^N, capped at 256 for high-N grids).
+pub fn corner_coords(grid: &GridSpec) -> Vec<Coord> {
+    let n = grid.ndims();
+    let count = 1u64 << n.min(8);
+    let mut out = Vec::with_capacity(count as usize);
+    for mask in 0..count {
+        let c: Coord = (0..n)
+            .map(|d| {
+                if mask >> d.min(63) & 1 == 1 {
+                    grid.extent(d) - 1
+                } else {
+                    0
+                }
+            })
+            .collect();
+        if !out.contains(&c) {
+            out.push(c);
+        }
+    }
+    out
+}
+
+/// Corners plus an equally-spaced strided scan of the linearised grid,
+/// at most `max` coordinates in total.
+pub fn sample_coords(grid: &GridSpec, max: usize) -> Vec<Coord> {
+    let mut out = corner_coords(grid);
+    let cells = grid.cells();
+    let budget = max.saturating_sub(out.len()).max(1) as u64;
+    let stride = (cells / budget).max(1);
+    // Offset successive probes by their index so samples do not all share
+    // the same residues modulo small extents.
+    let mut idx = 0u64;
+    let mut probe = 0u64;
+    while idx < cells && out.len() < max {
+        if let Some(c) = grid.coord_of_linear(idx) {
+            if !out.contains(&c) {
+                out.push(c);
+            }
+        }
+        probe += 1;
+        idx = probe * stride + probe % stride.max(1);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corners_of_small_grid() {
+        let g = GridSpec::new([3u64, 4]);
+        let corners = corner_coords(&g);
+        assert_eq!(corners.len(), 4);
+        assert!(corners.contains(&vec![0, 0]));
+        assert!(corners.contains(&vec![2, 3]));
+    }
+
+    #[test]
+    fn samples_are_in_grid_and_bounded() {
+        let g = GridSpec::new([100u64, 100, 10]);
+        let s = sample_coords(&g, 500);
+        assert!(s.len() <= 500);
+        assert!(s.len() >= 100);
+        assert!(s.iter().all(|c| g.contains(c)));
+    }
+}

@@ -52,6 +52,7 @@ impl ZoneAllocator {
     pub fn most_free_disk(&self, geom: &DiskGeometry) -> usize {
         (0..self.cursors.len())
             .max_by_key(|&d| (self.free_zones(geom, d), usize::MAX - d))
+            // staticcheck: allow(no-unwrap) — ZoneAllocator::new requires at least one disk, so the range is never empty.
             .expect("at least one disk")
     }
 

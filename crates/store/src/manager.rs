@@ -8,8 +8,8 @@ use multimap_core::{
     MappingError, MultiMapOptions, MultiMapping, NaiveMapping, UpdateConfig,
 };
 use multimap_disksim::{DiskGeometry, Lbn};
-use multimap_lvm::LogicalVolume;
-use multimap_query::{service_lbns, QueryExecutor, QueryResult};
+use multimap_lvm::{LogicalVolume, LvmError};
+use multimap_query::{service_lbns, QueryError, QueryExecutor, QueryResult};
 
 use crate::alloc::{ZoneAllocator, ZoneGrant};
 
@@ -42,6 +42,10 @@ pub enum StoreError {
     },
     /// The mapping layer rejected the table.
     Mapping(MappingError),
+    /// The query layer failed.
+    Query(QueryError),
+    /// The logical volume rejected an operation.
+    Volume(LvmError),
 }
 
 impl fmt::Display for StoreError {
@@ -51,6 +55,8 @@ impl fmt::Display for StoreError {
             StoreError::NoSuchTable(n) => write!(f, "no table named {n:?}"),
             StoreError::OutOfSpace { what } => write!(f, "out of space: {what}"),
             StoreError::Mapping(e) => write!(f, "mapping error: {e}"),
+            StoreError::Query(e) => write!(f, "query error: {e}"),
+            StoreError::Volume(e) => write!(f, "volume error: {e}"),
         }
     }
 }
@@ -60,6 +66,18 @@ impl std::error::Error for StoreError {}
 impl From<MappingError> for StoreError {
     fn from(e: MappingError) -> Self {
         StoreError::Mapping(e)
+    }
+}
+
+impl From<QueryError> for StoreError {
+    fn from(e: QueryError) -> Self {
+        StoreError::Query(e)
+    }
+}
+
+impl From<LvmError> for StoreError {
+    fn from(e: LvmError) -> Self {
+        StoreError::Volume(e)
     }
 }
 
@@ -198,12 +216,14 @@ impl StorageManager {
                     .layout()
                     .zones()
                     .last()
+                    // staticcheck: allow(no-unwrap) — MultiMapping layouts always occupy at least one zone.
                     .expect("layout uses at least one zone")
                     .zone_index;
                 let zones = last_zone + 1 - first_zone;
                 let grant = self
                     .allocator
                     .grant(&geom, disk, zones)
+                    // staticcheck: allow(no-unwrap) — disk selection above verified the allocator can grant these zones.
                     .expect("cursor was checked");
                 (grant, Box::new(m))
             }
@@ -257,7 +277,7 @@ impl StorageManager {
             .ok_or_else(|| StoreError::NoSuchTable(name.into()))?;
         let report = self.volume.with_disk(table.grant.disk, |sim| {
             multimap_core::bulk_load(sim, table.mapping.as_ref())
-        })?;
+        })??;
         let cells = table.grid().cells();
         for c in 0..cells {
             table.cells.bulk_load(c);
@@ -286,14 +306,16 @@ impl StorageManager {
         }
         let mut writes: Vec<Lbn> = vec![lbn];
         if table.cells.overflow_lbns(cell).len() > pages_before {
+            // staticcheck: allow(no-unwrap) — len() > pages_before proves the overflow list is non-empty.
             writes.push(*table.cells.overflow_lbns(cell).last().expect("just added"));
         }
         self.volume.with_disk(table.grant.disk, |sim| {
             for w in writes {
+                // staticcheck: allow(no-unwrap) — grant LBNs were validated against the allocator at create time.
                 sim.service_write(multimap_disksim::Request::single(w))
                     .expect("grant LBNs are on disk");
             }
-        });
+        })?;
         Ok(())
     }
 
@@ -319,8 +341,8 @@ impl StorageManager {
         let table = self.table(name)?;
         let region = BoxRegion::beam(table.grid(), dim, anchor);
         let exec = QueryExecutor::new(&self.volume, table.grant.disk);
-        let mut result = exec.beam(table.mapping.as_ref(), &region);
-        result.accumulate(&self.read_overflow(table, &region));
+        let mut result = exec.beam(table.mapping.as_ref(), &region)?;
+        result.accumulate(&self.read_overflow(table, &region)?);
         Ok(result)
     }
 
@@ -328,8 +350,8 @@ impl StorageManager {
     pub fn range(&self, name: &str, region: &BoxRegion) -> Result<QueryResult> {
         let table = self.table(name)?;
         let exec = QueryExecutor::new(&self.volume, table.grant.disk);
-        let mut result = exec.range(table.mapping.as_ref(), region);
-        result.accumulate(&self.read_overflow(table, region));
+        let mut result = exec.range(table.mapping.as_ref(), region)?;
+        result.accumulate(&self.read_overflow(table, region)?);
         Ok(result)
     }
 
@@ -345,7 +367,7 @@ impl StorageManager {
             .ok_or_else(|| StoreError::NoSuchTable(name.into()))?;
         let report = self.volume.with_disk(table.grant.disk, |sim| {
             multimap_core::bulk_load(sim, table.mapping.as_ref())
-        })?;
+        })??;
         // Fresh occupancy at the fill factor; overflow chains dissolve.
         let overflow_base =
             table.grant.base_lbn + table.mapping.blocks_spanned().min(table.grant.blocks);
@@ -372,7 +394,7 @@ impl StorageManager {
     }
 
     /// Fetch the overflow chains of every cell in `region` (often empty).
-    fn read_overflow(&self, table: &SpatialTable, region: &BoxRegion) -> QueryResult {
+    fn read_overflow(&self, table: &SpatialTable, region: &BoxRegion) -> Result<QueryResult> {
         let grid = table.grid();
         let mut lbns: Vec<Lbn> = Vec::new();
         region.for_each_cell(|c| {
@@ -380,9 +402,9 @@ impl StorageManager {
             lbns.extend_from_slice(table.cells.overflow_lbns(cell));
         });
         if lbns.is_empty() {
-            return QueryResult::default();
+            return Ok(QueryResult::default());
         }
-        service_lbns(&self.volume, table.grant.disk, &lbns, false)
+        Ok(service_lbns(&self.volume, table.grant.disk, &lbns, false)?)
     }
 }
 

@@ -72,7 +72,7 @@ fn main() {
                 let leaves = tree.leaves_intersecting(lo, hi);
                 let lbns: Vec<u64> = leaves.iter().map(|l| b.lbn_of_leaf(l)).collect();
                 volume.reset();
-                let r = service_lbns(&volume, 0, &lbns, false);
+                let r = service_lbns(&volume, 0, &lbns, false).expect("leaf LBNs serviceable");
                 total += r.total_io_ms;
                 cells += r.cells;
             }
@@ -91,7 +91,7 @@ fn main() {
                 let lbns: Vec<u64> = leaves.iter().map(|l| skewed.lbn_of_leaf(l)).collect();
                 volume.reset();
                 let sptf = lbns.len() <= 2048;
-                let r = service_lbns(&volume, 0, &lbns, sptf);
+                let r = service_lbns(&volume, 0, &lbns, sptf).expect("leaf LBNs serviceable");
                 total += r.total_io_ms;
                 cells += r.cells;
             }

@@ -61,7 +61,8 @@ fn main() {
                     exec.beam(m.as_ref(), &region)
                 } else {
                     exec.range(m.as_ref(), &region)
-                };
+                }
+                .expect("in-grid query");
                 total += r.total_io_ms;
                 cells += r.cells;
             }

@@ -59,7 +59,7 @@ fn main() {
         let exec = QueryExecutor::new(&volume, 0);
         // Same query stream for every mapping.
         let mut rng = workload_rng(0x31337);
-        let report = mix.run(&exec, m.as_ref(), &mut rng, 5.0);
+        let report = mix.run(&exec, m.as_ref(), &mut rng, 5.0).expect("in-grid mix");
         println!(
             "{:>10} {:>12.1} {:>12.2} {:>10.1}",
             m.name(),

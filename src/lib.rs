@@ -36,11 +36,13 @@
 //! // semi-sequentially, the naive layout pays rotational latency.
 //! let exec = QueryExecutor::new(&volume, 0);
 //! let beam = BoxRegion::beam(&grid, 1, &[3, 0, 2]);
-//! let t_mm = exec.beam(&multimap, &beam);
+//! let t_mm = exec.beam(&multimap, &beam).unwrap();
 //! volume.reset();
-//! let t_naive = exec.beam(&naive, &beam);
+//! let t_naive = exec.beam(&naive, &beam).unwrap();
 //! assert!(t_mm.total_io_ms < t_naive.total_io_ms);
 //! ```
+
+#![forbid(unsafe_code)]
 
 pub use multimap_core as core;
 pub use multimap_disksim as disksim;

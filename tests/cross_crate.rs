@@ -32,9 +32,9 @@ fn earthquake_pipeline_end_to_end() {
 
     let naive_lbns: Vec<u64> = leaves.iter().map(|l| naive.lbn_of_leaf(l)).collect();
     let mm_lbns: Vec<u64> = leaves.iter().map(|l| skewed.lbn_of_leaf(l)).collect();
-    let rn = service_lbns(&volume, 0, &naive_lbns, false);
+    let rn = service_lbns(&volume, 0, &naive_lbns, false).unwrap();
     volume.reset();
-    let rm = service_lbns(&volume, 0, &mm_lbns, true);
+    let rm = service_lbns(&volume, 0, &mm_lbns, true).unwrap();
     assert_eq!(rn.cells, rm.cells);
     assert!(
         rm.total_io_ms <= rn.total_io_ms * 1.2,
@@ -64,17 +64,17 @@ fn olap_pipeline_end_to_end() {
     for q in olap::ALL_QUERIES {
         let region = q.region(&chunk, &mut rng);
         let r = if q.is_beam() {
-            exec.beam(&mm, &region)
+            exec.beam(&mm, &region).unwrap()
         } else {
-            exec.range(&mm, &region)
+            exec.range(&mm, &region).unwrap()
         };
         assert_eq!(r.cells, region.cells(), "{}", q.label());
         assert!(r.total_io_ms > 0.0);
     }
     // Q1 streams on the major order; Q2 is semi-sequential.
     let mut rng = workload_rng(2);
-    let q1 = exec.beam(&mm, &OlapQuery::Q1.region(&chunk, &mut rng));
-    let q2 = exec.beam(&mm, &OlapQuery::Q2.region(&chunk, &mut rng));
+    let q1 = exec.beam(&mm, &OlapQuery::Q1.region(&chunk, &mut rng)).unwrap();
+    let q2 = exec.beam(&mm, &OlapQuery::Q2.region(&chunk, &mut rng)).unwrap();
     assert!(q1.per_cell_ms() < q2.per_cell_ms());
 }
 
@@ -144,7 +144,7 @@ fn updates_compose_with_mapping() {
     let volume = LogicalVolume::new(geom.clone(), 1);
     let mut lbns = vec![mm.lbn_of(&[3, 2, 1]).unwrap()];
     lbns.extend_from_slice(overflow);
-    let r = service_lbns(&volume, 0, &lbns, false);
+    let r = service_lbns(&volume, 0, &lbns, false).unwrap();
     assert_eq!(r.cells as usize, 1 + overflow.len());
 }
 
