@@ -8,8 +8,8 @@ use multimap_core::{
     hilbert_mapping, BoxRegion, Mapping, MultiMapOptions, MultiMapping, NaiveMapping,
     ZonedMultiMapping,
 };
-use multimap_disksim::{profiles, DiskBuilder, ZoneSpec};
-use multimap_lvm::LogicalVolume;
+use multimap_disksim::{profiles, DiskBuilder, Request, ZoneSpec};
+use multimap_lvm::{LogicalVolume, SchedulePolicy};
 use multimap_query::{
     random_range, workload_rng, BeamPolicy, ExecOptions, QueryExecutor, RangeOrder,
 };
@@ -429,20 +429,67 @@ pub fn zoned_shapes(_scale: Scale) -> Table {
     table
 }
 
-/// All ablations.
+/// Queued vs full SPTF: with the profiled estimator the full scheduler's
+/// per-round work is a memoized seek plus a rotational phase — cheap
+/// enough that the executor's default `sptf_limit` (4096) comfortably
+/// covers paper-scale beams (≤ 259 cells), so the queued fallback no
+/// longer binds there. Columns are *simulated* service time only; the
+/// full scheduler sees the whole batch and should never lose to the
+/// admission-windowed queue.
+pub fn sptf_crossover(scale: Scale) -> Table {
+    let grid = grid(scale);
+    let geom = profiles::cheetah_36es();
+    let mm = MultiMapping::new(&geom, grid.clone()).expect("fits");
+    let mut table = Table::new(
+        "Ablation: queued (TCQ-64) vs full SPTF on MultiMap cell batches (simulated total ms)",
+        &["batch_cells", "full_sptf_ms", "queued_tcq64_ms", "queued_over_full"],
+    );
+    let paper_beam = grid.extents().iter().copied().max().unwrap_or(1) as usize;
+    for n in [64usize, paper_beam, 1024, 2048] {
+        let mut rng = workload_rng(0xab9 + n as u64);
+        let requests: Vec<Request> = (0..n)
+            .map(|_| {
+                let anchor = multimap_query::random_anchor(&grid, &mut rng);
+                Request::single(mm.lbn_of(&anchor).expect("anchor in grid"))
+            })
+            .collect();
+        let volume = LogicalVolume::new(geom.clone(), 1);
+        let full = volume
+            .service_batch(0, &requests, SchedulePolicy::Sptf)
+            .expect("batch serves")
+            .total_ms;
+        volume.reset();
+        let queued = volume
+            .service_batch(0, &requests, SchedulePolicy::QueuedSptf(64))
+            .expect("batch serves")
+            .total_ms;
+        table.row(vec![
+            n.to_string(),
+            ms(full),
+            ms(queued),
+            format!("{:.2}", queued / full),
+        ]);
+    }
+    table
+}
+
+/// All ablations, fanned across the experiment engine (each table is an
+/// independent seeded experiment; output order is fixed).
 pub fn run_all(scale: Scale) -> Vec<Table> {
-    vec![
-        cube_shape(scale),
-        queue_depth(scale),
-        request_sorting(scale),
-        adjacency_depth(scale),
-        adjacency_slack(scale),
-        curve_clustering(scale),
-        track_waste(scale),
-        density_trend(scale),
-        settle_jitter(scale),
-        zoned_shapes(scale),
-    ]
+    let experiments: Vec<fn(Scale) -> Table> = vec![
+        cube_shape,
+        queue_depth,
+        request_sorting,
+        adjacency_depth,
+        adjacency_slack,
+        curve_clustering,
+        track_waste,
+        density_trend,
+        settle_jitter,
+        zoned_shapes,
+        sptf_crossover,
+    ];
+    multimap_engine::sweep(&experiments, |f| f(scale))
 }
 
 #[cfg(test)]
@@ -536,6 +583,23 @@ mod tests {
             exact > 0.85,
             "exact-fit speedup {exact} should approach 1.0"
         );
+    }
+
+    #[test]
+    fn full_sptf_no_worse_than_queued_at_beam_scale() {
+        let t = sptf_crossover(Scale::Quick);
+        // Paper-scale beam row (the grid's largest extent) and below:
+        // the full scheduler must not lose to the admission window, so
+        // raising sptf_limit past those sizes is sound.
+        for row in &t.rows[..2] {
+            let full: f64 = row[1].parse().unwrap();
+            let queued: f64 = row[2].parse().unwrap();
+            assert!(
+                full <= queued * 1.02 + 0.5,
+                "batch {}: full {full} vs queued {queued}",
+                row[0]
+            );
+        }
     }
 
     #[test]

@@ -1,0 +1,191 @@
+//! Perf smoke benchmark: times the standard quick figure sweep serially
+//! and in parallel, checks the two runs are byte-identical, measures the
+//! profiled SPTF estimator's throughput, and writes `BENCH_pr3.json`.
+//!
+//! ```text
+//! cargo run --release -p multimap-bench --bin perf -- [--out BENCH_pr3.json]
+//! ```
+//!
+//! Exit status is non-zero if any parallel table diverges from its
+//! serial reference — the determinism contract of the experiment engine.
+
+// staticcheck: allow-file(no-unwrap) — benchmark/CLI binary: aborting with a message on a malformed run is the intended failure mode.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use multimap_bench::{ablations, fig6, fig7, fig8, model_fig, Scale, Table};
+use multimap_disksim::{profiles, DiskSim, Request};
+
+/// One timed pass over the standard quick sweep. Returns the rendered
+/// tables (the determinism witness) and per-figure cell counts.
+fn run_sweep() -> (Vec<(String, String, usize)>, f64) {
+    let scale = Scale::Quick;
+    let start = Instant::now();
+    // (label, table, engine cells) — cells mirror each figure's sweep
+    // decomposition so cells/sec is meaningful.
+    let figs: Vec<(String, Table, usize)> = vec![
+        ("fig6a".into(), fig6::run_beams(scale), 8),
+        ("fig6b".into(), fig6::run_ranges(scale), 12),
+        ("fig7a".into(), fig7::run_beams(scale), 8),
+        ("fig8".into(), fig8::run(scale), 8),
+        ("model".into(), model_fig::run(scale), 6),
+    ];
+    let elapsed = start.elapsed().as_secs_f64();
+    let rendered = figs
+        .into_iter()
+        .map(|(label, t, cells)| (label, t.render(), cells))
+        .collect();
+    (rendered, elapsed)
+}
+
+/// Profiled-SPTF throughput: schedule a 1024-request scattered batch and
+/// report estimator calls per second (the selection loop performs
+/// `n·(n+1)/2` estimates), plus the unprofiled estimator's rate on the
+/// same requests for comparison.
+fn sptf_throughput() -> (f64, f64, u64) {
+    let n: u64 = 1024;
+    let geom = profiles::cheetah_36es();
+    let requests: Vec<Request> = (0..n)
+        .map(|i| Request::single((i * 7_907_693) % geom.total_blocks()))
+        .collect();
+
+    let mut sim = DiskSim::new(geom.clone());
+    let before = multimap_disksim::locate_call_count();
+    let start = Instant::now();
+    multimap_disksim::service_batch_sptf(&mut sim, &requests).expect("batch serves");
+    let t_profiled = start.elapsed().as_secs_f64();
+    let locates = multimap_disksim::locate_call_count() - before;
+    let estimates = n * (n + 1) / 2;
+    let profiled_rate = estimates as f64 / t_profiled;
+
+    // Unprofiled baseline: the raw estimator on the same request set.
+    let sim = DiskSim::new(geom);
+    let baseline_calls = 200_000u64;
+    let start = Instant::now();
+    let mut acc = 0.0f64;
+    for i in 0..baseline_calls {
+        acc += sim
+            .estimate(requests[(i % n) as usize])
+            .expect("estimate runs");
+    }
+    let t_raw = start.elapsed().as_secs_f64();
+    assert!(acc > 0.0);
+    let raw_rate = baseline_calls as f64 / t_raw;
+    (profiled_rate, raw_rate, locates)
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_pr3.json".to_string());
+
+    let host_threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+
+    // Warm-up pass so the shared translation cache is populated for both
+    // timed passes — otherwise the second pass gets a free cache win and
+    // the speedup conflates parallelism with caching.
+    eprintln!("warm-up pass...");
+    multimap_engine::set_threads(1);
+    let _ = run_sweep();
+
+    eprintln!("serial pass (1 thread)...");
+    let (serial_tables, serial_s) = run_sweep();
+
+    multimap_engine::set_threads(0);
+    let parallel_threads = multimap_engine::threads().max(1);
+    eprintln!("parallel pass ({parallel_threads} of {host_threads} host threads)...");
+    let (parallel_tables, parallel_s) = run_sweep();
+
+    // Ablations ride along in the parallel pass only (they are one
+    // engine sweep themselves); time them for the report.
+    let start = Instant::now();
+    let ablation_tables = ablations::run_all(Scale::Quick);
+    let ablations_s = start.elapsed().as_secs_f64();
+
+    let mut divergent: Vec<&str> = Vec::new();
+    for ((label, serial, _), (_, parallel, _)) in serial_tables.iter().zip(&parallel_tables) {
+        if serial != parallel {
+            divergent.push(label);
+        }
+    }
+
+    let cells: usize = serial_tables.iter().map(|&(_, _, c)| c).sum();
+    let speedup = serial_s / parallel_s;
+    let (profiled_rate, raw_rate, locates) = sptf_throughput();
+
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(json, "  \"bench\": \"pr3_parallel_engine_and_caches\",");
+    let _ = writeln!(json, "  \"scale\": \"quick\",");
+    let _ = writeln!(json, "  \"host_threads\": {host_threads},");
+    let _ = writeln!(json, "  \"engine_threads\": {parallel_threads},");
+    let _ = writeln!(json, "  \"sweep_cells\": {cells},");
+    let _ = writeln!(json, "  \"serial_wall_s\": {serial_s:.3},");
+    let _ = writeln!(json, "  \"parallel_wall_s\": {parallel_s:.3},");
+    let _ = writeln!(json, "  \"parallel_speedup\": {speedup:.2},");
+    let _ = writeln!(
+        json,
+        "  \"serial_cells_per_s\": {:.2},",
+        cells as f64 / serial_s
+    );
+    let _ = writeln!(
+        json,
+        "  \"parallel_cells_per_s\": {:.2},",
+        cells as f64 / parallel_s
+    );
+    let _ = writeln!(json, "  \"ablations_wall_s\": {ablations_s:.3},");
+    let _ = writeln!(json, "  \"ablation_tables\": {},", ablation_tables.len());
+    let _ = writeln!(
+        json,
+        "  \"sptf_profiled_estimates_per_s\": {profiled_rate:.0},"
+    );
+    let _ = writeln!(json, "  \"sptf_raw_estimates_per_s\": {raw_rate:.0},");
+    let _ = writeln!(
+        json,
+        "  \"sptf_estimator_speedup\": {:.2},",
+        profiled_rate / raw_rate
+    );
+    let _ = writeln!(json, "  \"sptf_batch_locate_calls\": {locates},");
+    let _ = writeln!(
+        json,
+        "  \"divergent_figures\": [{}],",
+        divergent
+            .iter()
+            .map(|d| format!("\"{}\"", json_escape(d)))
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    let _ = writeln!(json, "  \"deterministic\": {}", divergent.is_empty());
+    let _ = writeln!(json, "}}");
+
+    if let Err(e) = std::fs::write(&out_path, &json) {
+        eprintln!("error: could not write {out_path}: {e}");
+        std::process::exit(2);
+    }
+    print!("{json}");
+    eprintln!("wrote {out_path}");
+
+    if !divergent.is_empty() {
+        eprintln!(
+            "FAIL: parallel tables diverged from serial reference: {divergent:?}"
+        );
+        std::process::exit(1);
+    }
+    eprintln!(
+        "OK: {} figures byte-identical serial vs parallel ({parallel_threads} threads), \
+         {:.1}x sweep speedup",
+        serial_tables.len(),
+        speedup
+    );
+}

@@ -33,9 +33,25 @@ pub fn run_beams(scale: Scale) -> Table {
         &["disk", "mapping", "Dim0", "Dim1", "Dim2"],
     );
 
-    for geom in profiles::evaluation_disks() {
-        let mm = MultiMapping::new(&geom, grid.clone()).expect("chunk fits the disk");
-        let mappings: Vec<&dyn Mapping> = vec![&naive, &zord, &hilb, &mm];
+    // Every (disk, mapping) pair is an independent cell: each gets a
+    // fresh volume and the same anchor workload (seeded rng), so rows
+    // are reproducible and identical at any thread count.
+    let disks = profiles::evaluation_disks();
+    let cells: Vec<(usize, usize)> = (0..disks.len())
+        .flat_map(|d| (0..4usize).map(move |m| (d, m)))
+        .collect();
+    let rows = multimap_engine::sweep(&cells, |&(d, mi)| {
+        let geom = &disks[d];
+        let mm;
+        let m: &dyn Mapping = match mi {
+            0 => &naive,
+            1 => &zord,
+            2 => &hilb,
+            _ => {
+                mm = MultiMapping::new(geom, grid.clone()).expect("chunk fits the disk");
+                &mm
+            }
+        };
         let volume = LogicalVolume::new(geom.clone(), 1);
         let exec = QueryExecutor::new(&volume, 0);
 
@@ -43,25 +59,26 @@ pub fn run_beams(scale: Scale) -> Table {
         let mut rng = workload_rng(0x6a61);
         let anchors: Vec<Vec<u64>> = (0..runs).map(|_| random_anchor(&grid, &mut rng)).collect();
 
-        for m in &mappings {
-            let mut per_dim = Vec::new();
-            for dim in 0..3 {
-                let mut acc = QueryResult::default();
-                for anchor in &anchors {
-                    let region = BoxRegion::beam(&grid, dim, anchor);
-                    volume.idle_all(7.3); // decorrelate rotational phase
-                    acc.accumulate(&exec.beam(*m, &region).expect("figure query runs in-grid"));
-                }
-                per_dim.push(acc.per_cell_ms());
+        let mut per_dim = Vec::new();
+        for dim in 0..3 {
+            let mut acc = QueryResult::default();
+            for anchor in &anchors {
+                let region = BoxRegion::beam(&grid, dim, anchor);
+                volume.idle_all(7.3); // decorrelate rotational phase
+                acc.accumulate(&exec.beam(m, &region).expect("figure query runs in-grid"));
             }
-            table.row(vec![
-                geom.name.clone(),
-                m.name().to_string(),
-                ms(per_dim[0]),
-                ms(per_dim[1]),
-                ms(per_dim[2]),
-            ]);
+            per_dim.push(acc.per_cell_ms());
         }
+        vec![
+            geom.name.clone(),
+            m.name().to_string(),
+            ms(per_dim[0]),
+            ms(per_dim[1]),
+            ms(per_dim[2]),
+        ]
+    });
+    for row in rows {
+        table.row(row);
     }
     table
 }
@@ -91,60 +108,49 @@ pub fn run_ranges(scale: Scale) -> Table {
         ],
     );
 
-    // The two disks are independent simulations: run them on separate
-    // threads (time inside each simulator is virtual, so parallelism
-    // cannot change any result).
+    // Every (disk, selectivity) pair is an independent cell with its own
+    // seeded workload and fresh volume — the experiment engine fans them
+    // out and returns rows in submission order (simulator time is
+    // virtual, so parallelism cannot change any number).
     let disks = profiles::evaluation_disks();
-    let mut per_disk_rows: Vec<Vec<Vec<String>>> = Vec::new();
-    crossbeam::thread::scope(|scope| {
-        let handles: Vec<_> = disks
-            .iter()
-            .map(|geom| {
-                let grid = grid.clone();
-                let naive = &naive;
-                let zord = &zord;
-                let hilb = &hilb;
-                scope.spawn(move |_| {
-                    let mm = MultiMapping::new(geom, grid.clone()).expect("chunk fits the disk");
-                    let mappings: Vec<&dyn Mapping> = vec![naive, zord, hilb, &mm];
-                    let volume = LogicalVolume::new(geom.clone(), 1);
-                    let exec = QueryExecutor::new(&volume, 0);
-                    let mut rows = Vec::new();
-                    for sel in scale.selectivities() {
-                        // Identical query boxes for every mapping.
-                        let mut rng = workload_rng(0x6b00 + (sel * 100.0) as u64);
-                        let regions: Vec<BoxRegion> = (0..runs)
-                            .map(|_| random_range(&grid, sel, &mut rng))
-                            .collect();
-                        let mut totals = [0.0f64; 4];
-                        for (i, m) in mappings.iter().enumerate() {
-                            for region in &regions {
-                                volume.idle_all(11.7);
-                                totals[i] += exec.range(*m, region).expect("figure query runs in-grid").total_io_ms;
-                            }
-                        }
-                        rows.push(vec![
-                            geom.name.clone(),
-                            format!("{sel}"),
-                            ms(totals[0]),
-                            format!("{:.2}", totals[0] / totals[1]),
-                            format!("{:.2}", totals[0] / totals[2]),
-                            format!("{:.2}", totals[0] / totals[3]),
-                        ]);
-                    }
-                    rows
-                })
-            })
+    let sels = scale.selectivities();
+    let cells: Vec<(usize, f64)> = disks
+        .iter()
+        .enumerate()
+        .flat_map(|(d, _)| sels.iter().map(move |&s| (d, s)))
+        .collect();
+    let rows = multimap_engine::sweep(&cells, |&(d, sel)| {
+        let geom = &disks[d];
+        let mm = MultiMapping::new(geom, grid.clone()).expect("chunk fits the disk");
+        let mappings: Vec<&dyn Mapping> = vec![&naive, &zord, &hilb, &mm];
+        let volume = LogicalVolume::new(geom.clone(), 1);
+        let exec = QueryExecutor::new(&volume, 0);
+        // Identical query boxes for every mapping.
+        let mut rng = workload_rng(0x6b00 + (sel * 100.0) as u64);
+        let regions: Vec<BoxRegion> = (0..runs)
+            .map(|_| random_range(&grid, sel, &mut rng))
             .collect();
-        for h in handles {
-            per_disk_rows.push(h.join().expect("disk thread panicked"));
+        let mut totals = [0.0f64; 4];
+        for (i, m) in mappings.iter().enumerate() {
+            for region in &regions {
+                volume.idle_all(11.7);
+                totals[i] += exec
+                    .range(*m, region)
+                    .expect("figure query runs in-grid")
+                    .total_io_ms;
+            }
         }
-    })
-    .expect("crossbeam scope");
-    for rows in per_disk_rows {
-        for row in rows {
-            table.row(row);
-        }
+        vec![
+            geom.name.clone(),
+            format!("{sel}"),
+            ms(totals[0]),
+            format!("{:.2}", totals[0] / totals[1]),
+            format!("{:.2}", totals[0] / totals[2]),
+            format!("{:.2}", totals[0] / totals[3]),
+        ]
+    });
+    for row in rows {
+        table.row(row);
     }
     table
 }

@@ -51,12 +51,24 @@ fn run_beams_on(tree: &Octree, scale: Scale) -> Table {
         &["disk", "mapping", "X", "Y", "Z"],
     );
 
-    for geom in profiles::evaluation_disks() {
-        let (skewed, _) =
-            SkewedMultiMap::build(&geom, tree, min_region_cells(scale)).expect("dataset fits");
-        let mut placements: Vec<LeafPlacement> =
-            baselines.iter().map(LeafPlacement::Linear).collect();
-        placements.push(LeafPlacement::MultiMap(&skewed));
+    // One engine cell per (disk, placement); the skewed MultiMap layout
+    // is rebuilt inside its cell (same inputs → same layout), baselines
+    // are shared read-only.
+    let disks = profiles::evaluation_disks();
+    let cells: Vec<(usize, usize)> = (0..disks.len())
+        .flat_map(|d| (0..4usize).map(move |p| (d, p)))
+        .collect();
+    let rows = multimap_engine::sweep(&cells, |&(d, pi)| {
+        let geom = &disks[d];
+        let skewed;
+        let placement = if pi < 3 {
+            LeafPlacement::Linear(&baselines[pi])
+        } else {
+            skewed = SkewedMultiMap::build(geom, tree, min_region_cells(scale))
+                .expect("dataset fits")
+                .0;
+            LeafPlacement::MultiMap(&skewed)
+        };
         let volume = LogicalVolume::new(geom.clone(), 1);
         let exec = LeafQueryExecutor::new(&volume, 0);
 
@@ -71,27 +83,30 @@ fn run_beams_on(tree: &Octree, scale: Scale) -> Table {
             })
             .collect();
 
-        for p in &placements {
-            let mut per_dim = Vec::new();
-            for dim in 0..3 {
-                let mut total = 0.0;
-                let mut cells = 0u64;
-                for anchor in &anchors {
-                    volume.idle_all(7.3);
-                    let r = exec.beam(tree, p, dim, *anchor).expect("figure query runs in-grid");
-                    total += r.total_io_ms;
-                    cells += r.cells;
-                }
-                per_dim.push(total / cells.max(1) as f64);
+        let mut per_dim = Vec::new();
+        for dim in 0..3 {
+            let mut total = 0.0;
+            let mut cells = 0u64;
+            for anchor in &anchors {
+                volume.idle_all(7.3);
+                let r = exec
+                    .beam(tree, &placement, dim, *anchor)
+                    .expect("figure query runs in-grid");
+                total += r.total_io_ms;
+                cells += r.cells;
             }
-            table.row(vec![
-                geom.name.clone(),
-                p.name().to_string(),
-                ms(per_dim[0]),
-                ms(per_dim[1]),
-                ms(per_dim[2]),
-            ]);
+            per_dim.push(total / cells.max(1) as f64);
         }
+        vec![
+            geom.name.clone(),
+            placement.name().to_string(),
+            ms(per_dim[0]),
+            ms(per_dim[1]),
+            ms(per_dim[2]),
+        ]
+    });
+    for row in rows {
+        table.row(row);
     }
     table
 }
@@ -133,15 +148,19 @@ pub fn run_ranges(scale: Scale) -> Table {
     );
 
     let domain_cells = (tree.domain_size() as f64).powi(3);
-    for geom in profiles::evaluation_disks() {
+    // One engine cell per disk (the skewed layout build is the dominant
+    // per-disk cost, so finer cells would rebuild it per selectivity).
+    let disks = profiles::evaluation_disks();
+    let per_disk = multimap_engine::sweep(&disks, |geom| {
         let (skewed, _) =
-            SkewedMultiMap::build(&geom, &tree, min_region_cells(scale)).expect("dataset fits");
+            SkewedMultiMap::build(geom, &tree, min_region_cells(scale)).expect("dataset fits");
         let mut placements: Vec<LeafPlacement> =
             baselines.iter().map(LeafPlacement::Linear).collect();
         placements.push(LeafPlacement::MultiMap(&skewed));
         let volume = LogicalVolume::new(geom.clone(), 1);
         let exec = LeafQueryExecutor::new(&volume, 0);
 
+        let mut rows = Vec::new();
         for sel in selectivities {
             let edge =
                 ((domain_cells * sel / 100.0).cbrt().round() as u64).clamp(1, tree.domain_size());
@@ -162,10 +181,19 @@ pub fn run_ranges(scale: Scale) -> Table {
                 let mut total = 0.0;
                 for (lo, hi) in &boxes {
                     volume.idle_all(11.7);
-                    total += exec.range(&tree, p, *lo, *hi).expect("figure query runs in-grid").total_io_ms;
+                    total += exec
+                        .range(&tree, p, *lo, *hi)
+                        .expect("figure query runs in-grid")
+                        .total_io_ms;
                 }
                 row.push(ms(total / runs as f64));
             }
+            rows.push(row);
+        }
+        rows
+    });
+    for rows in per_disk {
+        for row in rows {
             table.row(row);
         }
     }

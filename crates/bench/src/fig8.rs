@@ -31,32 +31,48 @@ pub fn run(scale: Scale) -> Table {
         &["disk", "mapping", "Q1", "Q2", "Q3", "Q4", "Q5"],
     );
 
-    for geom in profiles::evaluation_disks() {
-        let mm = MultiMapping::new(&geom, chunk.clone()).expect("chunk fits the disk");
-        let mappings: Vec<&dyn Mapping> = vec![&naive, &zord, &hilb, &mm];
+    // One engine cell per (disk, mapping); each query draws from its own
+    // seeded rng, so regions are identical across mappings and threads.
+    let disks = profiles::evaluation_disks();
+    let cells: Vec<(usize, usize)> = (0..disks.len())
+        .flat_map(|d| (0..4usize).map(move |m| (d, m)))
+        .collect();
+    let rows = multimap_engine::sweep(&cells, |&(d, mi)| {
+        let geom = &disks[d];
+        let mm;
+        let m: &dyn Mapping = match mi {
+            0 => &naive,
+            1 => &zord,
+            2 => &hilb,
+            _ => {
+                mm = MultiMapping::new(geom, chunk.clone()).expect("chunk fits the disk");
+                &mm
+            }
+        };
         let volume = LogicalVolume::new(geom.clone(), 1);
         let exec = QueryExecutor::new(&volume, 0);
 
-        for m in &mappings {
-            let mut row = vec![geom.name.clone(), m.name().to_string()];
-            for q in ALL_QUERIES {
-                // Same regions per query across mappings.
-                let mut rng = workload_rng(0x8000 + q.label().as_bytes()[1] as u64);
-                let mut acc = QueryResult::default();
-                for _ in 0..runs {
-                    let region = q.region(&chunk, &mut rng);
-                    volume.idle_all(9.1);
-                    let r = if q.is_beam() {
-                        exec.beam(*m, &region).expect("figure query runs in-grid")
-                    } else {
-                        exec.range(*m, &region).expect("figure query runs in-grid")
-                    };
-                    acc.accumulate(&r);
-                }
-                row.push(ms(acc.per_cell_ms()));
+        let mut row = vec![geom.name.clone(), m.name().to_string()];
+        for q in ALL_QUERIES {
+            // Same regions per query across mappings.
+            let mut rng = workload_rng(0x8000 + q.label().as_bytes()[1] as u64);
+            let mut acc = QueryResult::default();
+            for _ in 0..runs {
+                let region = q.region(&chunk, &mut rng);
+                volume.idle_all(9.1);
+                let r = if q.is_beam() {
+                    exec.beam(m, &region).expect("figure query runs in-grid")
+                } else {
+                    exec.range(m, &region).expect("figure query runs in-grid")
+                };
+                acc.accumulate(&r);
             }
-            table.row(row);
+            row.push(ms(acc.per_cell_ms()));
         }
+        row
+    });
+    for row in rows {
+        table.row(row);
     }
     table
 }

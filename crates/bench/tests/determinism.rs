@@ -1,0 +1,43 @@
+//! The experiment engine's headline guarantee: a parallel figure sweep
+//! renders byte-identically to a serial one.
+
+use multimap_bench::{fig6, fig7, Scale};
+
+/// Serialise against other tests that might flip the global engine
+/// override (none today, but cheap insurance).
+static OVERRIDE_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+fn with_threads<T>(n: usize, f: impl FnOnce() -> T) -> T {
+    let _guard = OVERRIDE_LOCK
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    multimap_engine::set_threads(n);
+    let out = f();
+    multimap_engine::set_threads(0);
+    out
+}
+
+#[test]
+fn quick_fig6a_parallel_matches_serial_byte_for_byte() {
+    let serial = with_threads(1, || fig6::run_beams(Scale::Quick).render());
+    for threads in [2usize, 4, 8] {
+        let parallel = with_threads(threads, || fig6::run_beams(Scale::Quick).render());
+        assert_eq!(serial, parallel, "fig6a diverged at {threads} threads");
+    }
+}
+
+#[test]
+fn quick_fig7a_parallel_matches_serial_byte_for_byte() {
+    let serial = with_threads(1, || fig7::run_beams(Scale::Quick).render());
+    for threads in [2usize, 4, 8] {
+        let parallel = with_threads(threads, || fig7::run_beams(Scale::Quick).render());
+        assert_eq!(serial, parallel, "fig7a diverged at {threads} threads");
+    }
+}
+
+#[test]
+fn quick_fig6b_parallel_matches_serial_byte_for_byte() {
+    let serial = with_threads(1, || fig6::run_ranges(Scale::Quick).render());
+    let parallel = with_threads(4, || fig6::run_ranges(Scale::Quick).render());
+    assert_eq!(serial, parallel, "fig6b diverged at 4 threads");
+}

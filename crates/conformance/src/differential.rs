@@ -68,8 +68,11 @@ pub fn differential_query(
     region: &BoxRegion,
     beam: bool,
 ) -> Result<Vec<DifferentialOutcome>, QueryError> {
-    let mut outcomes = Vec::new();
-    for mapping in standard_mappings(geom, grid) {
+    // Each mapping runs on a fresh single-disk volume, so the four cells
+    // are independent — fan them across the experiment engine (results
+    // come back in mapping order regardless of thread count).
+    let mappings = standard_mappings(geom, grid);
+    let outcomes = multimap_engine::sweep(&mappings, |mapping| {
         let volume = LogicalVolume::new(geom.clone(), 1);
         let exec = QueryExecutor::new(&volume, 0);
         let mut log = multimap_disksim::ServiceLog::new();
@@ -89,14 +92,45 @@ pub fn differential_query(
                 }
             }
         }
-        outcomes.push(DifferentialOutcome {
+        Ok(DifferentialOutcome {
             mapping: mapping.name().to_string(),
             cells,
             result,
             oracle: check_log(geom, &log),
+        })
+    });
+    outcomes.into_iter().collect()
+}
+
+/// Pin the process-wide flat-translation cache to the direct trait
+/// computation: for every standard mapping on `grid`, the cached
+/// cell→LBN table must agree with [`Mapping::lbn_of`] on every cell.
+/// Returns a description of the first divergence.
+pub fn check_translation_cache(geom: &DiskGeometry, grid: &GridSpec) -> Result<(), String> {
+    for mapping in standard_mappings(geom, grid) {
+        let table = multimap_core::shared_cache()
+            .translate(mapping.as_ref())
+            .map_err(|e| format!("{}: table build failed: {e}", mapping.name()))?;
+        let mut divergence = None;
+        grid.for_each_cell(|coord| {
+            if divergence.is_some() {
+                return;
+            }
+            let direct = mapping.lbn_of(coord).ok();
+            let cached = table.lbn_of(coord).ok();
+            if direct != cached {
+                divergence = Some(format!(
+                    "{}: cell {coord:?} translates to {direct:?} directly \
+                     but {cached:?} through the cache",
+                    mapping.name()
+                ));
+            }
         });
+        if let Some(d) = divergence {
+            return Err(d);
+        }
     }
-    Ok(outcomes)
+    Ok(())
 }
 
 /// Run [`differential_query`] and verify the conformance contract:
@@ -299,6 +333,12 @@ mod tests {
         let kinds: BTreeSet<_> = mappings.iter().map(|m| format!("{:?}", m.kind())).collect();
         // Naive, SpaceFillingCurve (x2), MultiMap.
         assert_eq!(kinds.len(), 3);
+    }
+
+    #[test]
+    fn translation_cache_matches_direct_mappings() {
+        let geom = profiles::small();
+        check_translation_cache(&geom, &GridSpec::new([24u64, 6, 5])).unwrap();
     }
 
     #[test]

@@ -39,6 +39,7 @@ pub mod loader;
 pub mod mapping;
 pub mod multimap;
 pub mod naive;
+pub mod translation;
 pub mod updates;
 
 pub use advisor::{advise, build_advised, Advice, AdvisorConfig};
@@ -52,4 +53,7 @@ pub use multimap::{
     ShapeConstraints, ZonedMultiMapping,
 };
 pub use naive::NaiveMapping;
+pub use translation::{
+    shared_cache, FlatTranslation, TranslationCache, TranslationKey, MIN_CACHED_LOOKUPS,
+};
 pub use updates::{CellStore, UpdateConfig, UpdateStats};

@@ -21,6 +21,21 @@ use crate::error::{DiskError, Result};
 /// Logical block number. One LBN addresses one 512-byte sector.
 pub type Lbn = u64;
 
+thread_local! {
+    /// Per-thread tally of [`DiskGeometry::locate`] calls, used by tests
+    /// to prove hot paths stay off the geometry-resolution routine.
+    static LOCATE_CALLS: std::cell::Cell<u64> = const { std::cell::Cell::new(0) };
+}
+
+/// Number of [`DiskGeometry::locate`] calls made *by the current thread*
+/// since it started. A cheap instrumentation counter: tests snapshot it
+/// around a scheduling run to assert that request selection performs no
+/// geometry resolution (the profiles precomputed per batch must carry
+/// all of it).
+pub fn locate_call_count() -> u64 {
+    LOCATE_CALLS.with(|c| c.get())
+}
+
 /// Bytes per sector/LBN (the paper assumes 512-byte blocks).
 pub const SECTOR_BYTES: u32 = 512;
 
@@ -215,6 +230,7 @@ impl DiskGeometry {
 
     /// Resolve an LBN to its physical location.
     pub fn locate(&self, lbn: Lbn) -> Result<Location> {
+        LOCATE_CALLS.with(|c| c.set(c.get() + 1));
         let zone = self.zone_of_lbn(lbn)?;
         let rel = lbn - zone.first_lbn;
         let spt = zone.sectors_per_track as u64;
@@ -318,7 +334,15 @@ impl DiskGeometry {
     /// Time to wait, starting at `t_ms`, until the start of sector `loc`
     /// arrives under the head (assumes the head is already on the track).
     pub fn rotational_wait_ms(&self, loc: &Location, t_ms: f64) -> f64 {
-        let target = self.sector_start_angle(loc);
+        self.rotational_wait_from_angle(self.sector_start_angle(loc), t_ms)
+    }
+
+    /// [`Self::rotational_wait_ms`] with the target sector's start angle
+    /// already resolved — the phase-dependent half of the computation.
+    /// Schedulers that precompute [`Self::sector_start_angle`] per request
+    /// call this in their selection loops; both paths share this function
+    /// so cached and uncached estimates are bit-identical.
+    pub fn rotational_wait_from_angle(&self, target: f64, t_ms: f64) -> f64 {
         let phase = self.phase_at(t_ms);
         let mut delta = target - phase;
         if delta < 0.0 {

@@ -50,7 +50,9 @@ pub mod trace;
 
 pub use adjacency::{adjacency_offset_sectors, adjacent_lbn, semi_sequential_path};
 pub use error::{DiskError, Result};
-pub use geometry::{DiskBuilder, DiskGeometry, Lbn, Location, Zone, ZoneSpec, SECTOR_BYTES};
+pub use geometry::{
+    locate_call_count, DiskBuilder, DiskGeometry, Lbn, Location, Zone, ZoneSpec, SECTOR_BYTES,
+};
 pub use observe::{ServiceEvent, ServiceLog};
 pub use scheduler::{
     coalesce_sorted, service_batch_ascending, service_batch_ascending_observed,
@@ -58,7 +60,7 @@ pub use scheduler::{
     service_batch_queued_sptf_observed, service_batch_sptf, service_batch_sptf_observed,
     BatchTiming,
 };
-pub use sim::{AccessKind, DiskSim, HeadState, Request, RequestTiming};
+pub use sim::{AccessKind, DiskSim, HeadState, Request, RequestProfile, RequestTiming, SeekMemo};
 pub use stats::AccessStats;
 pub use trace::{service_traced, Trace, TraceRecord};
 

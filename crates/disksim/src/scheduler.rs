@@ -13,7 +13,7 @@
 use crate::error::Result;
 use crate::geometry::Lbn;
 use crate::observe::ServiceEvent;
-use crate::sim::{AccessKind, DiskSim, Request};
+use crate::sim::{AccessKind, DiskSim, Request, RequestProfile, SeekMemo};
 
 /// Outcome of servicing a batch of requests.
 #[derive(Clone, Copy, Debug, Default, PartialEq)]
@@ -155,21 +155,30 @@ pub fn service_batch_sptf_observed(
     requests: &[Request],
     observe: &mut dyn FnMut(ServiceEvent),
 ) -> Result<BatchTiming> {
-    let mut pending: Vec<(usize, Request)> = requests.iter().copied().enumerate().collect();
+    // Hoist the position-independent work (locate + skew trigonometry)
+    // out of the O(n²) selection loop: one profile per request up front,
+    // then only the head-state-dependent remainder per estimate, with
+    // the seek memoized per (cylinder, surface) within each round.
+    let mut pending: Vec<(usize, RequestProfile)> = Vec::with_capacity(requests.len());
+    for (rank, req) in requests.iter().enumerate() {
+        pending.push((rank, RequestProfile::new(sim.geometry(), *req)?));
+    }
+    let mut memo = SeekMemo::new();
     let mut out = BatchTiming::default();
     while !pending.is_empty() {
         let mut best_idx = 0;
         let mut best_est = f64::INFINITY;
-        for (i, (_, req)) in pending.iter().enumerate() {
-            let est = sim.estimate(*req)?;
+        for (i, (_, profile)) in pending.iter().enumerate() {
+            let est = sim.estimate_profiled(profile, &mut memo)?;
             if est < best_est {
                 best_est = est;
                 best_idx = i;
             }
         }
         let queue_len = pending.len();
-        let (rank, req) = pending.swap_remove(best_idx);
-        serve_observed(sim, req, &mut out, rank, queue_len, observe)?;
+        let (rank, profile) = pending.swap_remove(best_idx);
+        serve_observed(sim, profile.request(), &mut out, rank, queue_len, observe)?;
+        memo.begin_round();
     }
     Ok(out)
 }
@@ -201,27 +210,31 @@ pub fn service_batch_queued_sptf_observed(
 ) -> Result<BatchTiming> {
     let depth = queue_depth.max(1);
     let mut out = BatchTiming::default();
-    let mut queue: Vec<(usize, Request)> = Vec::with_capacity(depth);
+    // Profiles are built at admission, preserving the original error
+    // order (an invalid request fails when it would enter the queue).
+    let mut queue: Vec<(usize, RequestProfile)> = Vec::with_capacity(depth);
+    let mut memo = SeekMemo::new();
     let mut next = 0usize;
     while next < requests.len() && queue.len() < depth {
-        queue.push((next, requests[next]));
+        queue.push((next, RequestProfile::new(sim.geometry(), requests[next])?));
         next += 1;
     }
     while !queue.is_empty() {
         let mut best_idx = 0;
         let mut best_est = f64::INFINITY;
-        for (i, (_, req)) in queue.iter().enumerate() {
-            let est = sim.estimate(*req)?;
+        for (i, (_, profile)) in queue.iter().enumerate() {
+            let est = sim.estimate_profiled(profile, &mut memo)?;
             if est < best_est {
                 best_est = est;
                 best_idx = i;
             }
         }
         let queue_len = queue.len();
-        let (rank, req) = queue.swap_remove(best_idx);
-        serve_observed(sim, req, &mut out, rank, queue_len, observe)?;
+        let (rank, profile) = queue.swap_remove(best_idx);
+        serve_observed(sim, profile.request(), &mut out, rank, queue_len, observe)?;
+        memo.begin_round();
         if next < requests.len() {
-            queue.push((next, requests[next]));
+            queue.push((next, RequestProfile::new(sim.geometry(), requests[next])?));
             next += 1;
         }
     }
@@ -356,6 +369,39 @@ mod tests {
         let t = service_batch_queued_sptf(&mut s, &reqs, 16).unwrap();
         assert_eq!(t.requests, 100);
         assert_eq!(t.blocks, 300);
+    }
+
+    /// The selection loop must run entirely off precomputed profiles:
+    /// for an n-request SPTF batch the only `locate` calls are the n
+    /// profile builds plus the per-segment locates of actually serving
+    /// each request — never the O(n²) per-round re-translation the naive
+    /// estimator performs.
+    #[test]
+    fn sptf_selection_loop_performs_no_locates() {
+        let n: u64 = 1024;
+        let reqs: Vec<Request> = (0..n)
+            .map(|i| Request::single((i * 48_611) % 190_000))
+            .collect();
+        let mut s = sim();
+        let before = crate::geometry::locate_call_count();
+        service_batch_sptf(&mut s, &reqs).unwrap();
+        let delta = crate::geometry::locate_call_count() - before;
+        // n profile builds + at most ~2 per served request (track
+        // crossings); the old estimator needed ~n²/2 ≈ 524k on top.
+        assert!(
+            delta <= 3 * n,
+            "{delta} locate calls for a {n}-request SPTF batch; \
+             the selection loop must not re-locate pending requests"
+        );
+
+        let mut q = sim();
+        let before = crate::geometry::locate_call_count();
+        service_batch_queued_sptf(&mut q, &reqs, 64).unwrap();
+        let delta = crate::geometry::locate_call_count() - before;
+        assert!(
+            delta <= 3 * n,
+            "{delta} locate calls for a {n}-request queued-SPTF batch"
+        );
     }
 
     #[test]

@@ -13,8 +13,10 @@
 //! `Dim0` beam queries) run at full streaming bandwidth instead of paying
 //! a rotational miss per command.
 
+use std::collections::HashMap;
+
 use crate::error::{DiskError, Result};
-use crate::geometry::{DiskGeometry, Lbn};
+use crate::geometry::{DiskGeometry, Lbn, Location};
 use crate::stats::AccessStats;
 
 /// Mechanical state of the disk between requests.
@@ -125,6 +127,120 @@ impl RequestTiming {
     }
 }
 
+/// Precomputed position-independent facts about one request, built once
+/// per batch so SPTF selection loops never re-run [`DiskGeometry::locate`]
+/// or the trigonometric skew arithmetic per round.
+///
+/// The profile caches everything about the request that does not depend
+/// on the head state: its first block's physical [`Location`], the start
+/// angle of that sector, the media-transfer time when the request fits in
+/// its first track segment, and the transfer sum of the sequential
+/// prefetch fast path. What remains per estimate — seek from the current
+/// cylinder and the rotational phase at arrival — is recomputed cheaply
+/// (and the seek is memoized per round by [`SeekMemo`]).
+#[derive(Clone, Debug)]
+pub struct RequestProfile {
+    req: Request,
+    /// Physical location of the request's first block.
+    loc: Location,
+    /// [`DiskGeometry::sector_start_angle`] of the first block.
+    start_angle: f64,
+    /// Media transfer time when the request fits inside its first track
+    /// segment (`sector + nblocks <= spt`); `None` forces the exact
+    /// multi-track simulation fallback.
+    single_track_xfer_ms: Option<f64>,
+    /// Transfer sum of the sequential-continuation (prefetch) fast path.
+    seq_transfer_ms: f64,
+}
+
+impl RequestProfile {
+    /// Build the profile, validating the request exactly as
+    /// [`DiskSim::estimate`] would (same errors, in the same order).
+    pub fn new(geom: &DiskGeometry, req: Request) -> Result<Self> {
+        if req.nblocks == 0 {
+            return Err(DiskError::EmptyRequest);
+        }
+        if req.end() > geom.total_blocks() {
+            return Err(DiskError::RequestPastEnd {
+                lbn: req.lbn,
+                nblocks: req.nblocks,
+                total: geom.total_blocks(),
+            });
+        }
+        let loc = geom.locate(req.lbn)?;
+        let start_angle = geom.sector_start_angle(&loc);
+        let single_track_xfer_ms = if loc.sector as u64 + req.nblocks <= loc.spt as u64 {
+            Some(req.nblocks as f64 * geom.sector_time_ms(&geom.zones()[loc.zone]))
+        } else {
+            None
+        };
+        // Accumulate the prefetch-path transfer in the same order as
+        // `simulate_inner` so the cached total is bit-identical.
+        let mut seq_transfer_ms = 0.0;
+        let mut cur = req.lbn;
+        let mut remaining = req.nblocks;
+        while remaining > 0 {
+            let zone = geom.zone_of_lbn(cur)?;
+            let take = remaining.min(zone.end_lbn() - cur);
+            seq_transfer_ms += take as f64 * geom.sector_time_ms(zone);
+            cur += take;
+            remaining -= take;
+        }
+        Ok(RequestProfile {
+            req,
+            loc,
+            start_angle,
+            single_track_xfer_ms,
+            seq_transfer_ms,
+        })
+    }
+
+    /// The profiled request.
+    #[inline]
+    pub fn request(&self) -> Request {
+        self.req
+    }
+}
+
+/// Per-round memo of [`DiskGeometry::positioning_ms`] keyed by target
+/// `(cylinder, surface)`. Positioning depends only on the head's current
+/// track and the target track, so within one scheduling round (head state
+/// frozen) every pending request on the same track shares one entry.
+///
+/// Call [`SeekMemo::begin_round`] after every head movement.
+#[derive(Debug, Default)]
+pub struct SeekMemo {
+    map: HashMap<(u64, u32), f64>,
+}
+
+impl SeekMemo {
+    /// Empty memo.
+    pub fn new() -> Self {
+        SeekMemo::default()
+    }
+
+    /// Invalidate the memo: the head moved, all seeks changed.
+    pub fn begin_round(&mut self) {
+        self.map.clear();
+    }
+
+    fn positioning(
+        &mut self,
+        geom: &DiskGeometry,
+        from_cylinder: u64,
+        from_surface: u32,
+        to_cylinder: u64,
+        to_surface: u32,
+    ) -> f64 {
+        *self
+            .map
+            .entry((to_cylinder, to_surface))
+            .or_insert_with(|| {
+                geom.positioning_ms(from_cylinder, from_surface, to_cylinder, to_surface)
+            })
+    }
+}
+
 /// Simulator for a single disk drive.
 #[derive(Clone, Debug)]
 pub struct DiskSim {
@@ -199,6 +315,51 @@ impl DiskSim {
     pub fn estimate(&self, req: Request) -> Result<f64> {
         let mut state = self.state;
         Ok(Self::simulate_inner(&self.geom, &mut state, req, AccessKind::Read, false)?.total_ms())
+    }
+
+    /// [`Self::estimate`] from a precomputed [`RequestProfile`], with the
+    /// seek component memoized in `memo` (valid for the current head
+    /// state; callers clear it with [`SeekMemo::begin_round`] after every
+    /// service).
+    ///
+    /// Bit-identical to [`Self::estimate`]: the single-track fast path
+    /// replays `simulate_inner`'s float operations in the same order on
+    /// cached inputs, and multi-track requests fall back to the exact
+    /// simulation. This is what lets SPTF schedulers swap it in without
+    /// perturbing a single scheduling decision (golden traces included).
+    pub fn estimate_profiled(&self, profile: &RequestProfile, memo: &mut SeekMemo) -> Result<f64> {
+        let overhead_ms = self.geom.command_overhead_ms;
+        // Prefetch fast path: exact sequential continuation.
+        if self.state.last_end_lbn == Some(profile.req.lbn) {
+            let timing = RequestTiming {
+                overhead_ms,
+                seek_ms: 0.0,
+                rotation_ms: 0.0,
+                transfer_ms: profile.seq_transfer_ms,
+            };
+            return Ok(timing.total_ms());
+        }
+        let Some(transfer_ms) = profile.single_track_xfer_ms else {
+            // Multi-track request: the exact per-segment walk.
+            return self.estimate(profile.req);
+        };
+        let pos = memo.positioning(
+            &self.geom,
+            self.state.cylinder,
+            self.state.surface,
+            profile.loc.cylinder,
+            profile.loc.surface,
+        );
+        let mut t = self.state.time_ms + overhead_ms;
+        t += pos;
+        let wait = self.geom.rotational_wait_from_angle(profile.start_angle, t);
+        let timing = RequestTiming {
+            overhead_ms,
+            seek_ms: pos,
+            rotation_ms: wait,
+            transfer_ms,
+        };
+        Ok(timing.total_ms())
     }
 
     /// Advance the simulated clock without moving the head (models idle

@@ -1,0 +1,210 @@
+//! # multimap-engine — deterministic parallel experiment engine
+//!
+//! The paper's evaluation is a sweep of independent (drive profile ×
+//! mapping × workload) cells, and every simulator clock in this workspace
+//! is *virtual*: a cell's result depends only on its inputs, never on
+//! wall-clock interleaving. [`sweep`] exploits that by fanning cells
+//! across a pool of scoped worker threads while guaranteeing the output
+//! vector is in submission order — so a parallel run is byte-identical
+//! to a serial one, and figures, conformance sweeps and prover sweeps can
+//! all share the same engine without giving up reproducibility.
+//!
+//! ## Thread-count resolution
+//!
+//! Worker count is resolved, in priority order, from:
+//!
+//! 1. [`set_threads`] (a programmatic override, `0` = clear),
+//! 2. the `MULTIMAP_THREADS` environment variable,
+//! 3. [`std::thread::available_parallelism`].
+//!
+//! `MULTIMAP_THREADS=1` (or `set_threads(1)`) forces a fully serial,
+//! in-caller-thread run — the reference against which parallel output is
+//! asserted byte-identical.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::panic::resume_unwind;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Programmatic thread-count override; `0` means "not set".
+static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Override the worker-thread count for subsequent [`sweep`] calls.
+///
+/// Passing `0` clears the override, returning control to the
+/// `MULTIMAP_THREADS` environment variable or the host's available
+/// parallelism. Takes precedence over the environment so a benchmark
+/// harness can flip between serial and parallel runs in-process.
+pub fn set_threads(n: usize) {
+    THREAD_OVERRIDE.store(n, Ordering::SeqCst);
+}
+
+/// The worker-thread count a [`sweep`] started now would use.
+pub fn threads() -> usize {
+    let forced = THREAD_OVERRIDE.load(Ordering::SeqCst);
+    if forced > 0 {
+        return forced;
+    }
+    if let Ok(val) = std::env::var("MULTIMAP_THREADS") {
+        if let Ok(n) = val.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Evaluate `f` on every item of `items`, in parallel, returning results
+/// in submission order.
+///
+/// Work distribution is self-scheduling: workers repeatedly claim the
+/// next unclaimed index from a shared atomic counter, so an expensive
+/// cell never blocks the cells behind it (work stealing by contention
+/// rather than by deques — the cell counts here are small). Each worker
+/// tags results with their submission index and the merged output is
+/// sorted by that index, making the output independent of the thread
+/// count and of scheduling order.
+///
+/// With a resolved thread count of 1 (or at most one item) the closure
+/// runs inline on the caller's thread with no pool at all.
+///
+/// # Panics
+/// If `f` panics for any item, the panic is propagated to the caller
+/// after all workers have stopped (first panicking worker wins).
+pub fn sweep<I, T, F>(items: &[I], f: F) -> Vec<T>
+where
+    I: Sync,
+    T: Send,
+    F: Fn(&I) -> T + Sync,
+{
+    let n = items.len();
+    let workers = threads().min(n);
+    if workers <= 1 {
+        return items.iter().map(&f).collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    let scope_result = crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                let next = &next;
+                let f = &f;
+                scope.spawn(move |_| {
+                    let mut local: Vec<(usize, T)> = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        local.push((i, f(&items[i])));
+                    }
+                    local
+                })
+            })
+            .collect();
+        let mut pairs: Vec<(usize, T)> = Vec::with_capacity(n);
+        let mut first_panic = None;
+        for h in handles {
+            match h.join() {
+                Ok(mut local) => pairs.append(&mut local),
+                Err(payload) => {
+                    if first_panic.is_none() {
+                        first_panic = Some(payload);
+                    }
+                }
+            }
+        }
+        match first_panic {
+            None => Ok(pairs),
+            Some(payload) => Err(payload),
+        }
+    });
+
+    let mut pairs = match scope_result {
+        Ok(Ok(pairs)) => pairs,
+        Ok(Err(payload)) | Err(payload) => resume_unwind(payload),
+    };
+    pairs.sort_unstable_by_key(|&(i, _)| i);
+    debug_assert_eq!(pairs.len(), n, "every submitted cell must report");
+    pairs.into_iter().map(|(_, v)| v).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Serialise tests that touch the global override so they cannot
+    /// observe each other's settings.
+    static OVERRIDE_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    fn with_override<T>(n: usize, f: impl FnOnce() -> T) -> T {
+        let _guard = OVERRIDE_LOCK.lock().unwrap();
+        set_threads(n);
+        let out = f();
+        set_threads(0);
+        out
+    }
+
+    #[test]
+    fn results_are_in_submission_order() {
+        let items: Vec<u64> = (0..257).collect();
+        let out = sweep(&items, |&x| x * 3);
+        assert_eq!(out, items.iter().map(|x| x * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn serial_and_parallel_agree() {
+        let items: Vec<u64> = (0..100).collect();
+        let work = |&x: &u64| {
+            // An uneven per-cell cost so threads genuinely interleave.
+            let mut acc = x;
+            for i in 0..(x % 17) * 1000 {
+                acc = acc.wrapping_mul(6364136223846793005).wrapping_add(i);
+            }
+            acc
+        };
+        let serial = with_override(1, || sweep(&items, work));
+        for workers in [2usize, 3, 8] {
+            let parallel = with_override(workers, || sweep(&items, work));
+            assert_eq!(serial, parallel, "{workers} workers diverged");
+        }
+    }
+
+    #[test]
+    fn override_takes_precedence() {
+        with_override(3, || assert_eq!(threads(), 3));
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        let empty: Vec<u32> = Vec::new();
+        assert!(sweep(&empty, |&x| x).is_empty());
+        assert_eq!(sweep(&[41u32], |&x| x + 1), vec![42]);
+    }
+
+    #[test]
+    fn worker_panic_propagates() {
+        let items: Vec<u32> = (0..64).collect();
+        let caught = std::panic::catch_unwind(|| {
+            with_override(4, || {
+                sweep(&items, |&x| {
+                    assert!(x != 13, "cell 13 exploded");
+                    x
+                })
+            })
+        });
+        assert!(caught.is_err(), "a panicking cell must fail the sweep");
+    }
+
+    #[test]
+    fn borrowed_state_is_visible_to_workers() {
+        let base = [10u64, 20, 30, 40];
+        let items: Vec<usize> = (0..base.len()).collect();
+        let out = with_override(2, || sweep(&items, |&i| base[i] + 1));
+        assert_eq!(out, vec![11, 21, 31, 41]);
+    }
+}

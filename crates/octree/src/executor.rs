@@ -48,7 +48,9 @@ impl LeafPlacement<'_> {
 pub struct LeafQueryExecutor<'a> {
     volume: &'a LogicalVolume,
     disk: usize,
-    /// Largest batch handed to the O(n²) SPTF scheduler.
+    /// Largest batch handed to the full-SPTF scheduler. The profiled
+    /// estimator keeps each selection round cheap, so this comfortably
+    /// covers every beam a paper-scale octree produces.
     sptf_limit: usize,
 }
 
@@ -58,7 +60,7 @@ impl<'a> LeafQueryExecutor<'a> {
         LeafQueryExecutor {
             volume,
             disk,
-            sptf_limit: 1024,
+            sptf_limit: 4096,
         }
     }
 

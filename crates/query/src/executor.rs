@@ -1,6 +1,6 @@
 //! The query executor.
 
-use multimap_core::{BoxRegion, GridSpec, Mapping, MappingKind};
+use multimap_core::{shared_cache, BoxRegion, GridSpec, Mapping, MappingKind, MIN_CACHED_LOOKUPS};
 use multimap_disksim::{coalesce_sorted, BatchTiming, Lbn, Request, ServiceEvent};
 use multimap_lvm::{LogicalVolume, SchedulePolicy};
 
@@ -54,11 +54,17 @@ pub struct ExecOptions {
     pub beam: BeamPolicy,
     /// Range policy (default [`RangeOrder::SortedCoalesced`]).
     pub range: RangeOrder,
-    /// Largest batch the `O(n^2)` full-SPTF scheduler is applied to;
-    /// larger MultiMap beams fall back to queued SPTF.
+    /// Largest batch the full-SPTF scheduler is applied to; larger
+    /// MultiMap beams fall back to queued SPTF. With the profiled
+    /// estimator the selection loop is cheap per round, so the default
+    /// covers every paper-scale beam (the largest is `S_i` cells).
     pub sptf_limit: usize,
     /// Disk command-queue depth for queued-SPTF service (SCSI TCQ).
     pub queue_depth: usize,
+    /// Serve large-region translations from the process-wide flat
+    /// cell→LBN table cache (see [`multimap_core::TranslationCache`]).
+    /// Purely an executor-side optimisation — results are identical.
+    pub translation_cache: bool,
 }
 
 impl Default for ExecOptions {
@@ -66,8 +72,9 @@ impl Default for ExecOptions {
         ExecOptions {
             beam: BeamPolicy::Auto,
             range: RangeOrder::SortedCoalesced,
-            sptf_limit: 1024,
+            sptf_limit: 4096,
             queue_depth: 64,
+            translation_cache: true,
         }
     }
 }
@@ -145,6 +152,26 @@ impl<'a> QueryExecutor<'a> {
     /// row-major cell order.
     fn region_lbns(&self, mapping: &dyn Mapping, region: &BoxRegion) -> Result<Vec<Lbn>> {
         let mut lbns = Vec::with_capacity(region.cells().min(1 << 26) as usize);
+        // Large regions amortise a flat cell→LBN table (built once per
+        // grid, shared process-wide); small ones — beams are `S_i` cells
+        // — translate directly, as a table build would dwarf the query.
+        if self.options.translation_cache && region.cells() >= MIN_CACHED_LOOKUPS {
+            let table = shared_cache().translate(mapping)?;
+            let mut failed = None;
+            region.for_each_cell(|c| {
+                if failed.is_some() {
+                    return;
+                }
+                match table.lbn_of(c) {
+                    Ok(lbn) => lbns.push(lbn),
+                    Err(e) => failed = Some(e),
+                }
+            });
+            return match failed {
+                Some(e) => Err(e.into()),
+                None => Ok(lbns),
+            };
+        }
         let mut failed = None;
         region.for_each_cell(|c| {
             if failed.is_some() {
@@ -399,6 +426,33 @@ mod tests {
         .unwrap();
         assert_eq!(sorted.cells, natural.cells);
         assert!(sorted.total_io_ms <= natural.total_io_ms * 1.01 + 0.5);
+    }
+
+    /// The flat-table fast path must be invisible: a range big enough to
+    /// engage the cache yields bit-identical timing to the direct path.
+    #[test]
+    fn translation_cache_is_transparent() {
+        let vol = LogicalVolume::new(profiles::small(), 1);
+        // > MIN_CACHED_LOOKUPS cells so the cached path engages.
+        let grid = GridSpec::new([60u64, 12, 8]);
+        let mm = MultiMapping::new(vol.geometry(), grid.clone()).unwrap();
+        let region = grid.bounding_region();
+        assert!(region.cells() >= multimap_core::MIN_CACHED_LOOKUPS);
+
+        let cached = QueryExecutor::new(&vol, 0).range(&mm, &region).unwrap();
+        vol.reset();
+        let direct = QueryExecutor::with_options(
+            &vol,
+            0,
+            ExecOptions {
+                translation_cache: false,
+                ..ExecOptions::default()
+            },
+        )
+        .range(&mm, &region)
+        .unwrap();
+        assert_eq!(cached, direct);
+        assert_eq!(cached.total_io_ms.to_bits(), direct.total_io_ms.to_bits());
     }
 
     #[test]

@@ -100,11 +100,20 @@ fn cfg(profile: &'static str, extents: &[u64]) -> SweepConfig {
 }
 
 /// Run every invariant over every configuration.
+///
+/// Configurations are independent, so they fan out across the
+/// experiment engine; per-config reports are merged back in sweep order,
+/// making the report identical to a serial run.
 pub fn run_sweep(configs: &[SweepConfig]) -> Report {
     let mut report = Report::new();
     curve_lemma(&mut report);
-    for c in configs {
-        run_config(c, &mut report);
+    let partials = multimap_engine::sweep(configs, |c| {
+        let mut partial = Report::new();
+        run_config(c, &mut partial);
+        partial
+    });
+    for partial in partials {
+        report.merge(partial);
     }
     report
 }
