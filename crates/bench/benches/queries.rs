@@ -7,7 +7,7 @@ use std::hint::black_box;
 use multimap_core::{BoxRegion, GridSpec, MultiMapping, NaiveMapping};
 use multimap_disksim::profiles;
 use multimap_lvm::LogicalVolume;
-use multimap_query::{random_range, workload_rng, QueryExecutor};
+use multimap_query::{random_range, workload_rng, QueryExecutor, QueryRequest};
 
 fn bench_beam(c: &mut Criterion) {
     let geom = profiles::cheetah_36es();
@@ -20,13 +20,13 @@ fn bench_beam(c: &mut Criterion) {
     group.bench_function("naive", |b| {
         b.iter(|| {
             let region = BoxRegion::beam(&grid, 1, &[10, 0, 5]);
-            black_box(exec.beam(&naive, &region).unwrap())
+            black_box(exec.execute(QueryRequest::beam(&naive, &region)).unwrap())
         })
     });
     group.bench_function("multimap", |b| {
         b.iter(|| {
             let region = BoxRegion::beam(&grid, 1, &[10, 0, 5]);
-            black_box(exec.beam(&mm, &region).unwrap())
+            black_box(exec.execute(QueryRequest::beam(&mm, &region)).unwrap())
         })
     });
     group.finish();
@@ -44,7 +44,7 @@ fn bench_range(c: &mut Criterion) {
                 let mut rng = workload_rng(42);
                 random_range(&grid, 1.0, &mut rng)
             },
-            |region| black_box(exec.range(&mm, &region).unwrap()),
+            |region| black_box(exec.execute(QueryRequest::range(&mm, &region)).unwrap()),
             BatchSize::SmallInput,
         )
     });

@@ -11,7 +11,7 @@ use multimap_core::{
 use multimap_disksim::{profiles, DiskBuilder, Request, ZoneSpec};
 use multimap_lvm::{LogicalVolume, SchedulePolicy};
 use multimap_query::{
-    random_range, workload_rng, BeamPolicy, ExecOptions, QueryExecutor, RangeOrder,
+    random_range, workload_rng, BeamPolicy, ExecOptions, QueryExecutor, QueryRequest, RangeOrder,
 };
 
 use crate::harness::{ms, Scale, Table};
@@ -58,11 +58,11 @@ pub fn cube_shape(scale: Scale) -> Table {
         for dim in 1..3 {
             let region = BoxRegion::beam(&grid, dim, &anchor);
             volume.idle_all(7.3);
-            cells.push(ms(exec.beam(m, &region).expect("figure query runs in-grid").per_cell_ms()));
+            cells.push(ms(exec.execute(QueryRequest::beam(m, &region)).expect("figure query runs in-grid").per_cell_ms()));
         }
         let region = random_range(&grid, 1.0, &mut rng);
         volume.idle_all(7.3);
-        let range = exec.range(m, &region).expect("figure query runs in-grid").total_io_ms;
+        let range = exec.execute(QueryRequest::range(m, &region)).expect("figure query runs in-grid").total_io_ms;
         table.row(vec![label, cells[0].clone(), cells[1].clone(), ms(range)]);
     }
     table
@@ -85,17 +85,14 @@ pub fn queue_depth(scale: Scale) -> Table {
         let exec = QueryExecutor::with_options(
             &volume,
             0,
-            ExecOptions {
-                queue_depth: depth,
-                ..ExecOptions::default()
-            },
+            ExecOptions::builder().queue_depth(depth).build(),
         );
         let mut rng = workload_rng(0xab2);
         let region = random_range(&grid, 10.0, &mut rng);
         volume.idle_all(5.0);
-        let t_naive = exec.range(&naive, &region).expect("figure query runs in-grid").total_io_ms;
+        let t_naive = exec.execute(QueryRequest::range(&naive, &region)).expect("figure query runs in-grid").total_io_ms;
         volume.idle_all(5.0);
-        let t_mm = exec.range(&mm, &region).expect("figure query runs in-grid").total_io_ms;
+        let t_mm = exec.execute(QueryRequest::range(&mm, &region)).expect("figure query runs in-grid").total_io_ms;
         table.row(vec![depth.to_string(), ms(t_naive), ms(t_mm)]);
     }
     table
@@ -125,15 +122,12 @@ pub fn request_sorting(scale: Scale) -> Table {
             let exec = QueryExecutor::with_options(
                 &volume,
                 0,
-                ExecOptions {
-                    range: order,
-                    ..ExecOptions::default()
-                },
+                ExecOptions::builder().range(order).build(),
             );
             let mut rng = workload_rng(0xab3);
             let region = random_range(&grid, 1.0, &mut rng);
             volume.idle_all(5.0);
-            row.push(ms(exec.range(m, &region).expect("figure query runs in-grid").total_io_ms));
+            row.push(ms(exec.execute(QueryRequest::range(m, &region)).expect("figure query runs in-grid").total_io_ms));
         }
         table.row(row);
     }
@@ -170,10 +164,7 @@ pub fn adjacency_depth(scale: Scale) -> Table {
         let exec = QueryExecutor::with_options(
             &volume,
             0,
-            ExecOptions {
-                beam: BeamPolicy::Auto,
-                ..ExecOptions::default()
-            },
+            ExecOptions::builder().beam(BeamPolicy::Auto).build(),
         );
         let mut rng = workload_rng(0xab4);
         let anchor = multimap_query::random_anchor(&grid, &mut rng);
@@ -181,7 +172,7 @@ pub fn adjacency_depth(scale: Scale) -> Table {
         for dim in 1..3 {
             let region = BoxRegion::beam(&grid, dim, &anchor);
             volume.idle_all(7.3);
-            row.push(ms(exec.beam(&mm, &region).expect("figure query runs in-grid").per_cell_ms()));
+            row.push(ms(exec.execute(QueryRequest::beam(&mm, &region)).expect("figure query runs in-grid").per_cell_ms()));
         }
         table.row(row);
     }
@@ -222,10 +213,10 @@ pub fn adjacency_slack(scale: Scale) -> Table {
         let anchor = multimap_query::random_anchor(&grid, &mut rng);
         let region = BoxRegion::beam(&grid, 1, &anchor);
         volume.idle_all(7.3);
-        let beam = exec.beam(&mm, &region).expect("figure query runs in-grid").per_cell_ms();
+        let beam = exec.execute(QueryRequest::beam(&mm, &region)).expect("figure query runs in-grid").per_cell_ms();
         let range_region = random_range(&grid, 0.1, &mut rng);
         volume.idle_all(7.3);
-        let range = exec.range(&mm, &range_region).expect("figure query runs in-grid").total_io_ms;
+        let range = exec.execute(QueryRequest::range(&mm, &range_region)).expect("figure query runs in-grid").total_io_ms;
         table.row(vec![format!("{slack}"), ms(beam), ms(range)]);
     }
     table
@@ -298,9 +289,9 @@ pub fn track_waste(scale: Scale) -> Table {
         let exec = QueryExecutor::new(&volume, 0);
         let region = grid.bounding_region();
         volume.idle_all(5.0);
-        let t_naive = exec.range(&naive, &region).expect("figure query runs in-grid").total_io_ms;
+        let t_naive = exec.execute(QueryRequest::range(&naive, &region)).expect("figure query runs in-grid").total_io_ms;
         volume.idle_all(5.0);
-        let t_mm = exec.range(&mm, &region).expect("figure query runs in-grid").total_io_ms;
+        let t_mm = exec.execute(QueryRequest::range(&mm, &region)).expect("figure query runs in-grid").total_io_ms;
         table.row(vec![
             spt.to_string(),
             format!("{util:.2}"),
@@ -332,7 +323,7 @@ pub fn density_trend(scale: Scale) -> Table {
         let anchor = multimap_query::random_anchor(&grid, &mut rng);
         let region = BoxRegion::beam(&grid, 1, &anchor);
         volume.idle_all(7.3);
-        let beam = exec.beam(&mm, &region).expect("figure query runs in-grid").per_cell_ms();
+        let beam = exec.execute(QueryRequest::beam(&mm, &region)).expect("figure query runs in-grid").per_cell_ms();
         table.row(vec![
             generation.to_string(),
             d.to_string(),
@@ -380,7 +371,7 @@ pub fn settle_jitter(scale: Scale) -> Table {
             let anchor = multimap_query::random_anchor(&grid, &mut rng);
             let region = BoxRegion::beam(&grid, 1, &anchor);
             volume.idle_all(7.3);
-            row.push(ms(exec.beam(&mm, &region).expect("figure query runs in-grid").per_cell_ms()));
+            row.push(ms(exec.execute(QueryRequest::beam(&mm, &region)).expect("figure query runs in-grid").per_cell_ms()));
         }
         table.row(row);
     }
@@ -408,7 +399,7 @@ pub fn zoned_shapes(_scale: Scale) -> Table {
 
     let single = MultiMapping::new(&geom, grid.clone()).expect("fits");
     volume.idle_all(7.3);
-    let b1 = exec.beam(&single, &region).expect("figure query runs in-grid").per_cell_ms();
+    let b1 = exec.execute(QueryRequest::beam(&single, &region)).expect("figure query runs in-grid").per_cell_ms();
     table.row(vec![
         "single-shape".into(),
         "1".into(),
@@ -419,7 +410,7 @@ pub fn zoned_shapes(_scale: Scale) -> Table {
     let zoned = ZonedMultiMapping::new(&geom, grid.clone()).expect("fits");
     volume.reset();
     volume.idle_all(7.3);
-    let b2 = exec.beam(&zoned, &region).expect("figure query runs in-grid").per_cell_ms();
+    let b2 = exec.execute(QueryRequest::beam(&zoned, &region)).expect("figure query runs in-grid").per_cell_ms();
     table.row(vec![
         "per-zone".into(),
         zoned.segment_count().to_string(),

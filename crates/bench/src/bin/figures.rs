@@ -147,4 +147,16 @@ fn main() {
         }
         eprintln!("[{fig} took {:.1}s]\n", started.elapsed().as_secs_f64());
     }
+
+    // Telemetry sidecar: the figure generators record merged per-figure
+    // metrics into the global registry; dump them next to the TSVs.
+    // TSV/SVG contents never depend on telemetry (see docs/observability.md).
+    let registry = multimap_telemetry::global();
+    if multimap_telemetry::enabled() && !registry.is_empty() {
+        let path = out_dir.join("telemetry.json");
+        match std::fs::write(&path, format!("{}\n", registry.to_json())) {
+            Ok(()) => println!("telemetry -> {}", path.display()),
+            Err(e) => eprintln!("warning: could not save telemetry.json: {e}"),
+        }
+    }
 }

@@ -1,13 +1,17 @@
 //! Perf smoke benchmark: times the standard quick figure sweep serially
-//! and in parallel, checks the two runs are byte-identical, measures the
-//! profiled SPTF estimator's throughput, and writes `BENCH_pr3.json`.
+//! and in parallel, checks the two runs are byte-identical, measures
+//! telemetry overhead (figures with the sink recording vs without —
+//! tables must stay byte-identical and the slowdown must stay under 5%),
+//! measures the profiled SPTF estimator's throughput, and writes
+//! `BENCH_pr4.json`.
 //!
 //! ```text
-//! cargo run --release -p multimap-bench --bin perf -- [--out BENCH_pr3.json]
+//! cargo run --release -p multimap-bench --bin perf -- [--out BENCH_pr4.json]
 //! ```
 //!
 //! Exit status is non-zero if any parallel table diverges from its
-//! serial reference — the determinism contract of the experiment engine.
+//! serial reference, any telemetry-on table diverges from telemetry-off,
+//! or the telemetry overhead exceeds the budget.
 
 // staticcheck: allow-file(no-unwrap) — benchmark/CLI binary: aborting with a message on a malformed run is the intended failure mode.
 
@@ -16,6 +20,10 @@ use std::time::Instant;
 
 use multimap_bench::{ablations, fig6, fig7, fig8, model_fig, Scale, Table};
 use multimap_disksim::{profiles, DiskSim, Request};
+use multimap_telemetry::{Counter, Metrics};
+
+/// Telemetry must cost less than this fraction of the sweep's wall time.
+const TELEMETRY_OVERHEAD_BUDGET: f64 = 0.05;
 
 /// One timed pass over the standard quick sweep. Returns the rendered
 /// tables (the determinism witness) and per-figure cell counts.
@@ -86,11 +94,15 @@ fn main() {
         .position(|a| a == "--out")
         .and_then(|i| args.get(i + 1))
         .cloned()
-        .unwrap_or_else(|| "BENCH_pr3.json".to_string());
+        .unwrap_or_else(|| "BENCH_pr4.json".to_string());
 
     let host_threads = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
+
+    // All timing passes run with telemetry off except the dedicated
+    // telemetry-on passes at the end.
+    multimap_telemetry::set_enabled(false);
 
     // Warm-up pass so the shared translation cache is populated for both
     // timed passes — otherwise the second pass gets a free cache win and
@@ -106,6 +118,34 @@ fn main() {
     let parallel_threads = multimap_engine::threads().max(1);
     eprintln!("parallel pass ({parallel_threads} of {host_threads} host threads)...");
     let (parallel_tables, parallel_s) = run_sweep();
+
+    // Telemetry overhead: two passes each way at the parallel thread
+    // count, min-of-2 to damp scheduler noise. The telemetry-off
+    // reference reuses the parallel pass above as its first sample.
+    eprintln!("telemetry-off reference pass...");
+    let (_, off_2) = run_sweep();
+    let off_s = parallel_s.min(off_2);
+
+    multimap_telemetry::set_enabled(true);
+    eprintln!("telemetry-on pass 1...");
+    let (on_tables, on_1) = run_sweep();
+    eprintln!("telemetry-on pass 2...");
+    multimap_telemetry::global().clear();
+    let (_, on_2) = run_sweep();
+    let on_s = on_1.min(on_2);
+    let overhead = on_s / off_s - 1.0;
+
+    // The registry now holds exactly the second telemetry-on pass.
+    let sections = multimap_telemetry::global().sections();
+    let merged = Metrics::merge_ordered(sections.iter().map(|(_, m)| m));
+    multimap_telemetry::set_enabled(false);
+
+    let mut telemetry_divergent: Vec<&str> = Vec::new();
+    for ((label, off, _), (_, on, _)) in parallel_tables.iter().zip(&on_tables) {
+        if off != on {
+            telemetry_divergent.push(label);
+        }
+    }
 
     // Ablations ride along in the parallel pass only (they are one
     // engine sweep themselves); time them for the report.
@@ -124,9 +164,16 @@ fn main() {
     let speedup = serial_s / parallel_s;
     let (profiled_rate, raw_rate, locates) = sptf_throughput();
 
+    let seek_hit_rate = merged
+        .hit_rate(Counter::SeekMemoHit, Counter::SeekMemoMiss)
+        .unwrap_or(0.0);
+    let xlat_hit_rate = merged
+        .hit_rate(Counter::TranslationCacheHit, Counter::TranslationCacheMiss)
+        .unwrap_or(0.0);
+
     let mut json = String::new();
     let _ = writeln!(json, "{{");
-    let _ = writeln!(json, "  \"bench\": \"pr3_parallel_engine_and_caches\",");
+    let _ = writeln!(json, "  \"bench\": \"pr4_telemetry_unified_execute\",");
     let _ = writeln!(json, "  \"scale\": \"quick\",");
     let _ = writeln!(json, "  \"host_threads\": {host_threads},");
     let _ = writeln!(json, "  \"engine_threads\": {parallel_threads},");
@@ -144,6 +191,29 @@ fn main() {
         "  \"parallel_cells_per_s\": {:.2},",
         cells as f64 / parallel_s
     );
+    let _ = writeln!(json, "  \"telemetry_off_wall_s\": {off_s:.3},");
+    let _ = writeln!(json, "  \"telemetry_on_wall_s\": {on_s:.3},");
+    let _ = writeln!(
+        json,
+        "  \"telemetry_overhead_pct\": {:.2},",
+        overhead * 100.0
+    );
+    let _ = writeln!(
+        json,
+        "  \"telemetry_overhead_budget_pct\": {:.1},",
+        TELEMETRY_OVERHEAD_BUDGET * 100.0
+    );
+    let _ = writeln!(
+        json,
+        "  \"telemetry_identical_figures\": {},",
+        telemetry_divergent.is_empty()
+    );
+    let _ = writeln!(json, "  \"seek_memo_hit_rate\": {seek_hit_rate:.4},");
+    let _ = writeln!(
+        json,
+        "  \"translation_cache_hit_rate\": {xlat_hit_rate:.4},"
+    );
+    let _ = writeln!(json, "  \"telemetry\": {},", merged.to_json(2));
     let _ = writeln!(json, "  \"ablations_wall_s\": {ablations_s:.3},");
     let _ = writeln!(json, "  \"ablation_tables\": {},", ablation_tables.len());
     let _ = writeln!(
@@ -177,15 +247,29 @@ fn main() {
     eprintln!("wrote {out_path}");
 
     if !divergent.is_empty() {
+        eprintln!("FAIL: parallel tables diverged from serial reference: {divergent:?}");
+        std::process::exit(1);
+    }
+    if !telemetry_divergent.is_empty() {
         eprintln!(
-            "FAIL: parallel tables diverged from serial reference: {divergent:?}"
+            "FAIL: telemetry-on tables diverged from telemetry-off: {telemetry_divergent:?}"
+        );
+        std::process::exit(1);
+    }
+    if overhead > TELEMETRY_OVERHEAD_BUDGET {
+        eprintln!(
+            "FAIL: telemetry overhead {:.1}% exceeds the {:.0}% budget \
+             ({off_s:.3}s off vs {on_s:.3}s on)",
+            overhead * 100.0,
+            TELEMETRY_OVERHEAD_BUDGET * 100.0
         );
         std::process::exit(1);
     }
     eprintln!(
         "OK: {} figures byte-identical serial vs parallel ({parallel_threads} threads), \
-         {:.1}x sweep speedup",
+         {:.1}x sweep speedup, telemetry overhead {:.1}%",
         serial_tables.len(),
-        speedup
+        speedup,
+        overhead.max(0.0) * 100.0
     );
 }

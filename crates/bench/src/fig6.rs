@@ -10,9 +10,22 @@ use multimap_core::{
 };
 use multimap_disksim::profiles;
 use multimap_lvm::LogicalVolume;
-use multimap_query::{random_anchor, random_range, workload_rng, QueryExecutor, QueryResult};
+use multimap_query::{
+    random_anchor, random_range, workload_rng, QueryExecutor, QueryRequest, QueryResult,
+};
+use multimap_telemetry::Metrics;
 
 use crate::harness::{ms, Scale, Table};
+
+/// Merge per-cell metrics in submission order and record the fold under
+/// `label` in the global registry — a no-op while telemetry is disabled.
+/// Submission-order folding matches `multimap_engine::sweep`'s result
+/// order, so the merged record is identical at any thread count.
+pub(crate) fn record_cells(label: &str, cells: Vec<Metrics>) {
+    if multimap_telemetry::enabled() {
+        multimap_telemetry::global().record(label, Metrics::merge_ordered(cells.iter()));
+    }
+}
 
 /// Figure 6(a): average I/O time per cell for beam queries along each
 /// dimension, for all four mappings on both disks.
@@ -59,27 +72,37 @@ pub fn run_beams(scale: Scale) -> Table {
         let mut rng = workload_rng(0x6a61);
         let anchors: Vec<Vec<u64>> = (0..runs).map(|_| random_anchor(&grid, &mut rng)).collect();
 
+        let mut metrics = Metrics::new();
+        let record = multimap_telemetry::enabled();
         let mut per_dim = Vec::new();
         for dim in 0..3 {
             let mut acc = QueryResult::default();
             for anchor in &anchors {
                 let region = BoxRegion::beam(&grid, dim, anchor);
                 volume.idle_all(7.3); // decorrelate rotational phase
-                acc.accumulate(&exec.beam(m, &region).expect("figure query runs in-grid"));
+                let mut req = QueryRequest::beam(m, &region);
+                if record {
+                    req = req.with_sink(&mut metrics);
+                }
+                acc.accumulate(&exec.execute(req).expect("figure query runs in-grid"));
             }
             per_dim.push(acc.per_cell_ms());
         }
-        vec![
+        let row = vec![
             geom.name.clone(),
             m.name().to_string(),
             ms(per_dim[0]),
             ms(per_dim[1]),
             ms(per_dim[2]),
-        ]
+        ];
+        (row, metrics)
     });
-    for row in rows {
+    let mut cell_metrics = Vec::with_capacity(rows.len());
+    for (row, m) in rows {
         table.row(row);
+        cell_metrics.push(m);
     }
+    record_cells("fig6a_beams", cell_metrics);
     table
 }
 
@@ -130,28 +153,38 @@ pub fn run_ranges(scale: Scale) -> Table {
         let regions: Vec<BoxRegion> = (0..runs)
             .map(|_| random_range(&grid, sel, &mut rng))
             .collect();
+        let mut metrics = Metrics::new();
+        let record = multimap_telemetry::enabled();
         let mut totals = [0.0f64; 4];
         for (i, m) in mappings.iter().enumerate() {
             for region in &regions {
                 volume.idle_all(11.7);
+                let mut req = QueryRequest::range(*m, region);
+                if record {
+                    req = req.with_sink(&mut metrics);
+                }
                 totals[i] += exec
-                    .range(*m, region)
+                    .execute(req)
                     .expect("figure query runs in-grid")
                     .total_io_ms;
             }
         }
-        vec![
+        let row = vec![
             geom.name.clone(),
             format!("{sel}"),
             ms(totals[0]),
             format!("{:.2}", totals[0] / totals[1]),
             format!("{:.2}", totals[0] / totals[2]),
             format!("{:.2}", totals[0] / totals[3]),
-        ]
+        ];
+        (row, metrics)
     });
-    for row in rows {
+    let mut cell_metrics = Vec::with_capacity(rows.len());
+    for (row, m) in rows {
         table.row(row);
+        cell_metrics.push(m);
     }
+    record_cells("fig6b_ranges", cell_metrics);
     table
 }
 

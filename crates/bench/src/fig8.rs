@@ -7,8 +7,10 @@ use multimap_core::{hilbert_mapping, zorder_mapping, Mapping, MultiMapping, Naiv
 use multimap_disksim::profiles;
 use multimap_lvm::LogicalVolume;
 use multimap_olap::{cube, ALL_QUERIES};
-use multimap_query::{workload_rng, QueryExecutor, QueryResult};
+use multimap_query::{workload_rng, QueryExecutor, QueryOp, QueryRequest, QueryResult};
+use multimap_telemetry::Metrics;
 
+use crate::fig6::record_cells;
 use crate::harness::{ms, Scale, Table};
 
 /// Figure 8: average I/O time per cell for Q1–Q5 on both disks.
@@ -52,6 +54,8 @@ pub fn run(scale: Scale) -> Table {
         let volume = LogicalVolume::new(geom.clone(), 1);
         let exec = QueryExecutor::new(&volume, 0);
 
+        let mut metrics = Metrics::new();
+        let record = multimap_telemetry::enabled();
         let mut row = vec![geom.name.clone(), m.name().to_string()];
         for q in ALL_QUERIES {
             // Same regions per query across mappings.
@@ -60,20 +64,27 @@ pub fn run(scale: Scale) -> Table {
             for _ in 0..runs {
                 let region = q.region(&chunk, &mut rng);
                 volume.idle_all(9.1);
-                let r = if q.is_beam() {
-                    exec.beam(m, &region).expect("figure query runs in-grid")
+                let op = if q.is_beam() {
+                    QueryOp::Beam
                 } else {
-                    exec.range(m, &region).expect("figure query runs in-grid")
+                    QueryOp::Range
                 };
-                acc.accumulate(&r);
+                let mut req = QueryRequest::new(op, m, &region);
+                if record {
+                    req = req.with_sink(&mut metrics);
+                }
+                acc.accumulate(&exec.execute(req).expect("figure query runs in-grid"));
             }
             row.push(ms(acc.per_cell_ms()));
         }
-        row
+        (row, metrics)
     });
-    for row in rows {
+    let mut cell_metrics = Vec::with_capacity(rows.len());
+    for (row, m) in rows {
         table.row(row);
+        cell_metrics.push(m);
     }
+    record_cells("fig8_olap", cell_metrics);
     table
 }
 

@@ -11,7 +11,7 @@ use multimap_model::{
     multimap_beam_per_cell_ms, multimap_range_total_ms, naive_beam_per_cell_ms,
     naive_range_total_ms, ModelParams,
 };
-use multimap_query::{random_anchor, random_range, workload_rng, QueryExecutor};
+use multimap_query::{random_anchor, random_range, workload_rng, QueryExecutor, QueryRequest};
 
 use crate::harness::{ms, Scale, Table};
 
@@ -48,12 +48,12 @@ pub fn run(scale: Scale) -> Table {
                 let region = BoxRegion::beam(&grid, dim, &anchor);
                 volume.reset();
                 let ns = exec
-                    .beam(&naive, &region)
+                    .execute(QueryRequest::beam(&naive, &region))
                     .expect("figure query runs in-grid")
                     .per_cell_ms();
                 volume.reset();
                 let ms_sim = exec
-                    .beam(&mm, &region)
+                    .execute(QueryRequest::beam(&mm, &region))
                     .expect("figure query runs in-grid")
                     .per_cell_ms();
                 vec![
@@ -76,13 +76,13 @@ pub fn run(scale: Scale) -> Table {
                     let qext: Vec<u64> = (0..grid.ndims()).map(|d| region.extent(d)).collect();
                     volume.reset();
                     sums[0] += exec
-                        .range(&naive, &region)
+                        .execute(QueryRequest::range(&naive, &region))
                         .expect("figure query runs in-grid")
                         .total_io_ms;
                     sums[1] += naive_range_total_ms(&params, grid.extents(), &qext);
                     volume.reset();
                     sums[2] += exec
-                        .range(&mm, &region)
+                        .execute(QueryRequest::range(&mm, &region))
                         .expect("figure query runs in-grid")
                         .total_io_ms;
                     sums[3] += multimap_range_total_ms(&params, grid.extents(), &qext);

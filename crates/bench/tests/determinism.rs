@@ -1,10 +1,11 @@
 //! The experiment engine's headline guarantee: a parallel figure sweep
-//! renders byte-identically to a serial one.
+//! renders byte-identically to a serial one, with telemetry on or off.
 
 use multimap_bench::{fig6, fig7, Scale};
+use multimap_telemetry::Counter;
 
-/// Serialise against other tests that might flip the global engine
-/// override (none today, but cheap insurance).
+/// Serialise tests that flip the global engine override or the global
+/// telemetry gate (both are process-wide).
 static OVERRIDE_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
 
 fn with_threads<T>(n: usize, f: impl FnOnce() -> T) -> T {
@@ -40,4 +41,46 @@ fn quick_fig6b_parallel_matches_serial_byte_for_byte() {
     let serial = with_threads(1, || fig6::run_ranges(Scale::Quick).render());
     let parallel = with_threads(4, || fig6::run_ranges(Scale::Quick).render());
     assert_eq!(serial, parallel, "fig6b diverged at 4 threads");
+}
+
+/// Telemetry is observational: running a figure with the sinks recording
+/// renders byte-identically to running it with telemetry disabled.
+#[test]
+fn quick_fig6a_is_byte_identical_with_telemetry_on_and_off() {
+    let on = with_threads(4, || {
+        multimap_telemetry::set_enabled(true);
+        fig6::run_beams(Scale::Quick).render()
+    });
+    let off = with_threads(4, || {
+        multimap_telemetry::set_enabled(false);
+        let rendered = fig6::run_beams(Scale::Quick).render();
+        multimap_telemetry::set_enabled(true);
+        rendered
+    });
+    assert_eq!(on, off, "telemetry changed fig6a output");
+}
+
+/// The merged per-figure record in the global registry is bit-identical
+/// at any thread count (submission-order fold under the engine sweep).
+#[test]
+fn quick_fig6a_registry_record_identical_across_thread_counts() {
+    let harvest = |threads: usize| {
+        with_threads(threads, || {
+            multimap_telemetry::set_enabled(true);
+            multimap_telemetry::global().clear();
+            fig6::run_beams(Scale::Quick);
+            let merged = multimap_telemetry::global().merged();
+            multimap_telemetry::global().clear();
+            merged
+        })
+    };
+    let baseline = harvest(1);
+    assert!(baseline.counter_value(Counter::RequestsServiced) > 0);
+    for threads in [2usize, 4, 8] {
+        let merged = harvest(threads);
+        assert!(
+            merged.identical(&baseline),
+            "fig6a registry record diverged at {threads} threads"
+        );
+    }
 }

@@ -3,6 +3,12 @@
 //! set of dataset cells regardless of how they were laid out — and that
 //! the analytical cost model agrees with the simulator within the
 //! documented tolerances.
+//!
+//! Every differential query runs through the unified
+//! [`QueryExecutor::execute`] entry point carrying both an event
+//! observer (for the physics oracle) and a telemetry sink, so the
+//! checks also pin the telemetry contract: the per-phase histogram sums
+//! must add up to the measured total service time.
 
 use std::collections::BTreeSet;
 
@@ -16,7 +22,8 @@ use multimap_model::{
     multimap_beam_per_cell_ms, multimap_range_total_ms, naive_beam_per_cell_ms,
     naive_range_total_ms, ModelParams,
 };
-use multimap_query::{QueryError, QueryExecutor, QueryResult};
+use multimap_query::{QueryError, QueryExecutor, QueryOp, QueryRequest, QueryResult};
+use multimap_telemetry::{Counter, Metrics};
 
 use crate::oracle::{check_log, OracleReport};
 
@@ -57,6 +64,8 @@ pub struct DifferentialOutcome {
     pub result: QueryResult,
     /// Physics-oracle verdict over every request the query issued.
     pub oracle: OracleReport,
+    /// Telemetry the query recorded (phase histograms, counters).
+    pub metrics: Metrics,
 }
 
 /// Run one query region through all four mappings — as a beam
@@ -76,13 +85,15 @@ pub fn differential_query(
         let volume = LogicalVolume::new(geom.clone(), 1);
         let exec = QueryExecutor::new(&volume, 0);
         let mut log = multimap_disksim::ServiceLog::new();
+        let mut metrics = Metrics::new();
         let result = {
             let mut rec = log.recorder();
-            if beam {
-                exec.beam_observed(mapping.as_ref(), region, &mut rec)?
-            } else {
-                exec.range_observed(mapping.as_ref(), region, &mut rec)?
-            }
+            let op = if beam { QueryOp::Beam } else { QueryOp::Range };
+            exec.execute(
+                QueryRequest::new(op, mapping.as_ref(), region)
+                    .with_observer(&mut rec)
+                    .with_sink(&mut metrics),
+            )?
         };
         let mut cells = BTreeSet::new();
         for e in log.events() {
@@ -97,6 +108,7 @@ pub fn differential_query(
             cells,
             result,
             oracle: check_log(geom, &log),
+            metrics,
         })
     });
     outcomes.into_iter().collect()
@@ -133,10 +145,48 @@ pub fn check_translation_cache(geom: &DiskGeometry, grid: &GridSpec) -> Result<(
     Ok(())
 }
 
+/// Tolerance for the telemetry phase-decomposition cross-check: the
+/// five phase histogram sums must reconstruct the measured total
+/// service time to within this bound (pure f64 re-summation error).
+pub const TELEMETRY_SUM_EPS_MS: f64 = 1e-6;
+
+/// Verify one query's telemetry against its measured result: the phase
+/// sums and the service-time histogram must both reconstruct
+/// `total_io_ms`, and the per-request counter must match the request
+/// count. Returns a description of the first discrepancy.
+pub fn check_telemetry(label: &str, metrics: &Metrics, result: &QueryResult) -> Result<(), String> {
+    let phase_sum = metrics.phase_sum_ms();
+    if (phase_sum - result.total_io_ms).abs() > TELEMETRY_SUM_EPS_MS {
+        return Err(format!(
+            "{label}: phase histogram sums {phase_sum} ms do not reconstruct \
+             the measured total {} ms",
+            result.total_io_ms
+        ));
+    }
+    let service_sum = metrics.service_hist().sum_ms();
+    if (service_sum - result.total_io_ms).abs() > TELEMETRY_SUM_EPS_MS {
+        return Err(format!(
+            "{label}: service-time histogram sums {service_sum} ms \
+             against a measured total of {} ms",
+            result.total_io_ms
+        ));
+    }
+    let serviced = metrics.counter_value(Counter::RequestsServiced);
+    if serviced != result.requests {
+        return Err(format!(
+            "{label}: telemetry saw {serviced} serviced requests, \
+             the executor reported {}",
+            result.requests
+        ));
+    }
+    Ok(())
+}
+
 /// Run [`differential_query`] and verify the conformance contract:
 /// every mapping transfers exactly the region's cell set, every mapping
-/// reports the same cell/block counts, and no request violated the
-/// physics oracle. Returns a description of the first discrepancy.
+/// reports the same cell/block counts, no request violated the
+/// physics oracle, and the recorded telemetry reconstructs the measured
+/// service time. Returns a description of the first discrepancy.
 pub fn check_region(
     geom: &DiskGeometry,
     grid: &GridSpec,
@@ -181,6 +231,7 @@ pub fn check_region(
                 expected.len()
             ));
         }
+        check_telemetry(&o.mapping, &o.metrics, &o.result)?;
     }
     Ok(())
 }
@@ -220,10 +271,12 @@ fn steady_beam_per_cell(
     region: &BoxRegion,
 ) -> f64 {
     let mut log = multimap_disksim::ServiceLog::new();
+    let mut rec = log.recorder();
     let r = exec
-        .beam_observed(mapping, region, &mut log.recorder())
+        .execute(QueryRequest::beam(mapping, region).with_observer(&mut rec))
         // staticcheck: allow(no-unwrap) — agreement rows use fixed in-grid regions; failure is harness breakage.
         .expect("agreement beam must execute");
+    drop(rec);
     let first = log
         .events()
         .first()
@@ -274,8 +327,10 @@ pub fn model_agreement(geom: &DiskGeometry) -> Vec<ModelAgreementRow> {
     let query = BoxRegion::new([10u64, 2, 1], [29u64, 7, 4]);
     let qext = [20u64, 6, 4];
     volume.reset();
-    // staticcheck: allow(no-unwrap) — same fixed in-grid range as above.
-    let sim_naive = exec.range(&naive, &query).expect("agreement range runs");
+    let sim_naive = exec
+        .execute(QueryRequest::range(&naive, &query))
+        // staticcheck: allow(no-unwrap) — same fixed in-grid range as above.
+        .expect("agreement range runs");
     rows.push(ModelAgreementRow {
         label: "naive_range_20x6x4".into(),
         sim_ms: sim_naive.total_io_ms,
@@ -283,8 +338,10 @@ pub fn model_agreement(geom: &DiskGeometry) -> Vec<ModelAgreementRow> {
         tolerance: MODEL_RANGE_TOLERANCE,
     });
     volume.reset();
-    // staticcheck: allow(no-unwrap) — same fixed in-grid range as above.
-    let sim_mm = exec.range(&mm, &query).expect("agreement range runs");
+    let sim_mm = exec
+        .execute(QueryRequest::range(&mm, &query))
+        // staticcheck: allow(no-unwrap) — same fixed in-grid range as above.
+        .expect("agreement range runs");
     rows.push(ModelAgreementRow {
         label: "multimap_range_20x6x4".into(),
         sim_ms: sim_mm.total_io_ms,

@@ -35,9 +35,9 @@ pub mod json;
 pub mod oracle;
 
 pub use differential::{
-    assert_model_agreement, check_region, check_translation_cache, differential_query,
-    model_agreement, standard_mappings, DifferentialOutcome, ModelAgreementRow,
-    MODEL_BEAM_TOLERANCE, MODEL_RANGE_TOLERANCE,
+    assert_model_agreement, check_region, check_telemetry, check_translation_cache,
+    differential_query, model_agreement, standard_mappings, DifferentialOutcome,
+    ModelAgreementRow, MODEL_BEAM_TOLERANCE, MODEL_RANGE_TOLERANCE, TELEMETRY_SUM_EPS_MS,
 };
 pub use golden::{check_case, workload_matrix, GoldenCase};
 pub use oracle::{check_event, check_log, OracleDisk, OracleReport, Violation};

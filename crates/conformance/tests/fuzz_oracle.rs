@@ -2,6 +2,10 @@
 //! queries through the oracle-wrapped simulator and the differential
 //! checker. Cases are deterministic (the test RNG is seeded from the
 //! test's module path), so failures replay.
+//!
+//! The per-policy replay fans out across [`multimap_engine::sweep`]
+//! (one cell per scheduling policy, verdicts in submission order), the
+//! same engine the figure sweeps use.
 
 use multimap_conformance::oracle::{check_log, OracleDisk};
 use multimap_conformance::check_region;
@@ -28,23 +32,32 @@ proptest! {
         let geom = profiles::small();
         let requests: Vec<Request> =
             reqs.iter().map(|&(lbn, n)| Request::new(lbn, n)).collect();
-        for policy in [
+        let policies = [
             SchedulePolicy::InOrder,
             SchedulePolicy::AscendingLbn,
             SchedulePolicy::Sptf,
             SchedulePolicy::QueuedSptf(depth),
-        ] {
+        ];
+        // One sweep cell per policy, each on its own fresh volume;
+        // verdicts come back in policy order at any thread count.
+        let verdicts = multimap_engine::sweep(&policies, |policy| {
             let volume = LogicalVolume::new(geom.clone(), 1);
             let (_, log) = volume
-                .service_batch_logged(0, &requests, policy)
+                .service_batch_logged(0, &requests, *policy)
                 .expect("fuzzed batch must be serviceable");
             let report = check_log(&geom, &log);
-            prop_assert!(
-                report.is_clean(),
-                "{policy:?}: {} violation(s), first: {}",
-                report.violations.len(),
-                report.violations[0]
-            );
+            if report.is_clean() {
+                None
+            } else {
+                Some(format!(
+                    "{policy:?}: {} violation(s), first: {}",
+                    report.violations.len(),
+                    report.violations[0]
+                ))
+            }
+        });
+        for verdict in verdicts {
+            prop_assert!(verdict.is_none(), "{}", verdict.unwrap_or_default());
         }
     }
 

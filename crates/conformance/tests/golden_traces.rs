@@ -1,6 +1,10 @@
 //! Golden-trace regression: the seeded workload matrix must replay
 //! bit-identically against the checked-in `tests/golden/*.json` files.
 //!
+//! The matrix fans out across [`multimap_engine::sweep`] — each case is
+//! one cell, results come back in submission order, so failure reports
+//! are stable at any thread count.
+//!
 //! After an intentional timing change, regenerate with:
 //! `UPDATE_GOLDEN=1 cargo test -p multimap-conformance --test golden_traces`
 
@@ -10,12 +14,13 @@ use multimap_lvm::LogicalVolume;
 
 #[test]
 fn golden_traces_match() {
-    let mut failures = Vec::new();
-    for case in workload_matrix() {
-        if let Err(e) = check_case(&case) {
-            failures.push(e);
-        }
-    }
+    // Every case replays on its own fresh volume, so the cells are
+    // independent; sweep preserves matrix order in the failure list.
+    let cases = workload_matrix();
+    let failures: Vec<String> = multimap_engine::sweep(&cases, |case| check_case(case).err())
+        .into_iter()
+        .flatten()
+        .collect();
     assert!(
         failures.is_empty(),
         "{} golden case(s) diverged:\n{}",
@@ -31,18 +36,26 @@ fn golden_traces_match() {
 fn golden_workloads_are_oracle_clean() {
     // The matrix that pins timings must itself obey the physics oracle —
     // a golden file can never freeze a mechanically impossible timing.
-    for case in workload_matrix() {
+    let cases = workload_matrix();
+    let failures: Vec<String> = multimap_engine::sweep(&cases, |case| {
         let volume = LogicalVolume::new(case.geometry.clone(), 1);
         let (_, log) = volume
             .service_batch_logged(0, &case.requests, case.policy)
             .expect("golden workloads must be serviceable");
         let report = check_log(&case.geometry, &log);
-        assert!(
-            report.is_clean(),
-            "{}: {} violation(s), first: {}",
-            case.name(),
-            report.violations.len(),
-            report.violations[0]
-        );
-    }
+        if report.is_clean() {
+            None
+        } else {
+            Some(format!(
+                "{}: {} violation(s), first: {}",
+                case.name(),
+                report.violations.len(),
+                report.violations[0]
+            ))
+        }
+    })
+    .into_iter()
+    .flatten()
+    .collect();
+    assert!(failures.is_empty(), "{}", failures.join("\n"));
 }

@@ -210,6 +210,15 @@ impl TranslationCache {
     /// The flat table for `mapping`, built on first use and served from
     /// the LRU afterwards (most-recently-used entries are kept).
     pub fn translate(&self, mapping: &dyn Mapping) -> Result<Arc<FlatTranslation>> {
+        Ok(self.translate_tracked(mapping)?.0)
+    }
+
+    /// [`TranslationCache::translate`] reporting whether this lookup was
+    /// served from a retained table (`true`) or built one (`false`) —
+    /// the per-query signal a caller-local telemetry sink records,
+    /// where the process-wide [`TranslationCache::hits`] counters would
+    /// be racy deltas under a parallel sweep.
+    pub fn translate_tracked(&self, mapping: &dyn Mapping) -> Result<(Arc<FlatTranslation>, bool)> {
         let key = TranslationKey::of(mapping)?;
         {
             let mut entries = self.entries.lock().unwrap_or_else(PoisonError::into_inner);
@@ -218,7 +227,7 @@ impl TranslationCache {
                 let table = Arc::clone(&entry.1);
                 entries.insert(0, entry);
                 self.hits.fetch_add(1, Ordering::Relaxed);
-                return Ok(table);
+                return Ok((table, true));
             }
         }
         // Build outside the lock: concurrent first-touch of the same grid
@@ -228,14 +237,15 @@ impl TranslationCache {
         let mut entries = self.entries.lock().unwrap_or_else(PoisonError::into_inner);
         if let Some(pos) = entries.iter().position(|(k, _)| *k == key) {
             // Another thread finished the same build first; adopt theirs.
+            // Still a miss for the caller: it paid for a build.
             let entry = entries.remove(pos);
             let table = Arc::clone(&entry.1);
             entries.insert(0, entry);
-            return Ok(table);
+            return Ok((table, false));
         }
         entries.insert(0, (key, Arc::clone(&table)));
         entries.truncate(self.capacity);
-        Ok(table)
+        Ok((table, false))
     }
 
     /// Number of tables currently retained.

@@ -53,12 +53,12 @@ pub use error::{DiskError, Result};
 pub use geometry::{
     locate_call_count, DiskBuilder, DiskGeometry, Lbn, Location, Zone, ZoneSpec, SECTOR_BYTES,
 };
-pub use observe::{ServiceEvent, ServiceLog};
+pub use observe::{ServiceEvent, ServiceLog, Transition};
 pub use scheduler::{
     coalesce_sorted, service_batch_ascending, service_batch_ascending_observed,
     service_batch_in_order, service_batch_in_order_observed, service_batch_queued_sptf,
     service_batch_queued_sptf_observed, service_batch_sptf, service_batch_sptf_observed,
-    BatchTiming,
+    BatchTiming, SchedStats,
 };
 pub use sim::{AccessKind, DiskSim, HeadState, Request, RequestProfile, RequestTiming, SeekMemo};
 pub use stats::AccessStats;

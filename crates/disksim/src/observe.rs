@@ -8,8 +8,24 @@
 //! request through a caller-supplied closure; [`ServiceLog`] is the
 //! common collector.
 
+use crate::geometry::DiskGeometry;
 use crate::sim::{AccessKind, HeadState, Request, RequestTiming};
 use crate::trace::Trace;
+
+/// How the head reached a request, classified from the positioning time
+/// the simulator actually charged.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Transition {
+    /// No positioning at all — sequential continuation (including the
+    /// read-ahead prefetch fast path).
+    Sequential,
+    /// Positioning fit inside the settle plateau (settle or pure head
+    /// switch, plus jitter): an adjacency hop, the paper's
+    /// semi-sequential step.
+    AdjacencyHop,
+    /// Positioning exceeded the plateau: a real arm seek.
+    Seek,
+}
 
 /// One serviced request with full before/after mechanical state and the
 /// scheduler's decision context.
@@ -42,6 +58,33 @@ impl ServiceEvent {
     #[inline]
     pub fn is_prefetch_hit(&self) -> bool {
         self.before.last_end_lbn == Some(self.request.lbn)
+    }
+
+    /// Classify how the head reached this request, from the positioning
+    /// time charged against `geom`'s settle plateau.
+    ///
+    /// The timing folds seek, settle and head-switch into one
+    /// positioning figure; a charge at or below
+    /// `max(settle_ms, head_switch_ms) + settle_jitter_ms` (plus the
+    /// write-settle surcharge for writes) can only have come from a
+    /// within-plateau move — an adjacency hop. Multi-track requests
+    /// accumulate several positionings into one charge; if the total
+    /// still fits under the plateau every leg was a hop, otherwise the
+    /// request paid at least one real seek and classifies as
+    /// [`Transition::Seek`].
+    pub fn transition(&self, geom: &DiskGeometry) -> Transition {
+        if self.timing.seek_ms <= 0.0 {
+            return Transition::Sequential;
+        }
+        let mut plateau = geom.settle_ms.max(geom.head_switch_ms) + geom.settle_jitter_ms;
+        if self.kind == AccessKind::Write {
+            plateau += geom.write_settle_extra_ms;
+        }
+        if self.timing.seek_ms <= plateau + 1e-9 {
+            Transition::AdjacencyHop
+        } else {
+            Transition::Seek
+        }
     }
 }
 

@@ -15,6 +15,30 @@ use crate::geometry::Lbn;
 use crate::observe::ServiceEvent;
 use crate::sim::{AccessKind, DiskSim, Request, RequestProfile, SeekMemo};
 
+/// Scheduler-internal event counts for one batch — the raw material for
+/// the telemetry layer's cache-efficiency counters. All zero for the
+/// policies that use no memo (in-order, ascending).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SchedStats {
+    /// [`SeekMemo`] positioning lookups answered from the memo.
+    pub seek_memo_hits: u64,
+    /// [`SeekMemo`] positioning lookups that ran the seek curve.
+    pub seek_memo_misses: u64,
+    /// Queued-SPTF serves that evicted a request from a *full* window
+    /// to admit the next pending one (TCQ window pressure); zero for
+    /// full SPTF, which admits everything up front.
+    pub window_evictions: u64,
+}
+
+impl SchedStats {
+    /// Accumulate another batch's stats.
+    pub fn merge(&mut self, other: &SchedStats) {
+        self.seek_memo_hits += other.seek_memo_hits;
+        self.seek_memo_misses += other.seek_memo_misses;
+        self.window_evictions += other.window_evictions;
+    }
+}
+
 /// Outcome of servicing a batch of requests.
 #[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub struct BatchTiming {
@@ -24,6 +48,8 @@ pub struct BatchTiming {
     pub blocks: u64,
     /// Total busy time for the batch.
     pub total_ms: f64,
+    /// Scheduler-internal event counts (memo hits, window evictions).
+    pub sched: SchedStats,
 }
 
 impl BatchTiming {
@@ -180,6 +206,8 @@ pub fn service_batch_sptf_observed(
         serve_observed(sim, profile.request(), &mut out, rank, queue_len, observe)?;
         memo.begin_round();
     }
+    out.sched.seek_memo_hits = memo.hits();
+    out.sched.seek_memo_misses = memo.misses();
     Ok(out)
 }
 
@@ -234,10 +262,15 @@ pub fn service_batch_queued_sptf_observed(
         serve_observed(sim, profile.request(), &mut out, rank, queue_len, observe)?;
         memo.begin_round();
         if next < requests.len() {
+            // The serve above vacated a slot in a full window: that is
+            // one TCQ eviction under admission pressure.
+            out.sched.window_evictions += 1;
             queue.push((next, RequestProfile::new(sim.geometry(), requests[next])?));
             next += 1;
         }
     }
+    out.sched.seek_memo_hits = memo.hits();
+    out.sched.seek_memo_misses = memo.misses();
     Ok(out)
 }
 

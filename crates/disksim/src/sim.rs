@@ -13,6 +13,7 @@
 //! `Dim0` beam queries) run at full streaming bandwidth instead of paying
 //! a rotational miss per command.
 
+use std::collections::hash_map::Entry;
 use std::collections::HashMap;
 
 use crate::error::{DiskError, Result};
@@ -211,6 +212,8 @@ impl RequestProfile {
 #[derive(Debug, Default)]
 pub struct SeekMemo {
     map: HashMap<(u64, u32), f64>,
+    hits: u64,
+    misses: u64,
 }
 
 impl SeekMemo {
@@ -219,9 +222,22 @@ impl SeekMemo {
         SeekMemo::default()
     }
 
-    /// Invalidate the memo: the head moved, all seeks changed.
+    /// Invalidate the memo: the head moved, all seeks changed. Hit/miss
+    /// counters accumulate across rounds (they describe the batch).
     pub fn begin_round(&mut self) {
         self.map.clear();
+    }
+
+    /// Positioning lookups answered from the memo, cumulative across
+    /// rounds since construction.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Positioning lookups that ran the seek curve, cumulative across
+    /// rounds since construction.
+    pub fn misses(&self) -> u64 {
+        self.misses
     }
 
     fn positioning(
@@ -232,12 +248,21 @@ impl SeekMemo {
         to_cylinder: u64,
         to_surface: u32,
     ) -> f64 {
-        *self
-            .map
-            .entry((to_cylinder, to_surface))
-            .or_insert_with(|| {
-                geom.positioning_ms(from_cylinder, from_surface, to_cylinder, to_surface)
-            })
+        match self.map.entry((to_cylinder, to_surface)) {
+            Entry::Occupied(e) => {
+                self.hits += 1;
+                *e.get()
+            }
+            Entry::Vacant(v) => {
+                self.misses += 1;
+                *v.insert(geom.positioning_ms(
+                    from_cylinder,
+                    from_surface,
+                    to_cylinder,
+                    to_surface,
+                ))
+            }
+        }
     }
 }
 

@@ -242,7 +242,7 @@ mod tests {
     use multimap_core::{GridSpec, MultiMapping, NaiveMapping};
     use multimap_disksim::profiles;
     use multimap_lvm::LogicalVolume;
-    use multimap_query::QueryExecutor;
+    use multimap_query::{QueryExecutor, QueryRequest};
 
     fn params() -> (DiskGeometry, ModelParams) {
         let geom = profiles::small();
@@ -269,7 +269,10 @@ mod tests {
         for dim in 0..3 {
             let region = BoxRegion::beam(&grid, dim, &[2, 3, 1]);
             vol.reset();
-            let sim = exec.beam(&naive, &region).unwrap().per_cell_ms();
+            let sim = exec
+                .execute(QueryRequest::beam(&naive, &region))
+                .unwrap()
+                .per_cell_ms();
             let model = naive_beam_per_cell_ms(&p, grid.extents(), dim);
             let err = (sim - model).abs() / sim.max(model);
             assert!(
@@ -289,7 +292,10 @@ mod tests {
         for dim in 1..3 {
             let region = BoxRegion::beam(&grid, dim, &[2, 3, 1]);
             vol.reset();
-            let sim = exec.beam(&mm, &region).unwrap().per_cell_ms();
+            let sim = exec
+                .execute(QueryRequest::beam(&mm, &region))
+                .unwrap()
+                .per_cell_ms();
             let model = multimap_beam_per_cell_ms(&p, grid.extents(), dim);
             let err = (sim - model).abs() / sim.max(model);
             assert!(
@@ -311,7 +317,10 @@ mod tests {
         let qext = [20u64, 6, 4];
 
         vol.reset();
-        let sim_naive = exec.range(&naive, &query).unwrap().total_io_ms;
+        let sim_naive = exec
+            .execute(QueryRequest::range(&naive, &query))
+            .unwrap()
+            .total_io_ms;
         let model_naive = naive_range_total_ms(&p, grid.extents(), &qext);
         let err_n = (sim_naive - model_naive).abs() / sim_naive.max(model_naive);
         assert!(
@@ -320,7 +329,10 @@ mod tests {
         );
 
         vol.reset();
-        let sim_mm = exec.range(&mm, &query).unwrap().total_io_ms;
+        let sim_mm = exec
+            .execute(QueryRequest::range(&mm, &query))
+            .unwrap()
+            .total_io_ms;
         let model_mm = multimap_range_total_ms(&p, grid.extents(), &qext);
         let err_m = (sim_mm - model_mm).abs() / sim_mm.max(model_mm);
         assert!(err_m < 0.5, "mm: sim {sim_mm:.2} vs model {model_mm:.2}");

@@ -1,8 +1,20 @@
 //! The query executor.
+//!
+//! All queries flow through one entry point,
+//! [`QueryExecutor::execute`], which takes a [`QueryRequest`]
+//! describing the mapping, the region, the operation and (optionally)
+//! a per-request [`ServiceEvent`] observer and a
+//! [`multimap_telemetry::MetricsSink`]. The former `beam`/`range`
+//! method quartet survives as thin deprecated wrappers.
+
+use std::time::Instant;
 
 use multimap_core::{shared_cache, BoxRegion, GridSpec, Mapping, MappingKind, MIN_CACHED_LOOKUPS};
-use multimap_disksim::{coalesce_sorted, BatchTiming, Lbn, Request, ServiceEvent};
+use multimap_disksim::{
+    coalesce_sorted, BatchTiming, DiskGeometry, Lbn, Request, ServiceEvent, Transition,
+};
 use multimap_lvm::{LogicalVolume, SchedulePolicy};
+use multimap_telemetry::{Counter, MetricsSink, Phase, Span};
 
 use crate::error::{QueryError, Result};
 
@@ -48,7 +60,11 @@ pub enum RangeOrder {
 }
 
 /// Executor tunables.
+///
+/// Non-exhaustive: construct with [`ExecOptions::default`] or
+/// [`ExecOptions::builder`], so future knobs are not breaking changes.
 #[derive(Clone, Copy, Debug)]
+#[non_exhaustive]
 pub struct ExecOptions {
     /// Beam policy (default [`BeamPolicy::Auto`]).
     pub beam: BeamPolicy,
@@ -76,6 +92,155 @@ impl Default for ExecOptions {
             queue_depth: 64,
             translation_cache: true,
         }
+    }
+}
+
+impl ExecOptions {
+    /// A builder starting from the default (paper) options.
+    pub fn builder() -> ExecOptionsBuilder {
+        ExecOptionsBuilder::default()
+    }
+}
+
+/// Builder for [`ExecOptions`]; every knob defaults to the paper value.
+///
+/// ```
+/// use multimap_query::{BeamPolicy, ExecOptions};
+/// let opts = ExecOptions::builder()
+///     .beam(BeamPolicy::Sptf)
+///     .translation_cache(false)
+///     .build();
+/// assert!(!opts.translation_cache);
+/// ```
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ExecOptionsBuilder {
+    opts: ExecOptions,
+}
+
+impl ExecOptionsBuilder {
+    /// Set the beam policy.
+    pub fn beam(mut self, beam: BeamPolicy) -> Self {
+        self.opts.beam = beam;
+        self
+    }
+
+    /// Set the range ordering policy.
+    pub fn range(mut self, range: RangeOrder) -> Self {
+        self.opts.range = range;
+        self
+    }
+
+    /// Set the full-SPTF batch-size limit.
+    pub fn sptf_limit(mut self, limit: usize) -> Self {
+        self.opts.sptf_limit = limit;
+        self
+    }
+
+    /// Set the queued-SPTF command-queue depth.
+    pub fn queue_depth(mut self, depth: usize) -> Self {
+        self.opts.queue_depth = depth;
+        self
+    }
+
+    /// Enable or disable the flat-translation cache.
+    pub fn translation_cache(mut self, on: bool) -> Self {
+        self.opts.translation_cache = on;
+        self
+    }
+
+    /// Finish the build.
+    pub fn build(self) -> ExecOptions {
+        self.opts
+    }
+}
+
+/// The operation a [`QueryRequest`] performs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum QueryOp {
+    /// Fetch every cell of the region as individual cell requests (the
+    /// region is usually a line along one dimension).
+    Beam,
+    /// Fetch every cell of an N-D box, ordered per
+    /// [`ExecOptions::range`].
+    Range,
+}
+
+/// One query for [`QueryExecutor::execute`]: the mapping and region to
+/// fetch, the operation, and optional observation hooks.
+///
+/// ```
+/// use multimap_core::{BoxRegion, GridSpec, NaiveMapping};
+/// use multimap_disksim::profiles;
+/// use multimap_lvm::LogicalVolume;
+/// use multimap_query::{QueryExecutor, QueryRequest};
+///
+/// let volume = LogicalVolume::new(profiles::small(), 1);
+/// let grid = GridSpec::new([60u64, 8, 6]);
+/// let mapping = NaiveMapping::new(grid.clone(), 0);
+/// let exec = QueryExecutor::new(&volume, 0);
+/// let result = exec
+///     .execute(QueryRequest::beam(&mapping, &BoxRegion::beam(&grid, 1, &[3, 0, 2])))
+///     .unwrap();
+/// assert_eq!(result.cells, 8);
+/// ```
+pub struct QueryRequest<'a> {
+    mapping: &'a dyn Mapping,
+    region: &'a BoxRegion,
+    op: QueryOp,
+    observer: Option<&'a mut dyn FnMut(ServiceEvent)>,
+    sink: Option<&'a mut dyn MetricsSink>,
+}
+
+impl<'a> QueryRequest<'a> {
+    /// A request for `op` over `region` under `mapping`.
+    pub fn new(op: QueryOp, mapping: &'a dyn Mapping, region: &'a BoxRegion) -> Self {
+        QueryRequest {
+            mapping,
+            region,
+            op,
+            observer: None,
+            sink: None,
+        }
+    }
+
+    /// A beam query (shorthand for [`QueryRequest::new`]).
+    pub fn beam(mapping: &'a dyn Mapping, region: &'a BoxRegion) -> Self {
+        QueryRequest::new(QueryOp::Beam, mapping, region)
+    }
+
+    /// A range query (shorthand for [`QueryRequest::new`]).
+    pub fn range(mapping: &'a dyn Mapping, region: &'a BoxRegion) -> Self {
+        QueryRequest::new(QueryOp::Range, mapping, region)
+    }
+
+    /// Attach a per-request observer: the scheduler emits one
+    /// [`ServiceEvent`] per serviced request, letting a conformance
+    /// oracle audit every disk decision the query caused.
+    pub fn with_observer(mut self, observer: &'a mut dyn FnMut(ServiceEvent)) -> Self {
+        self.observer = Some(observer);
+        self
+    }
+
+    /// Attach a metrics sink recording phase histograms, cache counters
+    /// and span timings for this query (see `multimap-telemetry`).
+    pub fn with_sink(mut self, sink: &'a mut dyn MetricsSink) -> Self {
+        self.sink = Some(sink);
+        self
+    }
+
+    /// The operation requested.
+    pub fn op(&self) -> QueryOp {
+        self.op
+    }
+
+    /// The mapping queried.
+    pub fn mapping(&self) -> &dyn Mapping {
+        self.mapping
+    }
+
+    /// The region queried.
+    pub fn region(&self) -> &BoxRegion {
+        self.region
     }
 }
 
@@ -120,6 +285,42 @@ impl QueryResult {
     }
 }
 
+/// Record one serviced request's timing decomposition into a sink.
+///
+/// The positioning charge lands in exactly one of [`Phase::Seek`] /
+/// [`Phase::Settle`] (per the transition classification) and zero
+/// charges are skipped, so the five phase sums add up *exactly* to the
+/// batch's total service time — the conformance oracle's cross-check.
+fn record_event(sink: &mut dyn MetricsSink, geom: &DiskGeometry, e: &ServiceEvent) {
+    let t = e.timing;
+    sink.counter(Counter::RequestsServiced, 1);
+    if e.is_prefetch_hit() {
+        sink.counter(Counter::PrefetchHit, 1);
+    }
+    sink.phase(Phase::Overhead, t.overhead_ms);
+    match e.transition(geom) {
+        Transition::Sequential => {}
+        Transition::AdjacencyHop => {
+            sink.counter(Counter::AdjacencyHop, 1);
+            sink.phase(Phase::Settle, t.seek_ms);
+        }
+        Transition::Seek => {
+            sink.counter(Counter::SeekTransition, 1);
+            sink.phase(Phase::Seek, t.seek_ms);
+        }
+    }
+    sink.phase(Phase::Rotation, t.rotation_ms);
+    sink.phase(Phase::Transfer, t.transfer_ms);
+    sink.service_time(t.total_ms());
+}
+
+/// Close a span opened with `Instant::now()` (no-op without a sink).
+fn finish_span(sink: &mut Option<&mut dyn MetricsSink>, span: Span, started: Option<Instant>) {
+    if let (Some(s), Some(t)) = (sink.as_deref_mut(), started) {
+        s.span(span, t.elapsed().as_secs_f64() * 1e3);
+    }
+}
+
 /// Executes beam and range queries for one mapping on one disk of a
 /// logical volume.
 pub struct QueryExecutor<'a> {
@@ -149,14 +350,19 @@ impl<'a> QueryExecutor<'a> {
     }
 
     /// Map every cell of `region` to the first LBN of its cell, in
-    /// row-major cell order.
-    fn region_lbns(&self, mapping: &dyn Mapping, region: &BoxRegion) -> Result<Vec<Lbn>> {
+    /// row-major cell order. The second value reports the translation
+    /// cache outcome: `None` when the cache was not consulted.
+    fn region_lbns(
+        &self,
+        mapping: &dyn Mapping,
+        region: &BoxRegion,
+    ) -> Result<(Vec<Lbn>, Option<bool>)> {
         let mut lbns = Vec::with_capacity(region.cells().min(1 << 26) as usize);
         // Large regions amortise a flat cell→LBN table (built once per
         // grid, shared process-wide); small ones — beams are `S_i` cells
         // — translate directly, as a table build would dwarf the query.
         if self.options.translation_cache && region.cells() >= MIN_CACHED_LOOKUPS {
-            let table = shared_cache().translate(mapping)?;
+            let (table, cache_hit) = shared_cache().translate_tracked(mapping)?;
             let mut failed = None;
             region.for_each_cell(|c| {
                 if failed.is_some() {
@@ -169,7 +375,7 @@ impl<'a> QueryExecutor<'a> {
             });
             return match failed {
                 Some(e) => Err(e.into()),
-                None => Ok(lbns),
+                None => Ok((lbns, Some(cache_hit))),
             };
         }
         let mut failed = None;
@@ -184,100 +390,171 @@ impl<'a> QueryExecutor<'a> {
         });
         match failed {
             Some(e) => Err(e.into()),
-            None => Ok(lbns),
+            None => Ok((lbns, None)),
         }
+    }
+
+    /// Resolve the schedule policy for a beam of `ncells` requests.
+    fn beam_schedule(&self, mapping: &dyn Mapping, ncells: u64) -> SchedulePolicy {
+        match self.options.beam {
+            BeamPolicy::Ascending => SchedulePolicy::AscendingLbn,
+            BeamPolicy::Sptf => SchedulePolicy::Sptf,
+            BeamPolicy::Natural => SchedulePolicy::InOrder,
+            BeamPolicy::Auto => match mapping.kind() {
+                MappingKind::MultiMap if ncells <= self.options.sptf_limit as u64 => {
+                    SchedulePolicy::Sptf
+                }
+                MappingKind::MultiMap => SchedulePolicy::QueuedSptf(self.options.queue_depth),
+                _ => SchedulePolicy::AscendingLbn,
+            },
+        }
+    }
+
+    /// Run one query end to end: plan, translate, schedule, service.
+    ///
+    /// This is the single entry point every query takes; the
+    /// deprecated `beam`/`range` wrappers delegate here. When the
+    /// request carries a sink, the four phases are span-timed
+    /// (wall clock) and every serviced request's timing decomposition,
+    /// transition class and cache outcome is recorded — reading only
+    /// simulator *outputs*, so results and simulated clocks are
+    /// byte-identical with or without a sink attached.
+    pub fn execute(&self, req: QueryRequest<'_>) -> Result<QueryResult> {
+        let QueryRequest {
+            mapping,
+            region,
+            op,
+            mut observer,
+            mut sink,
+        } = req;
+        let timed = sink.is_some();
+
+        // Plan: validate the region and resolve the schedule policy.
+        let t_plan = timed.then(Instant::now);
+        if !region.fits(mapping.grid()) {
+            return Err(region_outside(region, mapping.grid()));
+        }
+        let cell_blocks = mapping.cell_blocks();
+        let beam_policy = match op {
+            QueryOp::Beam => Some(self.beam_schedule(mapping, region.cells())),
+            QueryOp::Range => None,
+        };
+        finish_span(&mut sink, Span::Plan, t_plan);
+
+        // Translate: region cells → LBNs (direct or via the flat table).
+        let t_translate = timed.then(Instant::now);
+        let (mut lbns, cache_hit) = self.region_lbns(mapping, region)?;
+        if let Some(s) = sink.as_deref_mut() {
+            match cache_hit {
+                Some(true) => s.counter(Counter::TranslationCacheHit, 1),
+                Some(false) => s.counter(Counter::TranslationCacheMiss, 1),
+                None => {}
+            }
+        }
+        finish_span(&mut sink, Span::Translate, t_translate);
+        let cells = lbns.len() as u64;
+
+        // Schedule: build the request batch in issue order.
+        let t_schedule = timed.then(Instant::now);
+        let (requests, policy) = match (op, beam_policy) {
+            (QueryOp::Beam, Some(policy)) => {
+                let requests: Vec<Request> =
+                    lbns.iter().map(|&l| Request::new(l, cell_blocks)).collect();
+                (requests, policy)
+            }
+            _ => match self.options.range {
+                RangeOrder::NaturalCellOrder => {
+                    let requests: Vec<Request> =
+                        lbns.iter().map(|&l| Request::new(l, cell_blocks)).collect();
+                    (requests, SchedulePolicy::InOrder)
+                }
+                RangeOrder::SortedSingles => {
+                    lbns.sort_unstable();
+                    let requests: Vec<Request> =
+                        lbns.iter().map(|&l| Request::new(l, cell_blocks)).collect();
+                    (requests, SchedulePolicy::InOrder)
+                }
+                RangeOrder::SortedCoalesced | RangeOrder::SortedCoalescedFifo => {
+                    let policy = if self.options.range == RangeOrder::SortedCoalesced {
+                        SchedulePolicy::QueuedSptf(self.options.queue_depth)
+                    } else {
+                        SchedulePolicy::InOrder
+                    };
+                    lbns.sort_unstable();
+                    let requests = if cell_blocks == 1 {
+                        coalesce_sorted(&lbns)
+                    } else {
+                        // Expand cells into block runs before coalescing.
+                        coalesce_cells(&lbns, cell_blocks)
+                    };
+                    (requests, policy)
+                }
+            },
+        };
+        finish_span(&mut sink, Span::Schedule, t_schedule);
+
+        // Service: hand the batch to the volume's scheduler.
+        let t_service = timed.then(Instant::now);
+        let geom = self.volume.geometry();
+        let batch = {
+            let mut tap = sink.as_deref_mut();
+            let mut record = |e: ServiceEvent| {
+                if let Some(s) = tap.as_deref_mut() {
+                    record_event(s, geom, &e);
+                }
+                if let Some(o) = observer.as_mut() {
+                    o(e);
+                }
+            };
+            self.volume
+                .service_batch_observed(self.disk, &requests, policy, &mut record)?
+        };
+        finish_span(&mut sink, Span::Service, t_service);
+        if let Some(s) = sink {
+            s.counter(Counter::SeekMemoHit, batch.sched.seek_memo_hits);
+            s.counter(Counter::SeekMemoMiss, batch.sched.seek_memo_misses);
+            s.counter(Counter::SptfWindowEviction, batch.sched.window_evictions);
+        }
+        Ok(QueryResult::from_batch(batch, cells))
     }
 
     /// Run a beam query: fetch all cells of `region` (usually a line
     /// along one dimension) as individual cell requests.
+    #[deprecated(note = "use `execute(QueryRequest::beam(mapping, region))`")]
     pub fn beam(&self, mapping: &dyn Mapping, region: &BoxRegion) -> Result<QueryResult> {
-        self.beam_observed(mapping, region, &mut |_| {})
+        self.execute(QueryRequest::beam(mapping, region))
     }
 
-    /// [`QueryExecutor::beam`] with a per-request observer; the scheduler
-    /// emits one [`ServiceEvent`] per serviced request, letting a
-    /// conformance oracle audit every disk decision the query caused.
+    /// [`QueryExecutor::execute`] of a beam query with an observer.
+    #[deprecated(
+        note = "use `execute(QueryRequest::beam(mapping, region).with_observer(observe))`"
+    )]
     pub fn beam_observed(
         &self,
         mapping: &dyn Mapping,
         region: &BoxRegion,
         observe: &mut dyn FnMut(ServiceEvent),
     ) -> Result<QueryResult> {
-        if !region.fits(mapping.grid()) {
-            return Err(region_outside(region, mapping.grid()));
-        }
-        let lbns = self.region_lbns(mapping, region)?;
-        let cell_blocks = mapping.cell_blocks();
-        let requests: Vec<Request> = lbns.iter().map(|&l| Request::new(l, cell_blocks)).collect();
-        let policy = match self.options.beam {
-            BeamPolicy::Ascending => SchedulePolicy::AscendingLbn,
-            BeamPolicy::Sptf => SchedulePolicy::Sptf,
-            BeamPolicy::Natural => SchedulePolicy::InOrder,
-            BeamPolicy::Auto => match mapping.kind() {
-                MappingKind::MultiMap if requests.len() <= self.options.sptf_limit => {
-                    SchedulePolicy::Sptf
-                }
-                MappingKind::MultiMap => SchedulePolicy::QueuedSptf(self.options.queue_depth),
-                _ => SchedulePolicy::AscendingLbn,
-            },
-        };
-        let batch = self
-            .volume
-            .service_batch_observed(self.disk, &requests, policy, observe)?;
-        Ok(QueryResult::from_batch(batch, lbns.len() as u64))
+        self.execute(QueryRequest::beam(mapping, region).with_observer(observe))
     }
 
     /// Run a range query: fetch every cell of the N-D box `region`.
+    #[deprecated(note = "use `execute(QueryRequest::range(mapping, region))`")]
     pub fn range(&self, mapping: &dyn Mapping, region: &BoxRegion) -> Result<QueryResult> {
-        self.range_observed(mapping, region, &mut |_| {})
+        self.execute(QueryRequest::range(mapping, region))
     }
 
-    /// [`QueryExecutor::range`] with a per-request observer (see
-    /// [`QueryExecutor::beam_observed`]).
+    /// [`QueryExecutor::execute`] of a range query with an observer.
+    #[deprecated(
+        note = "use `execute(QueryRequest::range(mapping, region).with_observer(observe))`"
+    )]
     pub fn range_observed(
         &self,
         mapping: &dyn Mapping,
         region: &BoxRegion,
         observe: &mut dyn FnMut(ServiceEvent),
     ) -> Result<QueryResult> {
-        if !region.fits(mapping.grid()) {
-            return Err(region_outside(region, mapping.grid()));
-        }
-        let cell_blocks = mapping.cell_blocks();
-        let mut lbns = self.region_lbns(mapping, region)?;
-        let cells = lbns.len() as u64;
-        let batch = match self.options.range {
-            RangeOrder::NaturalCellOrder => {
-                let requests: Vec<Request> =
-                    lbns.iter().map(|&l| Request::new(l, cell_blocks)).collect();
-                self.volume
-                    .service_batch_observed(self.disk, &requests, SchedulePolicy::InOrder, observe)
-            }
-            RangeOrder::SortedSingles => {
-                lbns.sort_unstable();
-                let requests: Vec<Request> =
-                    lbns.iter().map(|&l| Request::new(l, cell_blocks)).collect();
-                self.volume
-                    .service_batch_observed(self.disk, &requests, SchedulePolicy::InOrder, observe)
-            }
-            RangeOrder::SortedCoalesced | RangeOrder::SortedCoalescedFifo => {
-                let policy = if self.options.range == RangeOrder::SortedCoalesced {
-                    SchedulePolicy::QueuedSptf(self.options.queue_depth)
-                } else {
-                    SchedulePolicy::InOrder
-                };
-                lbns.sort_unstable();
-                let requests = if cell_blocks == 1 {
-                    coalesce_sorted(&lbns)
-                } else {
-                    // Expand cells into block runs before coalescing.
-                    coalesce_cells(&lbns, cell_blocks)
-                };
-                self.volume
-                    .service_batch_observed(self.disk, &requests, policy, observe)
-            }
-        }?;
-        Ok(QueryResult::from_batch(batch, cells))
+        self.execute(QueryRequest::range(mapping, region).with_observer(observe))
     }
 }
 
@@ -294,16 +571,45 @@ pub fn service_lbns(
     lbns: &[Lbn],
     sptf: bool,
 ) -> Result<QueryResult> {
+    service_lbns_sinked(volume, disk, lbns, sptf, None)
+}
+
+/// [`service_lbns`] with an optional metrics sink recording the same
+/// per-request decomposition the executor path records.
+pub fn service_lbns_sinked(
+    volume: &LogicalVolume,
+    disk: usize,
+    lbns: &[Lbn],
+    sptf: bool,
+    mut sink: Option<&mut dyn MetricsSink>,
+) -> Result<QueryResult> {
     let cells = lbns.len() as u64;
-    let batch = if sptf {
-        let requests: Vec<Request> = lbns.iter().map(|&l| Request::single(l)).collect();
-        volume.service_batch(disk, &requests, SchedulePolicy::Sptf)?
-    } else {
-        let mut sorted = lbns.to_vec();
-        sorted.sort_unstable();
-        sorted.dedup();
-        volume.service_sorted_lbns(disk, &sorted, SchedulePolicy::InOrder)?
+    let geom = volume.geometry();
+    let t_service = sink.is_some().then(Instant::now);
+    let batch = {
+        let mut tap = sink.as_deref_mut();
+        let mut record = |e: ServiceEvent| {
+            if let Some(s) = tap.as_deref_mut() {
+                record_event(s, geom, &e);
+            }
+        };
+        if sptf {
+            let requests: Vec<Request> = lbns.iter().map(|&l| Request::single(l)).collect();
+            volume.service_batch_observed(disk, &requests, SchedulePolicy::Sptf, &mut record)?
+        } else {
+            let mut sorted = lbns.to_vec();
+            sorted.sort_unstable();
+            sorted.dedup();
+            let requests = coalesce_sorted(&sorted);
+            volume.service_batch_observed(disk, &requests, SchedulePolicy::InOrder, &mut record)?
+        }
     };
+    finish_span(&mut sink, Span::Service, t_service);
+    if let Some(s) = sink {
+        s.counter(Counter::SeekMemoHit, batch.sched.seek_memo_hits);
+        s.counter(Counter::SeekMemoMiss, batch.sched.seek_memo_misses);
+        s.counter(Counter::SptfWindowEviction, batch.sched.window_evictions);
+    }
     Ok(QueryResult::from_batch(batch, cells))
 }
 
@@ -337,6 +643,7 @@ mod tests {
     use super::*;
     use multimap_core::{GridSpec, MultiMapping, NaiveMapping};
     use multimap_disksim::profiles;
+    use multimap_telemetry::Metrics;
 
     fn setup() -> (LogicalVolume, GridSpec) {
         (
@@ -351,7 +658,7 @@ mod tests {
         let naive = NaiveMapping::new(grid.clone(), 0);
         let exec = QueryExecutor::new(&vol, 0);
         let region = BoxRegion::beam(&grid, 1, &[3, 0, 2]);
-        let r = exec.beam(&naive, &region).unwrap();
+        let r = exec.execute(QueryRequest::beam(&naive, &region)).unwrap();
         assert_eq!(r.cells, 8);
         assert_eq!(r.blocks, 8);
         assert_eq!(r.requests, 8);
@@ -365,7 +672,7 @@ mod tests {
         let naive = NaiveMapping::new(grid.clone(), 0);
         let exec = QueryExecutor::new(&vol, 0);
         let region = BoxRegion::new([0u64, 0, 0], [59u64, 1, 0]);
-        let r = exec.range(&naive, &region).unwrap();
+        let r = exec.execute(QueryRequest::range(&naive, &region)).unwrap();
         assert_eq!(r.cells, 120);
         // Two Dim1 rows are LBN-contiguous under row-major order.
         assert_eq!(r.requests, 1);
@@ -377,7 +684,7 @@ mod tests {
         let mm = MultiMapping::new(vol.geometry(), grid.clone()).unwrap();
         let exec = QueryExecutor::new(&vol, 0);
         let region = BoxRegion::beam(&grid, 1, &[0, 0, 0]);
-        let r = exec.beam(&mm, &region).unwrap();
+        let r = exec.execute(QueryRequest::beam(&mm, &region)).unwrap();
         assert_eq!(r.cells, 8);
         // Dominated by settle time, far below half-revolution latency.
         let settle = vol.geometry().settle_ms;
@@ -395,9 +702,9 @@ mod tests {
         let mm = MultiMapping::new(vol.geometry(), grid.clone()).unwrap();
         let exec = QueryExecutor::new(&vol, 0);
         let region = BoxRegion::beam(&grid, 2, &[5, 3, 0]);
-        let rn = exec.beam(&naive, &region).unwrap();
+        let rn = exec.execute(QueryRequest::beam(&naive, &region)).unwrap();
         vol.reset();
-        let rm = exec.beam(&mm, &region).unwrap();
+        let rm = exec.execute(QueryRequest::beam(&mm, &region)).unwrap();
         assert!(
             rm.total_io_ms < rn.total_io_ms,
             "multimap {} vs naive {}",
@@ -406,23 +713,52 @@ mod tests {
         );
     }
 
+    /// The deprecated wrappers are thin: byte-identical results to the
+    /// unified entry point.
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_wrappers_delegate_to_execute() {
+        let (vol, grid) = setup();
+        let mm = MultiMapping::new(vol.geometry(), grid.clone()).unwrap();
+        let exec = QueryExecutor::new(&vol, 0);
+        let beam = BoxRegion::beam(&grid, 1, &[3, 0, 2]);
+        let wrapped = exec.beam(&mm, &beam).unwrap();
+        vol.reset();
+        let direct = exec.execute(QueryRequest::beam(&mm, &beam)).unwrap();
+        assert_eq!(wrapped, direct);
+        assert_eq!(wrapped.total_io_ms.to_bits(), direct.total_io_ms.to_bits());
+
+        let range = BoxRegion::new([0u64, 0, 0], [20u64, 5, 3]);
+        vol.reset();
+        let wrapped = exec.range(&mm, &range).unwrap();
+        vol.reset();
+        let direct = exec.execute(QueryRequest::range(&mm, &range)).unwrap();
+        assert_eq!(wrapped, direct);
+        let mut events = 0usize;
+        vol.reset();
+        let mut count = |_: ServiceEvent| events += 1;
+        let observed = exec.beam_observed(&mm, &beam, &mut count).unwrap();
+        assert_eq!(events as u64, observed.requests);
+    }
+
     #[test]
     fn sorted_range_no_slower_than_natural_order() {
         let (vol, grid) = setup();
         let mm = MultiMapping::new(vol.geometry(), grid.clone()).unwrap();
         let region = BoxRegion::new([0u64, 0, 0], [40u64, 5, 3]);
 
-        let sorted = QueryExecutor::new(&vol, 0).range(&mm, &region).unwrap();
+        let sorted = QueryExecutor::new(&vol, 0)
+            .execute(QueryRequest::range(&mm, &region))
+            .unwrap();
         vol.reset();
         let natural = QueryExecutor::with_options(
             &vol,
             0,
-            ExecOptions {
-                range: RangeOrder::NaturalCellOrder,
-                ..ExecOptions::default()
-            },
+            ExecOptions::builder()
+                .range(RangeOrder::NaturalCellOrder)
+                .build(),
         )
-        .range(&mm, &region)
+        .execute(QueryRequest::range(&mm, &region))
         .unwrap();
         assert_eq!(sorted.cells, natural.cells);
         assert!(sorted.total_io_ms <= natural.total_io_ms * 1.01 + 0.5);
@@ -439,20 +775,93 @@ mod tests {
         let region = grid.bounding_region();
         assert!(region.cells() >= multimap_core::MIN_CACHED_LOOKUPS);
 
-        let cached = QueryExecutor::new(&vol, 0).range(&mm, &region).unwrap();
+        let cached = QueryExecutor::new(&vol, 0)
+            .execute(QueryRequest::range(&mm, &region))
+            .unwrap();
         vol.reset();
         let direct = QueryExecutor::with_options(
             &vol,
             0,
-            ExecOptions {
-                translation_cache: false,
-                ..ExecOptions::default()
-            },
+            ExecOptions::builder().translation_cache(false).build(),
         )
-        .range(&mm, &region)
+        .execute(QueryRequest::range(&mm, &region))
         .unwrap();
         assert_eq!(cached, direct);
         assert_eq!(cached.total_io_ms.to_bits(), direct.total_io_ms.to_bits());
+    }
+
+    /// A sink must not change the result, and its phase sums must add
+    /// up exactly to the measured total I/O time.
+    #[test]
+    fn sink_is_transparent_and_sums_to_total() {
+        let (vol, grid) = setup();
+        let mm = MultiMapping::new(vol.geometry(), grid.clone()).unwrap();
+        let exec = QueryExecutor::new(&vol, 0);
+        let region = BoxRegion::beam(&grid, 2, &[5, 3, 0]);
+
+        let bare = exec.execute(QueryRequest::beam(&mm, &region)).unwrap();
+        vol.reset();
+        let mut metrics = Metrics::new();
+        let observed = exec
+            .execute(QueryRequest::beam(&mm, &region).with_sink(&mut metrics))
+            .unwrap();
+        assert_eq!(bare, observed);
+        assert_eq!(bare.total_io_ms.to_bits(), observed.total_io_ms.to_bits());
+        assert_eq!(
+            metrics.counter_value(Counter::RequestsServiced),
+            observed.requests
+        );
+        assert!(
+            (metrics.phase_sum_ms() - observed.total_io_ms).abs() < 1e-9,
+            "phase sums {} vs total {}",
+            metrics.phase_sum_ms(),
+            observed.total_io_ms
+        );
+        assert!(
+            (metrics.service_hist().sum_ms() - observed.total_io_ms).abs() < 1e-9,
+            "service histogram must sum to the total"
+        );
+        // A MultiMap off-primary beam is dominated by adjacency hops.
+        assert!(metrics.counter_value(Counter::AdjacencyHop) > 0);
+        // All four executor spans fired exactly once.
+        for s in Span::ALL {
+            assert_eq!(metrics.span_stat(s).count, 1, "{s:?}");
+        }
+    }
+
+    /// A large cached range records a translation-cache outcome; the
+    /// memo counters ride along on SPTF beams.
+    #[test]
+    fn sink_records_cache_counters() {
+        let vol = LogicalVolume::new(profiles::small(), 1);
+        let grid = GridSpec::new([61u64, 12, 8]);
+        let mm = MultiMapping::new(vol.geometry(), grid.clone()).unwrap();
+        let region = grid.bounding_region();
+        let exec = QueryExecutor::new(&vol, 0);
+        let mut first = Metrics::new();
+        exec.execute(QueryRequest::range(&mm, &region).with_sink(&mut first))
+            .unwrap();
+        let mut second = Metrics::new();
+        exec.execute(QueryRequest::range(&mm, &region).with_sink(&mut second))
+            .unwrap();
+        assert_eq!(
+            first.counter_value(Counter::TranslationCacheHit)
+                + first.counter_value(Counter::TranslationCacheMiss),
+            1
+        );
+        // The second run must hit: the first populated the shared LRU.
+        assert_eq!(second.counter_value(Counter::TranslationCacheHit), 1);
+
+        let mut beam_metrics = Metrics::new();
+        let beam = BoxRegion::beam(&grid, 1, &[0, 0, 0]);
+        exec.execute(QueryRequest::beam(&mm, &beam).with_sink(&mut beam_metrics))
+            .unwrap();
+        // Full SPTF ran: the memo saw every positioning lookup.
+        assert!(
+            beam_metrics.counter_value(Counter::SeekMemoHit)
+                + beam_metrics.counter_value(Counter::SeekMemoMiss)
+                > 0
+        );
     }
 
     #[test]
@@ -468,7 +877,7 @@ mod tests {
         let naive = NaiveMapping::new(grid, 0);
         let region = BoxRegion::new([0u64, 0, 0], [60u64, 0, 0]);
         let err = QueryExecutor::new(&vol, 0)
-            .range(&naive, &region)
+            .execute(QueryRequest::range(&naive, &region))
             .unwrap_err();
         assert!(
             matches!(err, QueryError::RegionOutsideGrid { .. }),
@@ -476,8 +885,38 @@ mod tests {
         );
         assert!(err.to_string().contains("inside the dataset grid"));
         let err = QueryExecutor::new(&vol, 0)
-            .beam(&naive, &region)
+            .execute(QueryRequest::beam(&naive, &region))
             .unwrap_err();
         assert!(matches!(err, QueryError::RegionOutsideGrid { .. }));
+    }
+
+    #[test]
+    fn exec_options_builder_round_trips() {
+        let opts = ExecOptions::builder()
+            .beam(BeamPolicy::Natural)
+            .range(RangeOrder::SortedSingles)
+            .sptf_limit(128)
+            .queue_depth(4)
+            .translation_cache(false)
+            .build();
+        assert_eq!(opts.beam, BeamPolicy::Natural);
+        assert_eq!(opts.range, RangeOrder::SortedSingles);
+        assert_eq!(opts.sptf_limit, 128);
+        assert_eq!(opts.queue_depth, 4);
+        assert!(!opts.translation_cache);
+        let defaults = ExecOptions::builder().build();
+        assert_eq!(defaults.beam, ExecOptions::default().beam);
+        assert_eq!(defaults.sptf_limit, ExecOptions::default().sptf_limit);
+    }
+
+    #[test]
+    fn request_accessors_expose_inputs() {
+        let (_vol, grid) = setup();
+        let naive = NaiveMapping::new(grid.clone(), 0);
+        let region = BoxRegion::beam(&grid, 0, &[0, 0, 0]);
+        let req = QueryRequest::range(&naive, &region);
+        assert_eq!(req.op(), QueryOp::Range);
+        assert_eq!(req.region(), &region);
+        assert_eq!(req.mapping().grid(), &grid);
     }
 }

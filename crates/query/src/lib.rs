@@ -17,18 +17,23 @@
 //! use multimap_core::{BoxRegion, GridSpec, MultiMapping};
 //! use multimap_disksim::profiles;
 //! use multimap_lvm::LogicalVolume;
-//! use multimap_query::QueryExecutor;
+//! use multimap_query::{QueryExecutor, QueryRequest};
 //!
 //! let volume = LogicalVolume::new(profiles::small(), 1);
 //! let grid = GridSpec::new([60u64, 8, 6]);
 //! let mapping = MultiMapping::new(volume.geometry(), grid.clone()).unwrap();
 //! let exec = QueryExecutor::new(&volume, 0);
 //! let result = exec
-//!     .beam(&mapping, &BoxRegion::beam(&grid, 1, &[3, 0, 2]))
+//!     .execute(QueryRequest::beam(&mapping, &BoxRegion::beam(&grid, 1, &[3, 0, 2])))
 //!     .unwrap();
 //! assert_eq!(result.cells, 8);
 //! assert!(result.total_io_ms > 0.0);
 //! ```
+//!
+//! Every query flows through [`QueryExecutor::execute`] with a
+//! [`QueryRequest`]; a request can carry a per-request observer and a
+//! [`multimap_telemetry::MetricsSink`] without perturbing simulated
+//! timings (see `docs/observability.md`).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -40,8 +45,11 @@ pub mod plan;
 pub mod workload;
 
 pub use error::{QueryError, Result};
-pub use executor::{service_lbns, BeamPolicy, ExecOptions, QueryExecutor, QueryResult, RangeOrder};
-pub use mix::{MixEntry, MixReport, QueryKind, WorkloadMix};
+pub use executor::{
+    service_lbns, service_lbns_sinked, BeamPolicy, ExecOptions, ExecOptionsBuilder, QueryExecutor,
+    QueryOp, QueryRequest, QueryResult, RangeOrder,
+};
+pub use mix::{MixEntry, MixReport, QueryKind, WorkloadMix, WorkloadMixBuilder};
 pub use plan::{explain_beam, explain_range, AccessPlan, PlanKind};
 pub use workload::{
     random_anchor, random_range, random_range_with_edge, range_edge_for_selectivity, workload_rng,

@@ -2,9 +2,10 @@
 //! as one measured batch — the way a spatial database sees traffic.
 
 use multimap_core::{BoxRegion, GridSpec, Mapping};
+use multimap_telemetry::MetricsSink;
 use rand::RngExt;
 
-use crate::executor::{QueryExecutor, QueryResult};
+use crate::executor::{QueryExecutor, QueryRequest, QueryResult};
 use crate::workload::{random_anchor, random_range_with_edge, WorkloadRng};
 
 /// One query archetype in a mix.
@@ -23,7 +24,11 @@ pub enum QueryKind {
 }
 
 /// A weighted query archetype.
+///
+/// Non-exhaustive: construct with [`MixEntry::new`] so later additions
+/// (per-entry options, think time, …) are not breaking changes.
 #[derive(Clone, Debug, PartialEq)]
+#[non_exhaustive]
 pub struct MixEntry {
     /// The query shape.
     pub kind: QueryKind,
@@ -31,11 +36,68 @@ pub struct MixEntry {
     pub weight: f64,
 }
 
+impl MixEntry {
+    /// An entry for `kind` with relative weight `weight`.
+    pub fn new(kind: QueryKind, weight: f64) -> Self {
+        MixEntry { kind, weight }
+    }
+}
+
 /// A workload mix: archetypes plus the number of queries to draw.
 #[derive(Clone, Debug)]
 pub struct WorkloadMix {
     entries: Vec<MixEntry>,
     queries: usize,
+}
+
+/// Builder for [`WorkloadMix`].
+///
+/// ```
+/// use multimap_query::WorkloadMix;
+/// let mix = WorkloadMix::builder()
+///     .range(16, 0.6)
+///     .beam(0, 0.2)
+///     .beam(1, 0.2)
+///     .queries(100)
+///     .build();
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct WorkloadMixBuilder {
+    entries: Vec<MixEntry>,
+    queries: usize,
+}
+
+impl WorkloadMixBuilder {
+    /// Add an arbitrary entry.
+    pub fn entry(mut self, kind: QueryKind, weight: f64) -> Self {
+        self.entries.push(MixEntry::new(kind, weight));
+        self
+    }
+
+    /// Add a beam archetype along `dim`.
+    pub fn beam(self, dim: usize, weight: f64) -> Self {
+        self.entry(QueryKind::Beam { dim }, weight)
+    }
+
+    /// Add a cube-range archetype of `edge` cells per dimension.
+    pub fn range(self, edge: u64, weight: f64) -> Self {
+        self.entry(QueryKind::Range { edge }, weight)
+    }
+
+    /// Set the number of queries to draw.
+    pub fn queries(mut self, queries: usize) -> Self {
+        self.queries = queries;
+        self
+    }
+
+    /// Finish the build.
+    ///
+    /// # Panics
+    /// Panics if no entry has positive weight (same contract as
+    /// [`WorkloadMix::new`]).
+    pub fn build(self) -> WorkloadMix {
+        WorkloadMix::new(self.entries, self.queries)
+    }
 }
 
 /// Per-archetype and overall outcome of a mix run.
@@ -72,26 +134,20 @@ impl WorkloadMix {
         WorkloadMix { entries, queries }
     }
 
+    /// An empty builder.
+    pub fn builder() -> WorkloadMixBuilder {
+        WorkloadMixBuilder::default()
+    }
+
     /// The classic OLAP-ish default: mostly small ranges, some beams.
     pub fn default_mix(grid: &GridSpec, queries: usize) -> Self {
         let edge = (grid.cells() as f64 * 0.001).powf(1.0 / grid.ndims() as f64) as u64;
-        WorkloadMix::new(
-            vec![
-                MixEntry {
-                    kind: QueryKind::Range { edge: edge.max(2) },
-                    weight: 0.6,
-                },
-                MixEntry {
-                    kind: QueryKind::Beam { dim: 0 },
-                    weight: 0.2,
-                },
-                MixEntry {
-                    kind: QueryKind::Beam { dim: 1 },
-                    weight: 0.2,
-                },
-            ],
-            queries,
-        )
+        WorkloadMix::builder()
+            .range(edge.max(2), 0.6)
+            .beam(0, 0.2)
+            .beam(1, 0.2)
+            .queries(queries)
+            .build()
     }
 
     /// Draw an entry index according to the weights.
@@ -119,6 +175,19 @@ impl WorkloadMix {
         rng: &mut WorkloadRng,
         idle_between_ms: f64,
     ) -> crate::error::Result<MixReport> {
+        self.run_sinked(exec, mapping, rng, idle_between_ms, None)
+    }
+
+    /// [`WorkloadMix::run`] with an optional metrics sink shared by all
+    /// queries in the mix (phase histograms accumulate across queries).
+    pub fn run_sinked(
+        &self,
+        exec: &QueryExecutor<'_>,
+        mapping: &dyn Mapping,
+        rng: &mut WorkloadRng,
+        idle_between_ms: f64,
+        mut sink: Option<&mut dyn MetricsSink>,
+    ) -> crate::error::Result<MixReport> {
         let grid = mapping.grid().clone();
         let mut report = MixReport {
             per_entry: vec![QueryResult::default(); self.entries.len()],
@@ -126,17 +195,24 @@ impl WorkloadMix {
         };
         for _ in 0..self.queries {
             let i = self.draw(rng);
-            let result = match self.entries[i].kind {
+            let (region, op) = match self.entries[i].kind {
                 QueryKind::Beam { dim } => {
                     let anchor = random_anchor(&grid, rng);
-                    let region = BoxRegion::beam(&grid, dim, &anchor);
-                    exec.beam(mapping, &region)?
+                    (
+                        BoxRegion::beam(&grid, dim, &anchor),
+                        crate::executor::QueryOp::Beam,
+                    )
                 }
-                QueryKind::Range { edge } => {
-                    let region = random_range_with_edge(&grid, edge, rng);
-                    exec.range(mapping, &region)?
-                }
+                QueryKind::Range { edge } => (
+                    random_range_with_edge(&grid, edge, rng),
+                    crate::executor::QueryOp::Range,
+                ),
             };
+            let mut req = QueryRequest::new(op, mapping, &region);
+            if let Some(s) = sink.as_deref_mut() {
+                req = req.with_sink(s);
+            }
+            let result = exec.execute(req)?;
             report.per_entry[i].accumulate(&result);
             report.total.accumulate(&result);
         }
@@ -152,6 +228,7 @@ mod tests {
     use multimap_core::{MultiMapping, NaiveMapping};
     use multimap_disksim::profiles;
     use multimap_lvm::LogicalVolume;
+    use multimap_telemetry::{Counter, Metrics};
 
     fn setup() -> (LogicalVolume, GridSpec) {
         (
@@ -179,19 +256,11 @@ mod tests {
         let (vol, grid) = setup();
         let naive = NaiveMapping::new(grid.clone(), 0);
         let exec = QueryExecutor::new(&vol, 0);
-        let mix = WorkloadMix::new(
-            vec![
-                MixEntry {
-                    kind: QueryKind::Beam { dim: 0 },
-                    weight: 1.0,
-                },
-                MixEntry {
-                    kind: QueryKind::Beam { dim: 2 },
-                    weight: 0.0,
-                },
-            ],
-            20,
-        );
+        let mix = WorkloadMix::builder()
+            .beam(0, 1.0)
+            .beam(2, 0.0)
+            .queries(20)
+            .build();
         let mut rng = workload_rng(4);
         let report = mix.run(&exec, &naive, &mut rng, 0.0).unwrap();
         assert_eq!(report.per_entry[1].cells, 0);
@@ -204,24 +273,48 @@ mod tests {
         let naive = NaiveMapping::new(grid.clone(), 0);
         let mm = MultiMapping::new(vol.geometry(), grid.clone()).unwrap();
         let exec = QueryExecutor::new(&vol, 0);
-        let mix = WorkloadMix::new(
-            vec![
-                MixEntry {
-                    kind: QueryKind::Beam { dim: 1 },
-                    weight: 0.5,
-                },
-                MixEntry {
-                    kind: QueryKind::Beam { dim: 2 },
-                    weight: 0.5,
-                },
-            ],
-            20,
-        );
+        let mix = WorkloadMix::builder()
+            .beam(1, 0.5)
+            .beam(2, 0.5)
+            .queries(20)
+            .build();
         vol.reset();
         let rn = mix.run(&exec, &naive, &mut workload_rng(5), 0.0).unwrap();
         vol.reset();
         let rm = mix.run(&exec, &mm, &mut workload_rng(5), 0.0).unwrap();
         assert!(rm.total.total_io_ms < rn.total.total_io_ms);
+    }
+
+    /// A shared sink accumulates one record per serviced request across
+    /// the whole mix, without changing the measured result.
+    #[test]
+    fn sinked_mix_is_transparent() {
+        let (vol, grid) = setup();
+        let naive = NaiveMapping::new(grid.clone(), 0);
+        let exec = QueryExecutor::new(&vol, 0);
+        let mix = WorkloadMix::default_mix(&grid, 10);
+        let bare = mix
+            .run(&exec, &naive, &mut workload_rng(11), 0.0)
+            .unwrap();
+        vol.reset();
+        let mut metrics = Metrics::new();
+        let sinked = mix
+            .run_sinked(
+                &exec,
+                &naive,
+                &mut workload_rng(11),
+                0.0,
+                Some(&mut metrics),
+            )
+            .unwrap();
+        assert_eq!(
+            bare.total.total_io_ms.to_bits(),
+            sinked.total.total_io_ms.to_bits()
+        );
+        assert_eq!(
+            metrics.counter_value(Counter::RequestsServiced),
+            sinked.total.requests
+        );
     }
 
     #[test]

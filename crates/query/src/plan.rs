@@ -212,7 +212,7 @@ mod tests {
 
     #[test]
     fn plan_matches_executor_cost_from_cold() {
-        use crate::executor::QueryExecutor;
+        use crate::executor::{QueryExecutor, QueryRequest};
         use multimap_lvm::LogicalVolume;
         let geom = profiles::small();
         let grid = GridSpec::new([40u64, 6, 4]);
@@ -220,7 +220,9 @@ mod tests {
         let region = BoxRegion::new([2u64, 1, 0], [21u64, 4, 3]);
         let plan = explain_range(&geom, &mm, &region, &ExecOptions::default()).unwrap();
         let volume = LogicalVolume::new(geom, 1);
-        let actual = QueryExecutor::new(&volume, 0).range(&mm, &region).unwrap();
+        let actual = QueryExecutor::new(&volume, 0)
+            .execute(QueryRequest::range(&mm, &region))
+            .unwrap();
         let err = (plan.estimated_ms - actual.total_io_ms).abs() / actual.total_io_ms;
         assert!(
             err < 0.05,

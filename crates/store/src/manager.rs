@@ -9,7 +9,7 @@ use multimap_core::{
 };
 use multimap_disksim::{DiskGeometry, Lbn};
 use multimap_lvm::{LogicalVolume, LvmError};
-use multimap_query::{service_lbns, QueryError, QueryExecutor, QueryResult};
+use multimap_query::{service_lbns, QueryError, QueryExecutor, QueryRequest, QueryResult};
 
 use crate::alloc::{ZoneAllocator, ZoneGrant};
 
@@ -341,7 +341,7 @@ impl StorageManager {
         let table = self.table(name)?;
         let region = BoxRegion::beam(table.grid(), dim, anchor);
         let exec = QueryExecutor::new(&self.volume, table.grant.disk);
-        let mut result = exec.beam(table.mapping.as_ref(), &region)?;
+        let mut result = exec.execute(QueryRequest::beam(table.mapping.as_ref(), &region))?;
         result.accumulate(&self.read_overflow(table, &region)?);
         Ok(result)
     }
@@ -350,7 +350,7 @@ impl StorageManager {
     pub fn range(&self, name: &str, region: &BoxRegion) -> Result<QueryResult> {
         let table = self.table(name)?;
         let exec = QueryExecutor::new(&self.volume, table.grant.disk);
-        let mut result = exec.range(table.mapping.as_ref(), region)?;
+        let mut result = exec.execute(QueryRequest::range(table.mapping.as_ref(), region))?;
         result.accumulate(&self.read_overflow(table, region)?);
         Ok(result)
     }

@@ -1,0 +1,172 @@
+//! Fixed-bucket latency histograms.
+
+/// Upper bucket edges in milliseconds: a 1–2–5 decade grid from 1 µs to
+/// 200 ms. Bucket `i` covers `[edge[i-1], edge[i])` (bucket 0 starts at
+/// zero); one final bucket catches everything at or past the last edge.
+/// The grid is fixed so histograms from different runs, threads and
+/// figure cells merge bucket-for-bucket.
+pub const BUCKET_EDGES_MS: [f64; 16] = [
+    0.001, 0.002, 0.005, 0.01, 0.02, 0.05, 0.1, 0.2, 0.5, 1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0,
+];
+
+/// Total bucket count: one per edge plus the overflow bucket.
+pub const NUM_BUCKETS: usize = BUCKET_EDGES_MS.len() + 1;
+
+/// A fixed-bucket latency histogram over simulated milliseconds.
+///
+/// Alongside the bucket counts it tracks the exact running sum, so a
+/// conformance oracle can cross-check that the per-phase sums add up to
+/// the observed total service time (`Histogram::sum_ms` loses nothing
+/// to bucketing). Merging adds `other`'s sum once, which keeps merged
+/// sums bit-identical as long as merges happen in a deterministic
+/// order — the registry's submission-order rule.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Histogram {
+    counts: [u64; NUM_BUCKETS],
+    count: u64,
+    sum_ms: f64,
+    max_ms: f64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            counts: [0; NUM_BUCKETS],
+            count: 0,
+            sum_ms: 0.0,
+            max_ms: 0.0,
+        }
+    }
+
+    /// The bucket a value falls in.
+    pub fn bucket_index(ms: f64) -> usize {
+        BUCKET_EDGES_MS
+            .iter()
+            .position(|&edge| ms < edge)
+            .unwrap_or(BUCKET_EDGES_MS.len())
+    }
+
+    /// Record one observation.
+    pub fn record(&mut self, ms: f64) {
+        self.counts[Self::bucket_index(ms)] += 1;
+        self.count += 1;
+        self.sum_ms += ms;
+        if ms > self.max_ms {
+            self.max_ms = ms;
+        }
+    }
+
+    /// Fold another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (c, o) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *c += o;
+        }
+        self.count += other.count;
+        self.sum_ms += other.sum_ms;
+        if other.max_ms > self.max_ms {
+            self.max_ms = other.max_ms;
+        }
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Exact sum of all observations (not reconstructed from buckets).
+    pub fn sum_ms(&self) -> f64 {
+        self.sum_ms
+    }
+
+    /// Largest observation seen.
+    pub fn max_ms(&self) -> f64 {
+        self.max_ms
+    }
+
+    /// Mean observation, or zero for an empty histogram.
+    pub fn mean_ms(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum_ms / self.count as f64
+        }
+    }
+
+    /// Per-bucket counts (last entry is the overflow bucket).
+    pub fn counts(&self) -> &[u64; NUM_BUCKETS] {
+        &self.counts
+    }
+
+    /// Whether two histograms carry bit-identical observations
+    /// (counts, exact sums and maxima — the determinism witness).
+    pub fn identical(&self, other: &Histogram) -> bool {
+        self.counts == other.counts
+            && self.count == other.count
+            // staticcheck: allow(float-cmp) — bit-equality is the point:
+            // this is the determinism witness, not a tolerance check.
+            && self.sum_ms.to_bits() == other.sum_ms.to_bits()
+            // staticcheck: allow(float-cmp) — same: exact-bits witness.
+            && self.max_ms.to_bits() == other.max_ms.to_bits()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_edges_are_strictly_ascending() {
+        for w in BUCKET_EDGES_MS.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+    }
+
+    #[test]
+    fn bucketing_covers_the_whole_axis() {
+        assert_eq!(Histogram::bucket_index(0.0), 0);
+        assert_eq!(Histogram::bucket_index(0.0005), 0);
+        assert_eq!(Histogram::bucket_index(0.001), 1);
+        assert_eq!(Histogram::bucket_index(0.3), 8);
+        assert_eq!(Histogram::bucket_index(99.0), 15);
+        assert_eq!(Histogram::bucket_index(100.0), NUM_BUCKETS - 1);
+        assert_eq!(Histogram::bucket_index(1e9), NUM_BUCKETS - 1);
+    }
+
+    #[test]
+    fn record_and_merge_agree_with_serial_recording() {
+        let values = [0.004, 1.7, 0.0, 23.5, 0.09];
+        let mut serial = Histogram::new();
+        for &v in &values {
+            serial.record(v);
+        }
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        for &v in &values[..2] {
+            a.record(v);
+        }
+        for &v in &values[2..] {
+            b.record(v);
+        }
+        let mut merged = Histogram::new();
+        merged.merge(&a);
+        merged.merge(&b);
+        assert!(merged.identical(&serial), "{merged:?} vs {serial:?}");
+        assert_eq!(merged.count(), 5);
+        assert!((merged.mean_ms() - serial.sum_ms() / 5.0).abs() < 1e-12);
+        assert!((merged.max_ms() - 23.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_histogram_has_zero_mean() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert!(h.mean_ms().abs() < 1e-12);
+    }
+}

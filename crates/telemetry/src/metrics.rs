@@ -1,0 +1,479 @@
+//! The sink trait, counters, phases, spans and the default accumulator.
+
+use std::fmt::Write as _;
+
+use crate::hist::Histogram;
+
+/// Service-time components, as charged by the disk simulator.
+///
+/// The simulator's `RequestTiming` folds seek, settle and head-switch
+/// time into one positioning figure; telemetry splits it back out by
+/// classifying each transition against the geometry's settle plateau
+/// (`ServiceEvent::transition` in `multimap-disksim`): positioning that
+/// fits under the plateau is an adjacency hop and lands in
+/// [`Phase::Settle`], anything longer is a real [`Phase::Seek`]. The
+/// five phase sums therefore add up *exactly* to the observed total
+/// service time — the conformance oracle checks this.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Phase {
+    /// Command/controller overhead.
+    Overhead,
+    /// Positioning beyond the settle plateau (a real arm movement).
+    Seek,
+    /// Positioning within the settle plateau (adjacency hops and head
+    /// switches — the semi-sequential currency of the paper).
+    Settle,
+    /// Rotational latency.
+    Rotation,
+    /// Media transfer.
+    Transfer,
+}
+
+impl Phase {
+    /// Every phase, in reporting order.
+    pub const ALL: [Phase; 5] = [
+        Phase::Overhead,
+        Phase::Seek,
+        Phase::Settle,
+        Phase::Rotation,
+        Phase::Transfer,
+    ];
+
+    /// Stable snake_case name (JSON field).
+    pub fn name(self) -> &'static str {
+        match self {
+            Phase::Overhead => "overhead",
+            Phase::Seek => "seek",
+            Phase::Settle => "settle",
+            Phase::Rotation => "rotation",
+            Phase::Transfer => "transfer",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            Phase::Overhead => 0,
+            Phase::Seek => 1,
+            Phase::Settle => 2,
+            Phase::Rotation => 3,
+            Phase::Transfer => 4,
+        }
+    }
+}
+
+/// Event counters on the service path.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Counter {
+    /// `SeekMemo` positioning lookups answered from the per-round memo.
+    SeekMemoHit,
+    /// `SeekMemo` positioning lookups that ran the seek curve.
+    SeekMemoMiss,
+    /// Region translations served from the shared flat-table cache.
+    TranslationCacheHit,
+    /// Region translations that built (or bypassed) a flat table.
+    TranslationCacheMiss,
+    /// Queued-SPTF serves that evicted a request from a full window to
+    /// admit the next pending one (SCSI TCQ window pressure).
+    SptfWindowEviction,
+    /// Transitions that settled within the adjacency plateau
+    /// (semi-sequential hops).
+    AdjacencyHop,
+    /// Transitions that paid a real seek.
+    SeekTransition,
+    /// Requests that continued the previous read-ahead stream.
+    PrefetchHit,
+    /// Requests serviced.
+    RequestsServiced,
+}
+
+impl Counter {
+    /// Every counter, in reporting order.
+    pub const ALL: [Counter; 9] = [
+        Counter::SeekMemoHit,
+        Counter::SeekMemoMiss,
+        Counter::TranslationCacheHit,
+        Counter::TranslationCacheMiss,
+        Counter::SptfWindowEviction,
+        Counter::AdjacencyHop,
+        Counter::SeekTransition,
+        Counter::PrefetchHit,
+        Counter::RequestsServiced,
+    ];
+
+    /// Stable snake_case name (JSON field).
+    pub fn name(self) -> &'static str {
+        match self {
+            Counter::SeekMemoHit => "seek_memo_hit",
+            Counter::SeekMemoMiss => "seek_memo_miss",
+            Counter::TranslationCacheHit => "translation_cache_hit",
+            Counter::TranslationCacheMiss => "translation_cache_miss",
+            Counter::SptfWindowEviction => "sptf_window_eviction",
+            Counter::AdjacencyHop => "adjacency_hop",
+            Counter::SeekTransition => "seek_transition",
+            Counter::PrefetchHit => "prefetch_hit",
+            Counter::RequestsServiced => "requests_serviced",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            Counter::SeekMemoHit => 0,
+            Counter::SeekMemoMiss => 1,
+            Counter::TranslationCacheHit => 2,
+            Counter::TranslationCacheMiss => 3,
+            Counter::SptfWindowEviction => 4,
+            Counter::AdjacencyHop => 5,
+            Counter::SeekTransition => 6,
+            Counter::PrefetchHit => 7,
+            Counter::RequestsServiced => 8,
+        }
+    }
+}
+
+/// Executor phases timed span-style (wall clock, *not* simulated time).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Span {
+    /// Fit checks and policy resolution.
+    Plan,
+    /// Cell→LBN translation (direct or via the flat-table cache).
+    Translate,
+    /// Request building, sorting and coalescing.
+    Schedule,
+    /// The simulated service call itself.
+    Service,
+}
+
+impl Span {
+    /// Every span, in reporting order.
+    pub const ALL: [Span; 4] = [Span::Plan, Span::Translate, Span::Schedule, Span::Service];
+
+    /// Stable snake_case name (JSON field).
+    pub fn name(self) -> &'static str {
+        match self {
+            Span::Plan => "plan",
+            Span::Translate => "translate",
+            Span::Schedule => "schedule",
+            Span::Service => "service",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            Span::Plan => 0,
+            Span::Translate => 1,
+            Span::Schedule => 2,
+            Span::Service => 3,
+        }
+    }
+}
+
+/// Accumulated wall-clock time of one span kind.
+///
+/// Spans measure the *host's* time, so unlike counters and histograms
+/// they are not deterministic across runs; they are reported for humans
+/// and excluded from determinism assertions ([`Metrics::identical`]).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SpanStat {
+    /// Number of spans recorded.
+    pub count: u64,
+    /// Total wall-clock milliseconds across them.
+    pub wall_ms: f64,
+}
+
+/// The interface the query path records into.
+///
+/// Implementations must be cheap: the executor calls these once per
+/// serviced request. The default implementation is [`Metrics`]; use
+/// [`NullSink`] where an API requires a sink but no one is listening.
+pub trait MetricsSink {
+    /// Add `delta` to a counter.
+    fn counter(&mut self, counter: Counter, delta: u64);
+    /// Record one service-time component of one request.
+    fn phase(&mut self, phase: Phase, ms: f64);
+    /// Record one request's total service time.
+    fn service_time(&mut self, ms: f64);
+    /// Record one executor phase's wall-clock duration.
+    fn span(&mut self, span: Span, wall_ms: f64);
+}
+
+/// A sink that drops everything.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NullSink;
+
+impl MetricsSink for NullSink {
+    fn counter(&mut self, _counter: Counter, _delta: u64) {}
+    fn phase(&mut self, _phase: Phase, _ms: f64) {}
+    fn service_time(&mut self, _ms: f64) {}
+    fn span(&mut self, _span: Span, _wall_ms: f64) {}
+}
+
+/// The default sink: a plain, private accumulator.
+///
+/// Each unit of work (a query, a figure cell) owns its own `Metrics`,
+/// records into it without any synchronisation, and hands it upward to
+/// be merged — under `multimap_engine::sweep`, in submission order via
+/// [`Metrics::merge_ordered`], which makes the merged f64 sums (and
+/// thus the whole object) identical at any thread count.
+#[derive(Clone, Debug, Default)]
+pub struct Metrics {
+    counters: [u64; Counter::ALL.len()],
+    phases: [Histogram; Phase::ALL.len()],
+    service: Histogram,
+    spans: [SpanStat; Span::ALL.len()],
+}
+
+impl Metrics {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        Metrics::default()
+    }
+
+    /// Current value of one counter.
+    pub fn counter_value(&self, counter: Counter) -> u64 {
+        self.counters[counter.index()]
+    }
+
+    /// Histogram of one service-time component.
+    pub fn phase_hist(&self, phase: Phase) -> &Histogram {
+        &self.phases[phase.index()]
+    }
+
+    /// Histogram of per-request total service times.
+    pub fn service_hist(&self) -> &Histogram {
+        &self.service
+    }
+
+    /// Accumulated wall-clock time of one span kind.
+    pub fn span_stat(&self, span: Span) -> SpanStat {
+        self.spans[span.index()]
+    }
+
+    /// Sum of all phase-histogram sums — by construction equal to the
+    /// total observed service time (the oracle cross-checks this).
+    pub fn phase_sum_ms(&self) -> f64 {
+        self.phases.iter().map(Histogram::sum_ms).sum()
+    }
+
+    /// Hit rate of a hit/miss counter pair, or `None` with no lookups.
+    pub fn hit_rate(&self, hit: Counter, miss: Counter) -> Option<f64> {
+        let h = self.counter_value(hit);
+        let m = self.counter_value(miss);
+        if h + m == 0 {
+            None
+        } else {
+            Some(h as f64 / (h + m) as f64)
+        }
+    }
+
+    /// Fold another accumulator into this one. Call in a deterministic
+    /// order (submission order under `sweep`) to keep sums bit-stable.
+    pub fn merge(&mut self, other: &Metrics) {
+        for (c, o) in self.counters.iter_mut().zip(other.counters.iter()) {
+            *c += o;
+        }
+        for (h, o) in self.phases.iter_mut().zip(other.phases.iter()) {
+            h.merge(o);
+        }
+        self.service.merge(&other.service);
+        for (s, o) in self.spans.iter_mut().zip(other.spans.iter()) {
+            s.count += o.count;
+            s.wall_ms += o.wall_ms;
+        }
+    }
+
+    /// Merge an iterator of accumulators in iteration order — the
+    /// deterministic reduction for `multimap_engine::sweep` output.
+    pub fn merge_ordered<'a>(parts: impl IntoIterator<Item = &'a Metrics>) -> Metrics {
+        let mut out = Metrics::new();
+        for p in parts {
+            out.merge(p);
+        }
+        out
+    }
+
+    /// Whether two accumulators carry bit-identical *deterministic*
+    /// observations: counters, phase histograms and the service
+    /// histogram. Span wall-clock times are deliberately excluded —
+    /// they measure the host, not the simulation.
+    pub fn identical(&self, other: &Metrics) -> bool {
+        self.counters == other.counters
+            && self
+                .phases
+                .iter()
+                .zip(other.phases.iter())
+                .all(|(a, b)| a.identical(b))
+            && self.service.identical(&other.service)
+    }
+
+    /// Render as a JSON object (two-space indent, stable field order).
+    pub fn to_json(&self, indent: usize) -> String {
+        let pad = " ".repeat(indent);
+        let inner = " ".repeat(indent + 2);
+        let mut out = String::from("{\n");
+        let _ = writeln!(out, "{inner}\"counters\": {{");
+        for (i, c) in Counter::ALL.iter().enumerate() {
+            let comma = if i + 1 < Counter::ALL.len() { "," } else { "" };
+            let _ = writeln!(
+                out,
+                "{inner}  \"{}\": {}{comma}",
+                c.name(),
+                self.counter_value(*c)
+            );
+        }
+        let _ = writeln!(out, "{inner}}},");
+        let _ = writeln!(out, "{inner}\"hit_rates\": {{");
+        let rate = |r: Option<f64>| match r {
+            Some(v) => format!("{v:.4}"),
+            None => "null".to_string(),
+        };
+        let _ = writeln!(
+            out,
+            "{inner}  \"seek_memo\": {},",
+            rate(self.hit_rate(Counter::SeekMemoHit, Counter::SeekMemoMiss))
+        );
+        let _ = writeln!(
+            out,
+            "{inner}  \"translation_cache\": {}",
+            rate(self.hit_rate(Counter::TranslationCacheHit, Counter::TranslationCacheMiss))
+        );
+        let _ = writeln!(out, "{inner}}},");
+        let _ = writeln!(out, "{inner}\"phases_ms\": {{");
+        for (i, p) in Phase::ALL.iter().enumerate() {
+            let comma = if i + 1 < Phase::ALL.len() { "," } else { "" };
+            let _ = writeln!(
+                out,
+                "{inner}  \"{}\": {}{comma}",
+                p.name(),
+                hist_json(self.phase_hist(*p))
+            );
+        }
+        let _ = writeln!(out, "{inner}}},");
+        let _ = writeln!(out, "{inner}\"service_ms\": {},", hist_json(&self.service));
+        let _ = writeln!(out, "{inner}\"spans_wall_ms\": {{");
+        for (i, s) in Span::ALL.iter().enumerate() {
+            let comma = if i + 1 < Span::ALL.len() { "," } else { "" };
+            let st = self.span_stat(*s);
+            let _ = writeln!(
+                out,
+                "{inner}  \"{}\": {{\"count\": {}, \"wall_ms\": {:.3}}}{comma}",
+                s.name(),
+                st.count,
+                st.wall_ms
+            );
+        }
+        let _ = writeln!(out, "{inner}}}");
+        let _ = write!(out, "{pad}}}");
+        out
+    }
+}
+
+fn hist_json(h: &Histogram) -> String {
+    let buckets: Vec<String> = h.counts().iter().map(|c| c.to_string()).collect();
+    format!(
+        "{{\"count\": {}, \"sum\": {:.6}, \"mean\": {:.6}, \"max\": {:.6}, \"buckets\": [{}]}}",
+        h.count(),
+        h.sum_ms(),
+        h.mean_ms(),
+        h.max_ms(),
+        buckets.join(", ")
+    )
+}
+
+impl MetricsSink for Metrics {
+    fn counter(&mut self, counter: Counter, delta: u64) {
+        self.counters[counter.index()] += delta;
+    }
+
+    fn phase(&mut self, phase: Phase, ms: f64) {
+        self.phases[phase.index()].record(ms);
+    }
+
+    fn service_time(&mut self, ms: f64) {
+        self.service.record(ms);
+    }
+
+    fn span(&mut self, span: Span, wall_ms: f64) {
+        let s = &mut self.spans[span.index()];
+        s.count += 1;
+        s.wall_ms += wall_ms;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn enum_indices_match_reporting_order() {
+        for (i, c) in Counter::ALL.iter().enumerate() {
+            assert_eq!(c.index(), i, "{c:?}");
+        }
+        for (i, p) in Phase::ALL.iter().enumerate() {
+            assert_eq!(p.index(), i, "{p:?}");
+        }
+        for (i, s) in Span::ALL.iter().enumerate() {
+            assert_eq!(s.index(), i, "{s:?}");
+        }
+    }
+
+    #[test]
+    fn merge_ordered_equals_serial_recording() {
+        let record = |m: &mut Metrics, base: f64| {
+            m.counter(Counter::AdjacencyHop, 2);
+            m.phase(Phase::Settle, base);
+            m.phase(Phase::Transfer, base / 10.0);
+            m.service_time(base + base / 10.0);
+            m.span(Span::Service, 0.5);
+        };
+        let mut serial = Metrics::new();
+        record(&mut serial, 1.1);
+        record(&mut serial, 0.07);
+
+        let mut a = Metrics::new();
+        record(&mut a, 1.1);
+        let mut b = Metrics::new();
+        record(&mut b, 0.07);
+        let merged = Metrics::merge_ordered([&a, &b]);
+
+        assert!(merged.identical(&serial));
+        assert_eq!(merged.counter_value(Counter::AdjacencyHop), 4);
+        assert_eq!(merged.span_stat(Span::Service).count, 2);
+        assert!((merged.phase_sum_ms() - serial.phase_sum_ms()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hit_rate_handles_empty_and_mixed() {
+        let mut m = Metrics::new();
+        assert!(m
+            .hit_rate(Counter::SeekMemoHit, Counter::SeekMemoMiss)
+            .is_none());
+        m.counter(Counter::SeekMemoHit, 3);
+        m.counter(Counter::SeekMemoMiss, 1);
+        let r = m
+            .hit_rate(Counter::SeekMemoHit, Counter::SeekMemoMiss)
+            .unwrap();
+        assert!((r - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn json_has_stable_fields() {
+        let mut m = Metrics::new();
+        m.counter(Counter::RequestsServiced, 7);
+        m.phase(Phase::Seek, 3.2);
+        m.service_time(3.2);
+        let j = m.to_json(0);
+        assert!(j.contains("\"requests_serviced\": 7"));
+        assert!(j.contains("\"seek\""));
+        assert!(j.contains("\"translation_cache\": null"));
+        assert!(j.contains("\"spans_wall_ms\""));
+    }
+
+    #[test]
+    fn null_sink_discards_everything() {
+        let mut n = NullSink;
+        n.counter(Counter::PrefetchHit, 5);
+        n.phase(Phase::Rotation, 1.0);
+        n.service_time(1.0);
+        n.span(Span::Plan, 1.0);
+    }
+}

@@ -10,7 +10,7 @@ use multimap::model::{
     multimap_beam_per_cell_ms, multimap_range_total_ms, naive_beam_per_cell_ms,
     naive_range_total_ms, ModelParams,
 };
-use multimap::query::{random_anchor, random_range, workload_rng, QueryExecutor};
+use multimap::query::{random_anchor, random_range, workload_rng, QueryExecutor, QueryRequest};
 
 fn main() {
     let geom = profiles::cheetah_36es();
@@ -32,10 +32,16 @@ fn main() {
         let anchor = random_anchor(&grid, &mut rng);
         let region = BoxRegion::beam(&grid, dim, &anchor);
         volume.reset();
-        let ns = exec.beam(&naive, &region).expect("in-grid query").per_cell_ms();
+        let ns = exec
+            .execute(QueryRequest::beam(&naive, &region))
+            .expect("in-grid query")
+            .per_cell_ms();
         let nm = naive_beam_per_cell_ms(&params, grid.extents(), dim);
         volume.reset();
-        let ms_ = exec.beam(&mm, &region).expect("in-grid query").per_cell_ms();
+        let ms_ = exec
+            .execute(QueryRequest::beam(&mm, &region))
+            .expect("in-grid query")
+            .per_cell_ms();
         let mm_mod = multimap_beam_per_cell_ms(&params, grid.extents(), dim);
         println!(
             "{:>8} {:>10.3} {:>10.3} {:>6.1}%  {:>10.3} {:>10.3} {:>6.1}%",
@@ -58,10 +64,16 @@ fn main() {
         let region = random_range(&grid, sel, &mut rng);
         let qext: Vec<u64> = (0..3).map(|d| region.extent(d)).collect();
         volume.reset();
-        let ns = exec.range(&naive, &region).expect("in-grid query").total_io_ms;
+        let ns = exec
+            .execute(QueryRequest::range(&naive, &region))
+            .expect("in-grid query")
+            .total_io_ms;
         let nm = naive_range_total_ms(&params, grid.extents(), &qext);
         volume.reset();
-        let ms_ = exec.range(&mm, &region).expect("in-grid query").total_io_ms;
+        let ms_ = exec
+            .execute(QueryRequest::range(&mm, &region))
+            .expect("in-grid query")
+            .total_io_ms;
         let mm_mod = multimap_range_total_ms(&params, grid.extents(), &qext);
         println!(
             "{:>8} {:>10.1} {:>10.1} {:>6.1}%  {:>10.1} {:>10.1} {:>6.1}%",

@@ -8,7 +8,7 @@ use multimap::core::{hilbert_mapping, zorder_mapping, Mapping, MultiMapping, Nai
 use multimap::disksim::profiles;
 use multimap::lvm::LogicalVolume;
 use multimap::olap::{self, ALL_QUERIES};
-use multimap::query::{workload_rng, QueryExecutor};
+use multimap::query::{workload_rng, QueryExecutor, QueryOp, QueryRequest};
 
 fn main() {
     let paper_scale = std::env::args().any(|a| a == "--paper");
@@ -57,12 +57,14 @@ fn main() {
             for _ in 0..3 {
                 let region = q.region(&chunk, &mut rng);
                 volume.reset();
-                let r = if q.is_beam() {
-                    exec.beam(m.as_ref(), &region)
+                let op = if q.is_beam() {
+                    QueryOp::Beam
                 } else {
-                    exec.range(m.as_ref(), &region)
-                }
-                .expect("in-grid query");
+                    QueryOp::Range
+                };
+                let r = exec
+                    .execute(QueryRequest::new(op, m.as_ref(), &region))
+                    .expect("in-grid query");
                 total += r.total_io_ms;
                 cells += r.cells;
             }

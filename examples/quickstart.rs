@@ -8,7 +8,7 @@ use multimap::core::{
 };
 use multimap::disksim::profiles;
 use multimap::lvm::LogicalVolume;
-use multimap::query::{random_anchor, workload_rng, QueryExecutor};
+use multimap::query::{random_anchor, workload_rng, QueryExecutor, QueryRequest};
 
 fn main() {
     // A two-zone test disk (use profiles::cheetah_36es() for the paper's
@@ -52,7 +52,9 @@ fn main() {
         for dim in 0..3 {
             let region = BoxRegion::beam(&grid, dim, &anchor);
             volume.reset();
-            let r = exec.beam(m.as_ref(), &region).expect("in-grid query");
+            let r = exec
+                .execute(QueryRequest::beam(m.as_ref(), &region))
+                .expect("in-grid query");
             row.push_str(&format!(" {:>8.3}", r.per_cell_ms()));
         }
         println!("{row}");
@@ -69,7 +71,9 @@ fn main() {
     let mut naive_ms = 0.0;
     for m in &mappings {
         volume.reset();
-        let r = exec.range(m.as_ref(), &query).expect("in-grid query");
+        let r = exec
+            .execute(QueryRequest::range(m.as_ref(), &query))
+            .expect("in-grid query");
         if m.name() == "Naive" {
             naive_ms = r.total_io_ms;
         }

@@ -8,7 +8,7 @@ use multimap::core::{
 };
 use multimap::disksim::profiles;
 use multimap::lvm::LogicalVolume;
-use multimap::query::{workload_rng, MixEntry, QueryExecutor, QueryKind, WorkloadMix};
+use multimap::query::{workload_rng, QueryExecutor, WorkloadMix};
 
 fn main() {
     let geom = profiles::atlas_10k_iii();
@@ -17,27 +17,13 @@ fn main() {
     let queries = 60usize;
 
     // 50% small ranges, 20% streaming beams, 30% cross-dimension beams.
-    let mix = WorkloadMix::new(
-        vec![
-            MixEntry {
-                kind: QueryKind::Range { edge: 12 },
-                weight: 0.5,
-            },
-            MixEntry {
-                kind: QueryKind::Beam { dim: 0 },
-                weight: 0.2,
-            },
-            MixEntry {
-                kind: QueryKind::Beam { dim: 1 },
-                weight: 0.15,
-            },
-            MixEntry {
-                kind: QueryKind::Beam { dim: 2 },
-                weight: 0.15,
-            },
-        ],
-        queries,
-    );
+    let mix = WorkloadMix::builder()
+        .range(12, 0.5)
+        .beam(0, 0.2)
+        .beam(1, 0.15)
+        .beam(2, 0.15)
+        .queries(queries)
+        .build();
 
     let mappings: Vec<Box<dyn Mapping>> = vec![
         Box::new(NaiveMapping::new(grid.clone(), 0)),

@@ -14,6 +14,8 @@
 //! | [`query`] | `multimap-query` | query executor: beam and range queries |
 //! | [`store`] | `multimap-store` | database storage manager: tables, loads, updates |
 //! | [`model`] | `multimap-model` | analytical I/O-cost model |
+//! | [`engine`] | `multimap-engine` | deterministic parallel experiment engine |
+//! | [`telemetry`] | `multimap-telemetry` | metrics sinks, histograms, spans (see `docs/observability.md`) |
 //!
 //! ## Quickstart
 //!
@@ -21,7 +23,7 @@
 //! use multimap::core::{GridSpec, Mapping, MultiMapping, NaiveMapping};
 //! use multimap::disksim::profiles;
 //! use multimap::lvm::LogicalVolume;
-//! use multimap::query::QueryExecutor;
+//! use multimap::query::{QueryExecutor, QueryRequest};
 //! use multimap::core::BoxRegion;
 //!
 //! // A small simulated disk and a 3-D dataset.
@@ -36,9 +38,9 @@
 //! // semi-sequentially, the naive layout pays rotational latency.
 //! let exec = QueryExecutor::new(&volume, 0);
 //! let beam = BoxRegion::beam(&grid, 1, &[3, 0, 2]);
-//! let t_mm = exec.beam(&multimap, &beam).unwrap();
+//! let t_mm = exec.execute(QueryRequest::beam(&multimap, &beam)).unwrap();
 //! volume.reset();
-//! let t_naive = exec.beam(&naive, &beam).unwrap();
+//! let t_naive = exec.execute(QueryRequest::beam(&naive, &beam)).unwrap();
 //! assert!(t_mm.total_io_ms < t_naive.total_io_ms);
 //! ```
 
@@ -46,6 +48,7 @@
 
 pub use multimap_core as core;
 pub use multimap_disksim as disksim;
+pub use multimap_engine as engine;
 pub use multimap_lvm as lvm;
 pub use multimap_model as model;
 pub use multimap_octree as octree;
@@ -53,3 +56,4 @@ pub use multimap_olap as olap;
 pub use multimap_query as query;
 pub use multimap_sfc as sfc;
 pub use multimap_store as store;
+pub use multimap_telemetry as telemetry;

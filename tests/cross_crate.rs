@@ -8,7 +8,7 @@ use multimap::octree::{
     beam_box, earthquake_tree, EarthquakeConfig, LeafLinearMapping, LeafOrder, SkewedMultiMap,
 };
 use multimap::olap::{self, OlapQuery};
-use multimap::query::{service_lbns, workload_rng, QueryExecutor};
+use multimap::query::{service_lbns, workload_rng, QueryExecutor, QueryRequest};
 
 /// Earthquake pipeline: tree -> regions -> placements -> beam queries,
 /// with MultiMap winning the cross-stride (Z) beams.
@@ -64,17 +64,17 @@ fn olap_pipeline_end_to_end() {
     for q in olap::ALL_QUERIES {
         let region = q.region(&chunk, &mut rng);
         let r = if q.is_beam() {
-            exec.beam(&mm, &region).unwrap()
+            exec.execute(QueryRequest::beam(&mm, &region)).unwrap()
         } else {
-            exec.range(&mm, &region).unwrap()
+            exec.execute(QueryRequest::range(&mm, &region)).unwrap()
         };
         assert_eq!(r.cells, region.cells(), "{}", q.label());
         assert!(r.total_io_ms > 0.0);
     }
     // Q1 streams on the major order; Q2 is semi-sequential.
     let mut rng = workload_rng(2);
-    let q1 = exec.beam(&mm, &OlapQuery::Q1.region(&chunk, &mut rng)).unwrap();
-    let q2 = exec.beam(&mm, &OlapQuery::Q2.region(&chunk, &mut rng)).unwrap();
+    let q1 = exec.execute(QueryRequest::beam(&mm, &OlapQuery::Q1.region(&chunk, &mut rng))).unwrap();
+    let q2 = exec.execute(QueryRequest::beam(&mm, &OlapQuery::Q2.region(&chunk, &mut rng))).unwrap();
     assert!(q1.per_cell_ms() < q2.per_cell_ms());
 }
 

@@ -8,7 +8,9 @@ use multimap::core::{
 };
 use multimap::disksim::profiles;
 use multimap::lvm::LogicalVolume;
-use multimap::query::{random_anchor, random_range, workload_rng, QueryExecutor, QueryResult};
+use multimap::query::{
+    random_anchor, random_range, workload_rng, QueryExecutor, QueryRequest, QueryResult,
+};
 
 /// Paper-shaped synthetic chunk: Dim0 keeps the 259-cell extent so the
 /// Naive baseline pays realistic strides.
@@ -35,7 +37,7 @@ fn beam_per_cell(volume: &LogicalVolume, m: &dyn Mapping, dim: usize, runs: usiz
         let anchor = random_anchor(&g, &mut rng);
         let region = BoxRegion::beam(&g, dim, &anchor);
         volume.idle_all(7.3);
-        acc.accumulate(&exec.beam(m, &region).unwrap());
+        acc.accumulate(&exec.execute(QueryRequest::beam(m, &region)).unwrap());
     }
     acc.per_cell_ms()
 }
@@ -138,9 +140,9 @@ fn range_query_selectivity_shape() {
     let mut rng = workload_rng(7);
     let region = random_range(&g, 0.01, &mut rng);
     volume.reset();
-    let naive_low = exec.range(ms[0].as_ref(), &region).expect("in-grid query").total_io_ms;
+    let naive_low = exec.execute(QueryRequest::range(ms[0].as_ref(), &region)).expect("in-grid query").total_io_ms;
     volume.reset();
-    let mm_low = exec.range(ms[3].as_ref(), &region).expect("in-grid query").total_io_ms;
+    let mm_low = exec.execute(QueryRequest::range(ms[3].as_ref(), &region)).expect("in-grid query").total_io_ms;
     assert!(
         mm_low < naive_low,
         "low selectivity: MultiMap {mm_low:.1} vs Naive {naive_low:.1}"
@@ -152,7 +154,7 @@ fn range_query_selectivity_shape() {
     let mut totals = Vec::new();
     for m in &ms {
         volume.reset();
-        totals.push(exec.range(m.as_ref(), &region).expect("in-grid query").total_io_ms);
+        totals.push(exec.execute(QueryRequest::range(m.as_ref(), &region)).expect("in-grid query").total_io_ms);
     }
     let min = totals.iter().cloned().fold(f64::INFINITY, f64::min);
     let max = totals.iter().cloned().fold(0.0, f64::max);
@@ -175,7 +177,7 @@ fn executor_fetches_exactly_the_requested_cells() {
     let region = BoxRegion::new([3u64, 2, 1], [17u64, 7, 4]);
     for m in &ms {
         volume.reset();
-        let r = exec.range(m.as_ref(), &region).unwrap();
+        let r = exec.execute(QueryRequest::range(m.as_ref(), &region)).unwrap();
         assert_eq!(r.cells, region.cells(), "{}", m.name());
         assert_eq!(r.blocks, region.cells(), "{}", m.name());
     }

@@ -1,0 +1,135 @@
+//! Telemetry determinism properties.
+//!
+//! The contract (docs/observability.md): metrics are *observations* of
+//! the simulated service path, folded in submission order, so the merged
+//! accumulator is bit-identical at any engine thread count — and
+//! attaching a sink never changes what a query returns.
+
+use multimap::core::{BoxRegion, GridSpec, MultiMapping};
+use multimap::disksim::profiles;
+use multimap::lvm::LogicalVolume;
+use multimap::query::{
+    random_anchor, random_range, workload_rng, QueryExecutor, QueryOp, QueryRequest,
+};
+use multimap::telemetry::{Counter, Metrics};
+use proptest::prelude::*;
+
+/// Serialise tests that override the engine's thread count (the
+/// override is process-global).
+static OVERRIDE_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+fn with_threads<T>(n: usize, f: impl FnOnce() -> T) -> T {
+    let _guard = OVERRIDE_LOCK
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    multimap::engine::set_threads(n);
+    let out = f();
+    multimap::engine::set_threads(0);
+    out
+}
+
+/// One beam or range drawn from a seeded workload.
+#[derive(Clone, Debug)]
+struct Spec {
+    op: QueryOp,
+    region: BoxRegion,
+}
+
+fn draw_specs(grid: &GridSpec, seed: u64, queries: usize) -> Vec<Spec> {
+    let mut rng = workload_rng(seed);
+    (0..queries)
+        .map(|q| {
+            if q % 2 == 0 {
+                let dim = q % grid.ndims();
+                let anchor = random_anchor(grid, &mut rng);
+                Spec {
+                    op: QueryOp::Beam,
+                    region: BoxRegion::beam(grid, dim, &anchor),
+                }
+            } else {
+                Spec {
+                    op: QueryOp::Range,
+                    region: random_range(grid, 0.05, &mut rng),
+                }
+            }
+        })
+        .collect()
+}
+
+/// Run every spec as an independent engine cell (fresh volume each, so
+/// results cannot depend on scheduling), recording into a per-cell
+/// sink; fold the per-cell metrics in submission order.
+fn sweep_metrics(specs: &[Spec]) -> (Metrics, Vec<u64>) {
+    let geom = profiles::small();
+    let grid = GridSpec::new([40u64, 10, 6]);
+    let mapping = MultiMapping::new(&geom, grid).expect("grid fits the small disk");
+    let cells = multimap::engine::sweep(specs, |spec| {
+        let volume = LogicalVolume::new(geom.clone(), 1);
+        let exec = QueryExecutor::new(&volume, 0);
+        let mut m = Metrics::new();
+        let result = exec
+            .execute(QueryRequest::new(spec.op, &mapping, &spec.region).with_sink(&mut m))
+            .expect("workload stays in-grid");
+        (m, result.total_io_ms.to_bits())
+    });
+    let merged = Metrics::merge_ordered(cells.iter().map(|(m, _)| m));
+    let totals = cells.into_iter().map(|(_, t)| t).collect();
+    (merged, totals)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Merged telemetry is bit-identical at 1, 2, 4 and 8 threads, and
+    /// so is every query's simulated total.
+    #[test]
+    fn merged_metrics_identical_across_thread_counts(
+        seed in 0u64..1_000_000,
+        queries in 2usize..6,
+    ) {
+        let grid = GridSpec::new([40u64, 10, 6]);
+        let specs = draw_specs(&grid, seed, queries);
+        let (baseline, base_totals) = with_threads(1, || sweep_metrics(&specs));
+        prop_assert!(baseline.counter_value(Counter::RequestsServiced) > 0);
+        for threads in [2usize, 4, 8] {
+            let (merged, totals) = with_threads(threads, || sweep_metrics(&specs));
+            prop_assert!(
+                merged.identical(&baseline),
+                "merged metrics diverged at {threads} threads"
+            );
+            prop_assert_eq!(
+                &totals, &base_totals,
+                "query totals diverged at {} threads", threads
+            );
+        }
+    }
+
+    /// A sink is a pure observer: the same query with and without one
+    /// returns bit-identical simulated totals, and the five phase sums
+    /// reconstruct that total exactly.
+    #[test]
+    fn sink_never_perturbs_results(seed in 0u64..1_000_000) {
+        let geom = profiles::small();
+        let grid = GridSpec::new([40u64, 10, 6]);
+        let mapping = MultiMapping::new(&geom, grid.clone()).expect("grid fits");
+        let spec = &draw_specs(&grid, seed, 1)[0];
+
+        let volume = LogicalVolume::new(geom.clone(), 1);
+        let exec = QueryExecutor::new(&volume, 0);
+        let bare = exec
+            .execute(QueryRequest::new(spec.op, &mapping, &spec.region))
+            .expect("in-grid");
+
+        let volume = LogicalVolume::new(geom.clone(), 1);
+        let exec = QueryExecutor::new(&volume, 0);
+        let mut m = Metrics::new();
+        let sinked = exec
+            .execute(QueryRequest::new(spec.op, &mapping, &spec.region).with_sink(&mut m))
+            .expect("in-grid");
+
+        prop_assert_eq!(bare.total_io_ms.to_bits(), sinked.total_io_ms.to_bits());
+        prop_assert_eq!(bare.requests, sinked.requests);
+        prop_assert_eq!(m.counter_value(Counter::RequestsServiced), sinked.requests);
+        prop_assert!((m.phase_sum_ms() - sinked.total_io_ms).abs() < 1e-6);
+    }
+}

@@ -7,7 +7,7 @@ use multimap::core::{
 };
 use multimap::disksim::{profiles, DiskSim};
 use multimap::lvm::LogicalVolume;
-use multimap::query::QueryExecutor;
+use multimap::query::{QueryExecutor, QueryRequest};
 
 /// The zoned mapping behaves like any other mapping under the executor:
 /// exact cell counts, and non-primary beams still semi-sequential.
@@ -20,14 +20,14 @@ fn zoned_mapping_through_the_executor() {
     let exec = QueryExecutor::new(&volume, 0);
 
     let beam = BoxRegion::beam(&grid, 1, &[50, 0, 10]);
-    let r = exec.beam(&zoned, &beam).unwrap();
+    let r = exec.execute(QueryRequest::beam(&zoned, &beam)).unwrap();
     assert_eq!(r.cells, 8);
     // Settle-bound, like the single-shape MultiMap.
     assert!(r.per_cell_ms() < geom.revolution_ms() / 2.0);
 
     let range = BoxRegion::new([0u64, 0, 0], [49u64, 3, 5]);
     volume.reset();
-    let r = exec.range(&zoned, &range).unwrap();
+    let r = exec.execute(QueryRequest::range(&zoned, &range)).unwrap();
     assert_eq!(r.cells, range.cells());
 }
 
@@ -43,7 +43,7 @@ fn zoned_mapping_cross_segment_beam() {
     let exec = QueryExecutor::new(&volume, 0);
     // Dim2 is the split dimension: this beam crosses every segment.
     let beam = BoxRegion::beam(&grid, 2, &[10, 3, 0]);
-    let r = exec.beam(&zoned, &beam).unwrap();
+    let r = exec.execute(QueryRequest::beam(&zoned, &beam)).unwrap();
     assert_eq!(r.cells, 500);
 }
 
