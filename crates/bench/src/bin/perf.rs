@@ -2,16 +2,19 @@
 //! and in parallel, checks the two runs are byte-identical, measures
 //! telemetry overhead (figures with the sink recording vs without —
 //! tables must stay byte-identical and the slowdown must stay under 5%),
-//! measures the profiled SPTF estimator's throughput, and writes
-//! `BENCH_pr4.json`.
+//! measures the profiled SPTF estimator's throughput, measures the
+//! simulated-time cost of degraded-mode recovery under a seeded fault
+//! plan (payloads must match the fault-free run), and writes
+//! `BENCH_pr5.json`.
 //!
 //! ```text
-//! cargo run --release -p multimap-bench --bin perf -- [--out BENCH_pr4.json]
+//! cargo run --release -p multimap-bench --bin perf -- [--out BENCH_pr5.json]
 //! ```
 //!
 //! Exit status is non-zero if any parallel table diverges from its
 //! serial reference, any telemetry-on table diverges from telemetry-off,
-//! or the telemetry overhead exceeds the budget.
+//! the telemetry overhead exceeds the budget, or a faulted query's
+//! payload differs from its fault-free reference.
 
 // staticcheck: allow-file(no-unwrap) — benchmark/CLI binary: aborting with a message on a malformed run is the intended failure mode.
 
@@ -19,7 +22,12 @@ use std::fmt::Write as _;
 use std::time::Instant;
 
 use multimap_bench::{ablations, fig6, fig7, fig8, model_fig, Scale, Table};
-use multimap_disksim::{profiles, DiskSim, Request};
+use multimap_core::{
+    hilbert_mapping, zorder_mapping, BoxRegion, GridSpec, Mapping, MultiMapping, NaiveMapping,
+};
+use multimap_disksim::{profiles, DiskSim, FaultPlan, Request};
+use multimap_lvm::{LogicalVolume, RecoveryConfig};
+use multimap_query::{QueryExecutor, QueryOp, QueryRequest};
 use multimap_telemetry::{Counter, Metrics};
 
 /// Telemetry must cost less than this fraction of the sweep's wall time.
@@ -83,6 +91,68 @@ fn sptf_throughput() -> (f64, f64, u64) {
     (profiled_rate, raw_rate, locates)
 }
 
+/// What degraded-mode recovery costs: one range query across all four
+/// mappings on a pristine volume vs a volume carrying a seeded fault
+/// plan (media errors forcing remaps + transients + slow reads). All
+/// times are *simulated* milliseconds, so the figure is deterministic.
+struct FaultOverhead {
+    clean_io_ms: f64,
+    degraded_io_ms: f64,
+    /// `degraded/clean − 1`, the degraded-mode overhead figure.
+    overhead_pct: f64,
+    /// Every faulted payload matched its fault-free reference.
+    payload_match: bool,
+    retries: u64,
+    remaps: u64,
+}
+
+fn fault_overhead() -> FaultOverhead {
+    let geom = profiles::small();
+    let grid = GridSpec::new([24u64, 8, 6]);
+    let region = BoxRegion::new([0u64, 0, 0], [20u64, 7, 5]);
+    let plan = FaultPlan::new(0x5EED)
+        .with_media_errors([7, 301, 860])
+        .with_transients(0.05, 2.5)
+        .with_slow_reads(0.05, 0.8);
+
+    let naive = NaiveMapping::new(grid.clone(), 0);
+    let zord = zorder_mapping(grid.clone(), 0, 1).expect("grid fits");
+    let hilb = hilbert_mapping(grid.clone(), 0, 1).expect("grid fits");
+    let mm = MultiMapping::new(&geom, grid.clone()).expect("chunk fits the disk");
+    let mappings: [&dyn Mapping; 4] = [&naive, &zord, &hilb, &mm];
+
+    let mut out = FaultOverhead {
+        clean_io_ms: 0.0,
+        degraded_io_ms: 0.0,
+        overhead_pct: 0.0,
+        payload_match: true,
+        retries: 0,
+        remaps: 0,
+    };
+    for m in mappings {
+        let clean_volume = LogicalVolume::new(geom.clone(), 1);
+        let clean = QueryExecutor::new(&clean_volume, 0)
+            .execute(QueryRequest::new(QueryOp::Range, m, &region))
+            .expect("clean query runs");
+
+        let volume =
+            LogicalVolume::with_recovery(geom.clone(), 1, plan.clone(), RecoveryConfig::default())
+                .expect("recovering volume builds");
+        let faulted = QueryExecutor::new(&volume, 0)
+            .execute(QueryRequest::new(QueryOp::Range, m, &region))
+            .expect("faulted query recovers");
+
+        out.clean_io_ms += clean.total_io_ms;
+        out.degraded_io_ms += faulted.total_io_ms;
+        out.payload_match &= faulted.payload == clean.payload;
+        let stats = volume.recovery_stats();
+        out.retries += stats.retries;
+        out.remaps += stats.remaps;
+    }
+    out.overhead_pct = (out.degraded_io_ms / out.clean_io_ms - 1.0) * 100.0;
+    out
+}
+
 fn json_escape(s: &str) -> String {
     s.replace('\\', "\\\\").replace('"', "\\\"")
 }
@@ -94,7 +164,7 @@ fn main() {
         .position(|a| a == "--out")
         .and_then(|i| args.get(i + 1))
         .cloned()
-        .unwrap_or_else(|| "BENCH_pr4.json".to_string());
+        .unwrap_or_else(|| "BENCH_pr5.json".to_string());
 
     let host_threads = std::thread::available_parallelism()
         .map(|n| n.get())
@@ -164,6 +234,9 @@ fn main() {
     let speedup = serial_s / parallel_s;
     let (profiled_rate, raw_rate, locates) = sptf_throughput();
 
+    eprintln!("degraded-mode fault sweep...");
+    let fault = fault_overhead();
+
     let seek_hit_rate = merged
         .hit_rate(Counter::SeekMemoHit, Counter::SeekMemoMiss)
         .unwrap_or(0.0);
@@ -173,7 +246,7 @@ fn main() {
 
     let mut json = String::new();
     let _ = writeln!(json, "{{");
-    let _ = writeln!(json, "  \"bench\": \"pr4_telemetry_unified_execute\",");
+    let _ = writeln!(json, "  \"bench\": \"pr5_fault_injection_recovery\",");
     let _ = writeln!(json, "  \"scale\": \"quick\",");
     let _ = writeln!(json, "  \"host_threads\": {host_threads},");
     let _ = writeln!(json, "  \"engine_threads\": {parallel_threads},");
@@ -227,6 +300,24 @@ fn main() {
         profiled_rate / raw_rate
     );
     let _ = writeln!(json, "  \"sptf_batch_locate_calls\": {locates},");
+    let _ = writeln!(json, "  \"fault_clean_io_ms\": {:.3},", fault.clean_io_ms);
+    let _ = writeln!(
+        json,
+        "  \"fault_degraded_io_ms\": {:.3},",
+        fault.degraded_io_ms
+    );
+    let _ = writeln!(
+        json,
+        "  \"degraded_overhead_pct\": {:.2},",
+        fault.overhead_pct
+    );
+    let _ = writeln!(
+        json,
+        "  \"fault_payload_match\": {},",
+        fault.payload_match
+    );
+    let _ = writeln!(json, "  \"fault_retries\": {},", fault.retries);
+    let _ = writeln!(json, "  \"fault_remaps\": {},", fault.remaps);
     let _ = writeln!(
         json,
         "  \"divergent_figures\": [{}],",
@@ -265,11 +356,19 @@ fn main() {
         );
         std::process::exit(1);
     }
+    if !fault.payload_match {
+        eprintln!("FAIL: a faulted query's payload diverged from its fault-free reference");
+        std::process::exit(1);
+    }
     eprintln!(
         "OK: {} figures byte-identical serial vs parallel ({parallel_threads} threads), \
-         {:.1}x sweep speedup, telemetry overhead {:.1}%",
+         {:.1}x sweep speedup, telemetry overhead {:.1}%, degraded-mode overhead {:.1}% \
+         ({} retries, {} remaps, payloads identical)",
         serial_tables.len(),
         speedup,
-        overhead.max(0.0) * 100.0
+        overhead.max(0.0) * 100.0,
+        fault.overhead_pct,
+        fault.retries,
+        fault.remaps
     );
 }

@@ -20,6 +20,11 @@
 //! * **Golden traces** ([`golden`]): a seeded workload matrix pins the
 //!   simulator's exact per-request timings in `tests/golden/*.json`;
 //!   regenerate intentionally with `UPDATE_GOLDEN=1`.
+//! * **Fault sweep** ([`fault`]): under any seeded [`FaultPlan`] every
+//!   query's delivered payload must be byte-identical to the fault-free
+//!   run, and the fault/retry/remap counters must reconcile exactly
+//!   across the injector, the LVM recovery path, telemetry and a pure
+//!   replay of the transient schedule.
 //!
 //! See `docs/conformance.md` for the invariant catalogue and workflow.
 //!
@@ -30,6 +35,7 @@
 #![forbid(unsafe_code)]
 
 pub mod differential;
+pub mod fault;
 pub mod golden;
 pub mod json;
 pub mod oracle;
@@ -39,5 +45,6 @@ pub use differential::{
     differential_query, model_agreement, standard_mappings, DifferentialOutcome,
     ModelAgreementRow, MODEL_BEAM_TOLERANCE, MODEL_RANGE_TOLERANCE, TELEMETRY_SUM_EPS_MS,
 };
+pub use fault::{check_fault_plan, fault_query, FaultRow};
 pub use golden::{check_case, workload_matrix, GoldenCase};
 pub use oracle::{check_event, check_log, OracleDisk, OracleReport, Violation};

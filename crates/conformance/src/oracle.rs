@@ -31,6 +31,14 @@
 //!   transferred and read-ahead is armed at `request.end()`.
 //!
 //! Across a log, consecutive events must not overlap in time.
+//!
+//! Events that carry a non-clean [`FaultOutcome`] went through the
+//! recovery path: their timing is an accumulation over retries and
+//! remapped segments, so the per-request mechanical invariants above no
+//! longer apply verbatim. For those events the oracle checks only the
+//! fault-tolerant core — components non-negative, recovery time
+//! non-negative, and the clock advancing by exactly
+//! `timing.total_ms() + recovery_ms` ([`ServiceEvent::elapsed_ms`]).
 
 use multimap_disksim::{
     AccessKind, DiskGeometry, DiskSim, Location, Request, RequestTiming, Result, ServiceEvent,
@@ -144,12 +152,12 @@ pub fn check_event(geom: &DiskGeometry, e: &ServiceEvent) -> Vec<Violation> {
     }
 
     let elapsed = e.after.time_ms - e.before.time_ms;
-    if (elapsed - t.total_ms()).abs() > TIME_EPS_MS {
+    if (elapsed - e.elapsed_ms()).abs() > TIME_EPS_MS {
         fail(
             "clock-advance",
             format!(
-                "clock advanced {elapsed} ms but components sum to {} ms",
-                t.total_ms()
+                "clock advanced {elapsed} ms but components (+ recovery) sum to {} ms",
+                e.elapsed_ms()
             ),
         );
     }
@@ -158,6 +166,21 @@ pub fn check_event(geom: &DiskGeometry, e: &ServiceEvent) -> Vec<Violation> {
             "clock-advance",
             format!("simulated time not monotone: elapsed {elapsed} ms"),
         );
+    }
+
+    if !e.fault.is_clean() {
+        // A recovered request accumulates timing over retries and
+        // remapped segments; the remaining invariants describe a single
+        // uninterrupted mechanical service and do not apply. The core
+        // above (non-negative components, exact clock accounting) has
+        // already run; only sanity-check the recovery record itself.
+        if e.fault.recovery_ms < -TIME_EPS_MS {
+            fail(
+                "components-nonnegative",
+                format!("recovery = {}", e.fault.recovery_ms),
+            );
+        }
+        return out;
     }
 
     if (t.overhead_ms - geom.command_overhead_ms).abs() > TIME_EPS_MS {
@@ -423,6 +446,7 @@ impl OracleDisk {
             before,
             after,
             timing,
+            fault: multimap_disksim::FaultOutcome::default(),
         };
         self.report
             .violations
@@ -498,6 +522,7 @@ mod tests {
             before,
             after,
             timing,
+            fault: multimap_disksim::FaultOutcome::default(),
         };
         log_event.replace(base);
         let base = log_event.unwrap();
@@ -550,6 +575,7 @@ mod tests {
             before,
             after,
             timing,
+            fault: multimap_disksim::FaultOutcome::default(),
         };
         let rules: Vec<_> = check_event(&geom, &e).into_iter().map(|v| v.rule).collect();
         assert!(rules.contains(&"head-position"), "{rules:?}");

@@ -1,0 +1,149 @@
+//! Fault-matrix conformance: payload identity and exact counter
+//! reconciliation under seeded fault plans, across all four standard
+//! mappings, at whatever worker count `MULTIMAP_THREADS` selects (the
+//! CI fault-matrix job runs this file at 1 and at 4 threads).
+
+use multimap_conformance::{check_fault_plan, fault_query};
+use multimap_core::{BoxRegion, GridSpec};
+use multimap_disksim::{profiles, FaultPlan};
+use multimap_lvm::RecoveryConfig;
+use proptest::prelude::*;
+
+fn grid() -> GridSpec {
+    GridSpec::new([24u64, 8, 6])
+}
+
+/// The deterministic plan matrix the CI job sweeps: media errors only,
+/// transients only, slow reads only, and everything at once.
+fn plan_matrix() -> Vec<(&'static str, FaultPlan)> {
+    vec![
+        ("media", FaultPlan::new(11).with_media_errors([5, 210, 700])),
+        ("transient", FaultPlan::new(12).with_transients(0.08, 2.0)),
+        ("slow", FaultPlan::new(13).with_slow_reads(0.10, 0.8)),
+        (
+            "mixed",
+            FaultPlan::new(14)
+                .with_media_errors([40, 333])
+                .with_transients(0.05, 2.5)
+                .with_slow_reads(0.05, 0.6),
+        ),
+    ]
+}
+
+#[test]
+fn fault_matrix_beams_and_ranges_conform() {
+    let geom = profiles::small();
+    let grid = grid();
+    let beam = BoxRegion::beam(&grid, 0, &[0, 3, 2]);
+    let range = BoxRegion::new([0u64, 0, 0], [20u64, 7, 5]);
+    for (label, plan) in plan_matrix() {
+        check_fault_plan(&geom, &grid, &beam, true, &plan)
+            .unwrap_or_else(|e| panic!("plan {label} (beam): {e}"));
+        check_fault_plan(&geom, &grid, &range, false, &plan)
+            .unwrap_or_else(|e| panic!("plan {label} (range): {e}"));
+    }
+}
+
+#[test]
+fn empty_plan_is_timing_identical_to_pristine_volume() {
+    let geom = profiles::small();
+    let grid = grid();
+    let region = BoxRegion::new([0u64, 0, 0], [23u64, 7, 5]);
+    let rows = fault_query(
+        &geom,
+        &grid,
+        &region,
+        false,
+        &FaultPlan::none(),
+        RecoveryConfig::default(),
+    )
+    .unwrap();
+    for r in rows {
+        // Bit-level determinism pin: an empty plan must not perturb
+        // timing, not merely stay within a tolerance.
+        assert_eq!(
+            r.faulted.total_io_ms.to_bits(),
+            r.clean.total_io_ms.to_bits(),
+            "{}: empty fault plan changed simulated timing",
+            r.mapping
+        );
+        assert_eq!(r.faulted.payload, r.clean.payload, "{}", r.mapping);
+        assert_eq!(r.injected.commands, 0, "{}: no injector should run", r.mapping);
+    }
+}
+
+#[test]
+fn results_are_identical_across_thread_counts() {
+    let geom = profiles::small();
+    let grid = grid();
+    let region = BoxRegion::new([0u64, 0, 0], [20u64, 7, 5]);
+    let plan = plan_matrix().remove(3).1;
+    let collect = |threads: usize| {
+        multimap_engine::set_threads(threads);
+        let rows =
+            fault_query(&geom, &grid, &region, false, &plan, RecoveryConfig::default()).unwrap();
+        multimap_engine::set_threads(0);
+        rows
+    };
+    let serial = collect(1);
+    let parallel = collect(4);
+    assert_eq!(serial.len(), parallel.len());
+    for (s, p) in serial.iter().zip(parallel.iter()) {
+        assert_eq!(s.mapping, p.mapping);
+        assert_eq!(s.faulted.payload, p.faulted.payload, "{}", s.mapping);
+        assert_eq!(
+            s.faulted.total_io_ms.to_bits(),
+            p.faulted.total_io_ms.to_bits(),
+            "{}: timing must not depend on the worker count",
+            s.mapping
+        );
+        assert_eq!(s.stats, p.stats, "{}", s.mapping);
+        assert_eq!(s.injected, p.injected, "{}", s.mapping);
+        assert!(
+            s.metrics.identical(&p.metrics),
+            "{}: telemetry must be bit-identical across thread counts",
+            s.mapping
+        );
+    }
+}
+
+/// A random fault plan over the queried LBN span: any mix of media
+/// errors, transients and slow reads. A zero probability disables the
+/// corresponding stream, so the space includes media-only, transient-
+/// only and fault-heavy mixed plans.
+fn arb_plan() -> impl Strategy<Value = FaultPlan> {
+    (
+        0u64..1 << 48,
+        proptest::collection::vec(0u64..1152, 0..4),
+        (0.0f64..0.25, 0.5f64..4.0),
+        (0.0f64..0.25, 0.1f64..1.5),
+    )
+        .prop_map(|(seed, media, (t_prob, t_ms), (s_prob, s_ms))| {
+            FaultPlan::new(seed)
+                .with_media_errors(media)
+                .with_transients(t_prob, t_ms)
+                .with_slow_reads(s_prob, s_ms)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Satellite: random fault plans × all four mappings. The payload
+    /// must match the fault-free run byte for byte, and the retry
+    /// count must equal the injected transient schedule exactly —
+    /// `check_fault_plan` asserts both, plus the oracle verdict.
+    #[test]
+    fn random_plans_conform_on_all_mappings(plan in arb_plan(), beam in 0u32..2) {
+        let geom = profiles::small();
+        let grid = GridSpec::new([16u64, 6, 4]);
+        let beam = beam == 1;
+        let region = if beam {
+            BoxRegion::beam(&grid, 0, &[0, 2, 1])
+        } else {
+            BoxRegion::new([0u64, 0, 0], [12u64, 5, 3])
+        };
+        check_fault_plan(&geom, &grid, &region, beam, &plan)
+            .unwrap_or_else(|e| panic!("{plan:?}: {e}"));
+    }
+}

@@ -198,10 +198,16 @@ impl TranslationCache {
     pub const DEFAULT_CAPACITY: usize = 8;
 
     /// An empty cache holding at most `capacity` tables.
+    ///
+    /// A capacity of zero means *caching disabled*: every lookup builds
+    /// a fresh table, counts as a miss, and nothing is ever retained.
+    /// (Earlier versions silently clamped 0 to 1, so a caller asking
+    /// for "no caching" got a one-entry cache instead — surprising under
+    /// memory pressure and impossible to express otherwise.)
     pub fn new(capacity: usize) -> Self {
         TranslationCache {
             entries: Mutex::new(Vec::new()),
-            capacity: capacity.max(1),
+            capacity,
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
         }
@@ -219,6 +225,13 @@ impl TranslationCache {
     /// where the process-wide [`TranslationCache::hits`] counters would
     /// be racy deltas under a parallel sweep.
     pub fn translate_tracked(&self, mapping: &dyn Mapping) -> Result<(Arc<FlatTranslation>, bool)> {
+        if self.capacity == 0 {
+            // Caching disabled: pure pass-through. Every lookup builds
+            // and is a miss; no key probing, no lock traffic.
+            let table = Arc::new(FlatTranslation::build(mapping)?);
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            return Ok((table, false));
+        }
         let key = TranslationKey::of(mapping)?;
         {
             let mut entries = self.entries.lock().unwrap_or_else(PoisonError::into_inner);
@@ -373,6 +386,22 @@ mod tests {
 
         cache.clear();
         assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn zero_capacity_means_caching_disabled() {
+        let cache = TranslationCache::new(0);
+        let m = NaiveMapping::new(GridSpec::new([8u64, 8]), 0);
+        let t1 = cache.translate(&m).unwrap();
+        let t2 = cache.translate(&m).unwrap();
+        assert_eq!((cache.hits(), cache.misses()), (0, 2), "every lookup builds");
+        assert!(
+            !Arc::ptr_eq(&t1, &t2),
+            "nothing is retained, so repeat lookups build fresh tables"
+        );
+        assert!(cache.is_empty(), "a disabled cache never stores entries");
+        // The tables are still correct, just not shared.
+        assert_eq!(t1.lbn_of(&[0, 0]).unwrap(), t2.lbn_of(&[0, 0]).unwrap());
     }
 
     #[test]

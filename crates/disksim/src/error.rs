@@ -55,6 +55,17 @@ pub enum DiskError {
         /// The requested adjacency step (1-based).
         step: u32,
     },
+    /// A latent media error: the block is unreadable until remapped.
+    MediaError {
+        /// The unreadable LBN.
+        lbn: Lbn,
+    },
+    /// A transient command timeout: the command aborted, but a retry of
+    /// the same request may succeed.
+    TransientTimeout {
+        /// First LBN of the aborted command.
+        lbn: Lbn,
+    },
 }
 
 impl fmt::Display for DiskError {
@@ -84,6 +95,12 @@ impl fmt::Display for DiskError {
             DiskError::InvalidGeometry(msg) => write!(f, "invalid geometry: {msg}"),
             DiskError::NoAdjacentBlock { lbn, step } => {
                 write!(f, "LBN {lbn} has no {step}-th adjacent block in its zone")
+            }
+            DiskError::MediaError { lbn } => {
+                write!(f, "media error: LBN {lbn} is unreadable")
+            }
+            DiskError::TransientTimeout { lbn } => {
+                write!(f, "transient timeout servicing command at LBN {lbn}")
             }
         }
     }

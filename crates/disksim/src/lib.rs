@@ -40,6 +40,7 @@
 
 pub mod adjacency;
 pub mod error;
+pub mod fault;
 pub mod geometry;
 pub mod observe;
 pub mod profiles;
@@ -50,15 +51,17 @@ pub mod trace;
 
 pub use adjacency::{adjacency_offset_sectors, adjacent_lbn, semi_sequential_path};
 pub use error::{DiskError, Result};
+pub use fault::{request_payload, FaultCounts, FaultDecision, FaultInjector, FaultOutcome, FaultPlan};
 pub use geometry::{
     locate_call_count, DiskBuilder, DiskGeometry, Lbn, Location, Zone, ZoneSpec, SECTOR_BYTES,
 };
 pub use observe::{ServiceEvent, ServiceLog, Transition};
 pub use scheduler::{
-    coalesce_sorted, service_batch_ascending, service_batch_ascending_observed,
-    service_batch_in_order, service_batch_in_order_observed, service_batch_queued_sptf,
-    service_batch_queued_sptf_observed, service_batch_sptf, service_batch_sptf_observed,
-    BatchTiming, SchedStats,
+    coalesce_sorted, plain_serve, service_batch_ascending, service_batch_ascending_observed,
+    service_batch_ascending_serving, service_batch_in_order, service_batch_in_order_observed,
+    service_batch_in_order_serving, service_batch_queued_sptf,
+    service_batch_queued_sptf_observed, service_batch_queued_sptf_serving, service_batch_sptf,
+    service_batch_sptf_observed, service_batch_sptf_serving, BatchTiming, SchedStats, ServeFn,
 };
 pub use sim::{AccessKind, DiskSim, HeadState, Request, RequestProfile, RequestTiming, SeekMemo};
 pub use stats::AccessStats;

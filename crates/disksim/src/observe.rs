@@ -8,6 +8,7 @@
 //! request through a caller-supplied closure; [`ServiceLog`] is the
 //! common collector.
 
+use crate::fault::FaultOutcome;
 use crate::geometry::DiskGeometry;
 use crate::sim::{AccessKind, HeadState, Request, RequestTiming};
 use crate::trace::Trace;
@@ -48,11 +49,28 @@ pub struct ServiceEvent {
     pub before: HeadState,
     /// Mechanical state when service completed.
     pub after: HeadState,
-    /// Component breakdown of the service time.
+    /// Component breakdown of the service time (successful attempts
+    /// only; fault-recovery time is in `fault.recovery_ms`).
     pub timing: RequestTiming,
+    /// Faults hit while serving this request and what recovering from
+    /// them cost; all-zero ([`FaultOutcome::is_clean`]) on the normal
+    /// path.
+    pub fault: FaultOutcome,
 }
 
 impl ServiceEvent {
+    /// Total wall-clock the request occupied the disk: the successful
+    /// attempts' timing plus any fault-recovery time. Always equals
+    /// `after.time_ms - before.time_ms` (within float epsilon).
+    #[inline]
+    pub fn elapsed_ms(&self) -> f64 {
+        if self.fault.is_clean() {
+            self.timing.total_ms()
+        } else {
+            self.timing.total_ms() + self.fault.recovery_ms
+        }
+    }
+
     /// Whether this request continued the previous one's read-ahead
     /// stream (the simulator's prefetch fast path).
     #[inline]
@@ -126,9 +144,10 @@ impl ServiceLog {
         |event| self.events.push(event)
     }
 
-    /// Sum of all recorded service times.
+    /// Sum of all recorded service times (including fault-recovery
+    /// time, which is zero for clean events).
     pub fn total_ms(&self) -> f64 {
-        self.events.iter().map(|e| e.timing.total_ms()).sum()
+        self.events.iter().map(|e| e.elapsed_ms()).sum()
     }
 
     /// Project the log onto a plain [`Trace`] (timing components only).

@@ -11,9 +11,22 @@
 //!   blocks at once, SPTF discovers the semi-sequential path by itself.
 
 use crate::error::Result;
+use crate::fault::{request_payload, FaultOutcome};
 use crate::geometry::Lbn;
 use crate::observe::ServiceEvent;
-use crate::sim::{AccessKind, DiskSim, Request, RequestProfile, SeekMemo};
+use crate::sim::{AccessKind, DiskSim, Request, RequestProfile, RequestTiming, SeekMemo};
+
+/// How a batch policy actually serves one chosen request. The default
+/// ([`plain_serve`]) calls [`DiskSim::service`] directly; a storage
+/// manager supplies its own closure to add retry, bad-block remapping
+/// or any other recovery, returning the successful attempts' timing
+/// plus a [`FaultOutcome`] describing what recovery cost.
+pub type ServeFn<'a> = dyn FnMut(&mut DiskSim, Request) -> Result<(RequestTiming, FaultOutcome)> + 'a;
+
+/// The recovery-free serve: one attempt, no fault handling.
+pub fn plain_serve(sim: &mut DiskSim, req: Request) -> Result<(RequestTiming, FaultOutcome)> {
+    sim.service(req).map(|t| (t, FaultOutcome::default()))
+}
 
 /// Scheduler-internal event counts for one batch — the raw material for
 /// the telemetry layer's cache-efficiency counters. All zero for the
@@ -46,17 +59,27 @@ pub struct BatchTiming {
     pub requests: u64,
     /// Number of blocks transferred.
     pub blocks: u64,
-    /// Total busy time for the batch.
+    /// Total busy time for the batch (including fault-recovery time).
     pub total_ms: f64,
+    /// Order-independent checksum of the *logical* blocks delivered
+    /// (wrapping sum of [`request_payload`] per request): two runs that
+    /// returned the same payload returned exactly the same data,
+    /// however the scheduler or any fault recovery reordered it.
+    pub payload: u64,
     /// Scheduler-internal event counts (memo hits, window evictions).
     pub sched: SchedStats,
 }
 
 impl BatchTiming {
-    fn add(&mut self, nblocks: u64, total_ms: f64) {
+    fn add(&mut self, req: Request, timing: &RequestTiming, fault: &FaultOutcome) {
         self.requests += 1;
-        self.blocks += nblocks;
-        self.total_ms += total_ms;
+        self.blocks += req.nblocks;
+        self.payload = self.payload.wrapping_add(request_payload(req));
+        self.total_ms += if fault.is_clean() {
+            timing.total_ms()
+        } else {
+            timing.total_ms() + fault.recovery_ms
+        };
     }
 
     /// Mean I/O time per block (the paper's per-cell metric).
@@ -66,6 +89,16 @@ impl BatchTiming {
         } else {
             self.total_ms / self.blocks as f64
         }
+    }
+
+    /// Accumulate another batch served on the same disk (e.g. the
+    /// degraded-mode remainder of a split batch).
+    pub fn merge(&mut self, other: &BatchTiming) {
+        self.requests += other.requests;
+        self.blocks += other.blocks;
+        self.total_ms += other.total_ms;
+        self.payload = self.payload.wrapping_add(other.payload);
+        self.sched.merge(&other.sched);
     }
 }
 
@@ -101,19 +134,21 @@ pub fn coalesce_sorted(lbns: &[Lbn]) -> Vec<Request> {
     out
 }
 
-/// Serve one request, emitting a [`ServiceEvent`] with the scheduler's
-/// decision context and the full before/after mechanical state.
+/// Serve one request through `serve`, emitting a [`ServiceEvent`] with
+/// the scheduler's decision context and the full before/after
+/// mechanical state.
 fn serve_observed(
     sim: &mut DiskSim,
     req: Request,
     out: &mut BatchTiming,
     admission_rank: usize,
     queue_len: usize,
+    serve: &mut ServeFn<'_>,
     observe: &mut dyn FnMut(ServiceEvent),
 ) -> Result<()> {
     let seq = out.requests as usize;
     let before = sim.state();
-    let t = sim.service(req)?;
+    let (t, fault) = serve(sim, req)?;
     observe(ServiceEvent {
         seq,
         admission_rank,
@@ -123,8 +158,9 @@ fn serve_observed(
         before,
         after: sim.state(),
         timing: t,
+        fault,
     });
-    out.add(req.nblocks, t.total_ms());
+    out.add(req, &t, &fault);
     Ok(())
 }
 
@@ -140,9 +176,20 @@ pub fn service_batch_ascending_observed(
     requests: &[Request],
     observe: &mut dyn FnMut(ServiceEvent),
 ) -> Result<BatchTiming> {
+    service_batch_ascending_serving(sim, requests, &mut plain_serve, observe)
+}
+
+/// [`service_batch_ascending_observed`] with a caller-supplied serve
+/// closure (recovery hook).
+pub fn service_batch_ascending_serving(
+    sim: &mut DiskSim,
+    requests: &[Request],
+    serve: &mut ServeFn<'_>,
+    observe: &mut dyn FnMut(ServiceEvent),
+) -> Result<BatchTiming> {
     let mut sorted: Vec<Request> = requests.to_vec();
     sorted.sort_unstable_by_key(|r| r.lbn);
-    service_batch_in_order_observed(sim, &sorted, observe)
+    service_batch_in_order_serving(sim, &sorted, serve, observe)
 }
 
 /// Serve the requests exactly in the order given.
@@ -156,9 +203,20 @@ pub fn service_batch_in_order_observed(
     requests: &[Request],
     observe: &mut dyn FnMut(ServiceEvent),
 ) -> Result<BatchTiming> {
+    service_batch_in_order_serving(sim, requests, &mut plain_serve, observe)
+}
+
+/// [`service_batch_in_order_observed`] with a caller-supplied serve
+/// closure (recovery hook).
+pub fn service_batch_in_order_serving(
+    sim: &mut DiskSim,
+    requests: &[Request],
+    serve: &mut ServeFn<'_>,
+    observe: &mut dyn FnMut(ServiceEvent),
+) -> Result<BatchTiming> {
     let mut out = BatchTiming::default();
     for (rank, req) in requests.iter().enumerate() {
-        serve_observed(sim, *req, &mut out, rank, 1, observe)?;
+        serve_observed(sim, *req, &mut out, rank, 1, serve, observe)?;
     }
     Ok(out)
 }
@@ -179,6 +237,19 @@ pub fn service_batch_sptf(sim: &mut DiskSim, requests: &[Request]) -> Result<Bat
 pub fn service_batch_sptf_observed(
     sim: &mut DiskSim,
     requests: &[Request],
+    observe: &mut dyn FnMut(ServiceEvent),
+) -> Result<BatchTiming> {
+    service_batch_sptf_serving(sim, requests, &mut plain_serve, observe)
+}
+
+/// [`service_batch_sptf_observed`] with a caller-supplied serve closure
+/// (recovery hook). Selection still estimates against the *logical*
+/// request from the current head state — the scheduler is not
+/// clairvoyant about faults or remapped blocks.
+pub fn service_batch_sptf_serving(
+    sim: &mut DiskSim,
+    requests: &[Request],
+    serve: &mut ServeFn<'_>,
     observe: &mut dyn FnMut(ServiceEvent),
 ) -> Result<BatchTiming> {
     // Hoist the position-independent work (locate + skew trigonometry)
@@ -203,7 +274,7 @@ pub fn service_batch_sptf_observed(
         }
         let queue_len = pending.len();
         let (rank, profile) = pending.swap_remove(best_idx);
-        serve_observed(sim, profile.request(), &mut out, rank, queue_len, observe)?;
+        serve_observed(sim, profile.request(), &mut out, rank, queue_len, serve, observe)?;
         memo.begin_round();
     }
     out.sched.seek_memo_hits = memo.hits();
@@ -236,6 +307,18 @@ pub fn service_batch_queued_sptf_observed(
     queue_depth: usize,
     observe: &mut dyn FnMut(ServiceEvent),
 ) -> Result<BatchTiming> {
+    service_batch_queued_sptf_serving(sim, requests, queue_depth, &mut plain_serve, observe)
+}
+
+/// [`service_batch_queued_sptf_observed`] with a caller-supplied serve
+/// closure (recovery hook).
+pub fn service_batch_queued_sptf_serving(
+    sim: &mut DiskSim,
+    requests: &[Request],
+    queue_depth: usize,
+    serve: &mut ServeFn<'_>,
+    observe: &mut dyn FnMut(ServiceEvent),
+) -> Result<BatchTiming> {
     let depth = queue_depth.max(1);
     let mut out = BatchTiming::default();
     // Profiles are built at admission, preserving the original error
@@ -259,7 +342,7 @@ pub fn service_batch_queued_sptf_observed(
         }
         let queue_len = queue.len();
         let (rank, profile) = queue.swap_remove(best_idx);
-        serve_observed(sim, profile.request(), &mut out, rank, queue_len, observe)?;
+        serve_observed(sim, profile.request(), &mut out, rank, queue_len, serve, observe)?;
         memo.begin_round();
         if next < requests.len() {
             // The serve above vacated a slot in a full window: that is

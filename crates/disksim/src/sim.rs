@@ -17,6 +17,7 @@ use std::collections::hash_map::Entry;
 use std::collections::HashMap;
 
 use crate::error::{DiskError, Result};
+use crate::fault::{FaultCounts, FaultDecision, FaultInjector, FaultPlan};
 use crate::geometry::{DiskGeometry, Lbn, Location};
 use crate::stats::AccessStats;
 
@@ -272,6 +273,7 @@ pub struct DiskSim {
     geom: DiskGeometry,
     state: HeadState,
     stats: AccessStats,
+    fault: Option<FaultInjector>,
 }
 
 impl DiskSim {
@@ -281,7 +283,33 @@ impl DiskSim {
             geom,
             state: HeadState::initial(),
             stats: AccessStats::default(),
+            fault: None,
         }
+    }
+
+    /// Install a fault plan (replacing any previous one). An empty plan
+    /// uninstalls the injector entirely, so the simulator takes exactly
+    /// the same code path — and produces bit-identical timing — as a
+    /// simulator that never had a plan.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.fault = if plan.is_empty() {
+            None
+        } else {
+            Some(FaultInjector::new(plan))
+        };
+    }
+
+    /// The installed fault plan, if any.
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.fault.as_ref().map(|i| i.plan())
+    }
+
+    /// Counts of faults injected so far (all zero without a plan).
+    pub fn fault_counts(&self) -> FaultCounts {
+        self.fault
+            .as_ref()
+            .map(|i| i.counts())
+            .unwrap_or_default()
     }
 
     /// The disk's geometry.
@@ -302,10 +330,14 @@ impl DiskSim {
         &self.stats
     }
 
-    /// Reset time, head position and statistics.
+    /// Reset time, head position, statistics and the fault schedule
+    /// (the installed plan, if any, rewinds to command zero).
     pub fn reset(&mut self) {
         self.state = HeadState::initial();
         self.stats = AccessStats::default();
+        if let Some(inj) = self.fault.as_mut() {
+            inj.reset();
+        }
     }
 
     /// Clear only the statistics, keeping the mechanical state (useful to
@@ -315,19 +347,74 @@ impl DiskSim {
     }
 
     /// Service a read request, advancing time and head position.
+    ///
+    /// With a fault plan installed the command may instead fail with
+    /// [`DiskError::TransientTimeout`] (clock advanced by the timeout)
+    /// or [`DiskError::MediaError`] (readable prefix and the failed
+    /// probe of the bad sector both paid for); recovery is the storage
+    /// manager's job.
     pub fn service(&mut self, req: Request) -> Result<RequestTiming> {
-        let timing = Self::simulate(&self.geom, &mut self.state, req)?;
-        self.stats.record(&timing, req.nblocks);
-        Ok(timing)
+        self.service_kind(req, AccessKind::Read)
     }
 
     /// Service a write request: like a read, but every repositioning
     /// pays [`DiskGeometry::write_settle_extra_ms`], and a write never
     /// continues a read-ahead stream from a *different* access kind.
     pub fn service_write(&mut self, req: Request) -> Result<RequestTiming> {
-        let timing = Self::simulate_kind(&self.geom, &mut self.state, req, AccessKind::Write)?;
-        self.stats.record(&timing, req.nblocks);
-        Ok(timing)
+        self.service_kind(req, AccessKind::Write)
+    }
+
+    fn service_kind(&mut self, req: Request, kind: AccessKind) -> Result<RequestTiming> {
+        let Some(inj) = self.fault.as_mut() else {
+            let timing = Self::simulate_kind(&self.geom, &mut self.state, req, kind)?;
+            self.stats.record(&timing, req.nblocks);
+            return Ok(timing);
+        };
+        // Validate before drawing, so malformed requests fail identically
+        // with and without a plan and never consume a command index.
+        if req.nblocks == 0 {
+            return Err(DiskError::EmptyRequest);
+        }
+        if req.end() > self.geom.total_blocks() {
+            return Err(DiskError::RequestPastEnd {
+                lbn: req.lbn,
+                nblocks: req.nblocks,
+                total: self.geom.total_blocks(),
+            });
+        }
+        match inj.admit(req.lbn, req.nblocks) {
+            FaultDecision::Proceed { slow_extra_ms } => {
+                let mut timing = Self::simulate_kind(&self.geom, &mut self.state, req, kind)?;
+                if slow_extra_ms > 0.0 {
+                    // A slow read shows up as extra rotational delay; the
+                    // read-ahead stream survives (the data still arrived).
+                    timing.rotation_ms += slow_extra_ms;
+                    self.state.time_ms += slow_extra_ms;
+                }
+                self.stats.record(&timing, req.nblocks);
+                Ok(timing)
+            }
+            FaultDecision::Transient { timeout_ms } => {
+                // The command aborts after burning the timeout; the
+                // drive's read-ahead context is lost with it.
+                self.state.time_ms += timeout_ms;
+                self.state.last_end_lbn = None;
+                Err(DiskError::TransientTimeout { lbn: req.lbn })
+            }
+            FaultDecision::Media { lbn } => {
+                // The readable prefix transfers normally, then the head
+                // pays full mechanics probing the bad sector before the
+                // drive gives up on it.
+                if lbn > req.lbn {
+                    let prefix = Request::new(req.lbn, lbn - req.lbn);
+                    let t = Self::simulate_kind(&self.geom, &mut self.state, prefix, kind)?;
+                    self.stats.record(&t, prefix.nblocks);
+                }
+                let _ = Self::simulate_kind(&self.geom, &mut self.state, Request::single(lbn), kind)?;
+                self.state.last_end_lbn = None;
+                Err(DiskError::MediaError { lbn })
+            }
+        }
     }
 
     /// Estimated total service time of `req` from the current state,
@@ -389,8 +476,17 @@ impl DiskSim {
 
     /// Advance the simulated clock without moving the head (models idle
     /// time between queries, which randomises the rotational phase).
+    ///
+    /// Negative or NaN durations are a caller bug: they are clamped to
+    /// zero (time never runs backwards) and trip a debug assertion.
     pub fn idle(&mut self, ms: f64) {
-        self.state.time_ms += ms.max(0.0);
+        debug_assert!(
+            ms.is_finite() && ms >= 0.0,
+            "idle duration must be finite and non-negative, got {ms}"
+        );
+        if ms > 0.0 {
+            self.state.time_ms += ms;
+        }
         self.state.last_end_lbn = None;
     }
 
@@ -818,6 +914,101 @@ mod tests {
         let base = settle_jitter(&geom, 10.0, 5);
         assert_ne!(base, settle_jitter(&geom, 10.5, 5));
         assert_ne!(base, settle_jitter(&geom, 10.0, 6));
+    }
+
+    #[test]
+    fn empty_fault_plan_is_bit_identical_to_no_plan() {
+        let run = |install: bool| {
+            let mut sim = disk();
+            if install {
+                sim.set_fault_plan(crate::fault::FaultPlan::none());
+            }
+            let mut total = 0.0;
+            for lbn in [0u64, 5_000, 123, 77_000, 42, 43, 44] {
+                total += sim.service(Request::single(lbn)).unwrap().total_ms();
+            }
+            total
+        };
+        assert_eq!(run(false).to_bits(), run(true).to_bits());
+    }
+
+    #[test]
+    fn transient_timeout_burns_clock_and_breaks_prefetch() {
+        let mut sim = disk();
+        sim.set_fault_plan(
+            crate::fault::FaultPlan::new(1)
+                .with_transients(1.0, 7.5)
+                .with_max_consecutive_transients(1),
+        );
+        sim.service(Request::single(0)).unwrap_err(); // forced transient
+        let before = sim.state().time_ms;
+        assert!((before - 7.5).abs() < 1e-12);
+        assert_eq!(sim.state().last_end_lbn, None);
+        // The cap forces the retry to succeed.
+        sim.service(Request::single(0)).unwrap();
+        assert_eq!(sim.fault_counts().transients, 1);
+    }
+
+    #[test]
+    fn media_error_serves_prefix_and_charges_probe() {
+        let mut sim = disk();
+        sim.set_fault_plan(crate::fault::FaultPlan::new(0).with_media_error(105));
+        let err = sim.service(Request::new(100, 10)).unwrap_err();
+        assert_eq!(err, DiskError::MediaError { lbn: 105 });
+        // The readable prefix [100, 105) was transferred and recorded.
+        assert_eq!(sim.stats().blocks, 5);
+        // Time advanced past zero: prefix + failed probe both cost.
+        assert!(sim.state().time_ms > 0.0);
+        assert_eq!(sim.state().last_end_lbn, None);
+        assert_eq!(sim.fault_counts().media_errors, 1);
+    }
+
+    #[test]
+    fn slow_read_inflates_rotation_only() {
+        let mut clean = disk();
+        let mut slow = disk();
+        slow.set_fault_plan(crate::fault::FaultPlan::new(9).with_slow_reads(1.0, 3.25));
+        let req = Request::new(1_000, 4);
+        let tc = clean.service(req).unwrap();
+        let ts = slow.service(req).unwrap();
+        assert!((ts.total_ms() - tc.total_ms() - 3.25).abs() < 1e-9);
+        assert!((ts.rotation_ms - tc.rotation_ms - 3.25).abs() < 1e-9);
+        assert_eq!(ts.seek_ms.to_bits(), tc.seek_ms.to_bits());
+        assert_eq!(slow.fault_counts().slow_reads, 1);
+    }
+
+    #[test]
+    fn faulted_requests_still_validate_bounds_first() {
+        let mut sim = disk();
+        sim.set_fault_plan(crate::fault::FaultPlan::new(1).with_transients(1.0, 1.0));
+        assert_eq!(
+            sim.service(Request::new(0, 0)),
+            Err(DiskError::EmptyRequest)
+        );
+        let total = sim.geometry().total_blocks();
+        assert!(matches!(
+            sim.service(Request::single(total)),
+            Err(DiskError::RequestPastEnd { .. })
+        ));
+        // Neither malformed request consumed a command draw.
+        assert_eq!(sim.fault_counts().commands, 0);
+    }
+
+    #[test]
+    fn reset_rewinds_fault_schedule() {
+        let mut sim = disk();
+        sim.set_fault_plan(crate::fault::FaultPlan::new(5).with_transients(0.4, 2.0));
+        let run = |sim: &mut DiskSim| {
+            let mut outcomes = Vec::new();
+            for lbn in 0..50u64 {
+                outcomes.push(sim.service(Request::single(lbn * 100)).is_ok());
+            }
+            outcomes
+        };
+        let first = run(&mut sim);
+        sim.reset();
+        let second = run(&mut sim);
+        assert_eq!(first, second);
     }
 
     #[test]

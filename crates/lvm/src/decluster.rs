@@ -5,11 +5,16 @@
 //! agnostic about the strategy, so we provide the two classics it cites:
 //! round-robin striping and cyclic allocation with a configurable skip
 //! (Prabhakar et al., ICDE'98), which generalises round-robin.
+//!
+//! The disk count is a [`NonZeroUsize`], so the mod-by-zero panic the
+//! old `usize` signature allowed is unrepresentable.
+
+use std::num::NonZeroUsize;
 
 /// Maps an allocation unit (basic cube or chunk) index to a disk.
 pub trait Declustering {
     /// Disk responsible for allocation unit `unit` out of `ndisks`.
-    fn disk_for(&self, unit: u64, ndisks: usize) -> usize;
+    fn disk_for(&self, unit: u64, ndisks: NonZeroUsize) -> usize;
 }
 
 /// Classic round-robin striping: unit `i` goes to disk `i mod n`.
@@ -18,14 +23,18 @@ pub struct RoundRobin;
 
 impl Declustering for RoundRobin {
     #[inline]
-    fn disk_for(&self, unit: u64, ndisks: usize) -> usize {
-        (unit % ndisks as u64) as usize
+    fn disk_for(&self, unit: u64, ndisks: NonZeroUsize) -> usize {
+        (unit % ndisks.get() as u64) as usize
     }
 }
 
 /// Cyclic allocation: unit `i` goes to disk `(i * skip) mod n`. With a
 /// skip coprime to `n` every disk is used equally while neighbouring
 /// units in multi-dimensional row-major order land on different disks.
+///
+/// A skip of zero is the degenerate "no declustering" strategy: every
+/// unit lands on disk 0. (Earlier versions silently clamped 0 to 1,
+/// turning a caller's explicit choice into round-robin.)
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct Cyclic {
     /// Stride between consecutive units' disks.
@@ -33,17 +42,17 @@ pub struct Cyclic {
 }
 
 impl Cyclic {
-    /// Cyclic allocation with the given skip (use a value coprime to the
-    /// disk count for full balance).
+    /// Cyclic allocation with the given skip. Use a value coprime to
+    /// the disk count for full balance; zero pins everything to disk 0.
     pub fn new(skip: u64) -> Self {
-        Cyclic { skip: skip.max(1) }
+        Cyclic { skip }
     }
 }
 
 impl Declustering for Cyclic {
     #[inline]
-    fn disk_for(&self, unit: u64, ndisks: usize) -> usize {
-        ((unit.wrapping_mul(self.skip)) % ndisks as u64) as usize
+    fn disk_for(&self, unit: u64, ndisks: NonZeroUsize) -> usize {
+        ((unit.wrapping_mul(self.skip)) % ndisks.get() as u64) as usize
     }
 }
 
@@ -51,10 +60,14 @@ impl Declustering for Cyclic {
 mod tests {
     use super::*;
 
+    fn n(v: usize) -> NonZeroUsize {
+        NonZeroUsize::new(v).unwrap()
+    }
+
     #[test]
     fn round_robin_cycles() {
         let d = RoundRobin;
-        let assignment: Vec<usize> = (0..8).map(|u| d.disk_for(u, 3)).collect();
+        let assignment: Vec<usize> = (0..8).map(|u| d.disk_for(u, n(3))).collect();
         assert_eq!(assignment, vec![0, 1, 2, 0, 1, 2, 0, 1]);
     }
 
@@ -63,14 +76,22 @@ mod tests {
         let d = Cyclic::new(3);
         let mut counts = [0usize; 4];
         for u in 0..400 {
-            counts[d.disk_for(u, 4)] += 1;
+            counts[d.disk_for(u, n(4))] += 1;
         }
         assert!(counts.iter().all(|&c| c == 100), "{counts:?}");
     }
 
     #[test]
-    fn cyclic_skip_zero_clamped_to_one() {
+    fn cyclic_skip_zero_means_no_declustering() {
         let d = Cyclic::new(0);
-        assert_eq!(d.disk_for(5, 4), 1);
+        for u in [0u64, 1, 5, 999] {
+            assert_eq!(d.disk_for(u, n(4)), 0);
+        }
+    }
+
+    #[test]
+    fn single_disk_always_zero() {
+        assert_eq!(RoundRobin.disk_for(7, n(1)), 0);
+        assert_eq!(Cyclic::new(5).disk_for(7, n(1)), 0);
     }
 }

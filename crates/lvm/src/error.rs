@@ -21,6 +21,23 @@ pub enum LvmError {
     },
     /// The underlying disk simulator rejected the operation.
     Disk(DiskError),
+    /// A volume cannot be built over zero disks.
+    EmptyVolume,
+    /// A striped volume cannot use a zero-block stripe unit.
+    ZeroStripeUnit,
+    /// A transient fault persisted through the configured retry budget.
+    RetriesExhausted {
+        /// First LBN of the failing physical segment.
+        lbn: u64,
+        /// Retries that were attempted before giving up.
+        attempts: u32,
+    },
+    /// A hard-failed block could not be remapped: its track's spare
+    /// region is fully allocated.
+    SpareExhausted {
+        /// The logical block that could not be remapped.
+        lbn: u64,
+    },
 }
 
 impl fmt::Display for LvmError {
@@ -30,6 +47,16 @@ impl fmt::Display for LvmError {
                 write!(f, "no disk {disk} in a volume of {ndisks} disk(s)")
             }
             LvmError::Disk(e) => write!(f, "disk error: {e}"),
+            LvmError::EmptyVolume => write!(f, "a volume needs at least one disk"),
+            LvmError::ZeroStripeUnit => write!(f, "stripe unit must be at least one block"),
+            LvmError::RetriesExhausted { lbn, attempts } => write!(
+                f,
+                "transient fault at LBN {lbn} persisted through {attempts} retries"
+            ),
+            LvmError::SpareExhausted { lbn } => write!(
+                f,
+                "no spare sectors left on the track of LBN {lbn} for remapping"
+            ),
         }
     }
 }
@@ -37,8 +64,8 @@ impl fmt::Display for LvmError {
 impl std::error::Error for LvmError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
-            LvmError::NoSuchDisk { .. } => None,
             LvmError::Disk(e) => Some(e),
+            _ => None,
         }
     }
 }

@@ -29,10 +29,12 @@
 
 pub mod decluster;
 pub mod error;
+pub mod recovery;
 pub mod striped;
 pub mod volume;
 
 pub use decluster::{Cyclic, Declustering, RoundRobin};
 pub use error::{LvmError, Result};
+pub use recovery::{RecoveryConfig, RecoveryStats, RemapTable};
 pub use striped::{StripedVolume, VolumeLbn};
 pub use volume::{LogicalVolume, SchedulePolicy, VolumeBatchTiming};

@@ -29,13 +29,24 @@ impl StripedVolume {
     /// Stripe `volume` in units of `stripe_blocks`.
     ///
     /// # Panics
-    /// Panics if `stripe_blocks` is zero.
+    /// Panics if `stripe_blocks` is zero; [`StripedVolume::try_new`] is
+    /// the non-panicking variant.
     pub fn new(volume: LogicalVolume, stripe_blocks: u64) -> Self {
-        assert!(stripe_blocks > 0, "stripe unit must be positive");
-        StripedVolume {
+        // staticcheck: allow(no-unwrap) — documented panic on a construction
+        // precondition; every fallible caller has try_new.
+        Self::try_new(volume, stripe_blocks).expect("stripe unit must be positive")
+    }
+
+    /// Stripe `volume` in units of `stripe_blocks`, or
+    /// [`crate::LvmError::ZeroStripeUnit`] when the unit is zero.
+    pub fn try_new(volume: LogicalVolume, stripe_blocks: u64) -> crate::Result<Self> {
+        if stripe_blocks == 0 {
+            return Err(crate::LvmError::ZeroStripeUnit);
+        }
+        Ok(StripedVolume {
             volume,
             stripe_blocks,
-        }
+        })
     }
 
     /// The underlying multi-disk volume.

@@ -3,13 +3,16 @@
 
 use multimap_disksim::{
     adjacent_lbn, coalesce_sorted, service_batch_ascending_observed,
-    service_batch_in_order_observed, service_batch_queued_sptf_observed,
-    service_batch_sptf_observed, AccessStats, BatchTiming, DiskGeometry, DiskSim, Lbn, Request,
-    RequestTiming, ServiceEvent, ServiceLog,
+    service_batch_ascending_serving, service_batch_in_order_observed,
+    service_batch_in_order_serving, service_batch_queued_sptf_observed,
+    service_batch_queued_sptf_serving, service_batch_sptf_observed, service_batch_sptf_serving,
+    AccessStats, BatchTiming, DiskError, DiskGeometry, DiskSim, FaultCounts, FaultPlan, Lbn,
+    Request, RequestTiming, ServiceEvent, ServiceLog,
 };
 use parking_lot::Mutex;
 
 use crate::error::{LvmError, Result};
+use crate::recovery::{recovering_serve, RecoveryConfig, RecoveryStats, RemapTable};
 
 /// How a batch of requests is ordered before being serviced.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -58,19 +61,72 @@ impl VolumeBatchTiming {
 pub struct LogicalVolume {
     geometry: DiskGeometry,
     disks: Vec<Mutex<DiskSim>>,
+    recovery: Option<RecoveryShared>,
+}
+
+/// Recovery state shared by all service paths when the volume was built
+/// with [`LogicalVolume::with_recovery`].
+struct RecoveryShared {
+    cfg: RecoveryConfig,
+    per_disk: Vec<Mutex<DiskRecovery>>,
+}
+
+#[derive(Default)]
+struct DiskRecovery {
+    remap: RemapTable,
+    stats: RecoveryStats,
 }
 
 impl LogicalVolume {
     /// Create a volume of `ndisks` identical disks.
     ///
     /// # Panics
-    /// Panics if `ndisks` is zero.
+    /// Panics if `ndisks` is zero; [`LogicalVolume::try_new`] is the
+    /// non-panicking variant.
     pub fn new(geometry: DiskGeometry, ndisks: usize) -> Self {
-        assert!(ndisks > 0, "a volume needs at least one disk");
+        // staticcheck: allow(no-unwrap) — documented panic on a construction
+        // precondition; every fallible caller has try_new.
+        Self::try_new(geometry, ndisks).expect("a volume needs at least one disk")
+    }
+
+    /// Create a volume of `ndisks` identical disks, or
+    /// [`LvmError::EmptyVolume`] when `ndisks` is zero.
+    pub fn try_new(geometry: DiskGeometry, ndisks: usize) -> Result<Self> {
+        if ndisks == 0 {
+            return Err(LvmError::EmptyVolume);
+        }
         let disks = (0..ndisks)
             .map(|_| Mutex::new(DiskSim::new(geometry.clone())))
             .collect();
-        LogicalVolume { geometry, disks }
+        Ok(LogicalVolume {
+            geometry,
+            disks,
+            recovery: None,
+        })
+    }
+
+    /// Create a volume whose disks all run the given fault plan, with
+    /// the recovery path (bounded retry + bad-block remapping) active on
+    /// every service entry point.
+    ///
+    /// An empty plan installs no injector, but the recovery path still
+    /// runs — and produces bit-identical timing to a plain volume, which
+    /// the determinism tests pin.
+    pub fn with_recovery(
+        geometry: DiskGeometry,
+        ndisks: usize,
+        plan: FaultPlan,
+        cfg: RecoveryConfig,
+    ) -> Result<Self> {
+        let mut vol = Self::try_new(geometry, ndisks)?;
+        for disk in &vol.disks {
+            disk.lock().set_fault_plan(plan.clone());
+        }
+        vol.recovery = Some(RecoveryShared {
+            cfg,
+            per_disk: (0..ndisks).map(|_| Mutex::new(DiskRecovery::default())).collect(),
+        });
+        Ok(vol)
     }
 
     /// Number of disks in the volume.
@@ -113,12 +169,41 @@ impl LogicalVolume {
         self.geometry.adjacency_limit
     }
 
+    /// The recovery state behind `disk`, when recovery is active.
+    fn disk_recovery(&self, disk: usize) -> Result<Option<(&RecoveryConfig, &Mutex<DiskRecovery>)>> {
+        match &self.recovery {
+            None => Ok(None),
+            Some(r) => {
+                let rec = r.per_disk.get(disk).ok_or(LvmError::NoSuchDisk {
+                    disk,
+                    ndisks: self.disks.len(),
+                })?;
+                Ok(Some((&r.cfg, rec)))
+            }
+        }
+    }
+
     /// Service one request on one disk.
+    ///
+    /// With recovery active ([`LogicalVolume::with_recovery`]) the
+    /// request is retried/remapped as needed and the returned timing
+    /// folds the recovery time into `overhead_ms`, so the total still
+    /// reflects the wall-clock the disk was busy.
     pub fn service(&self, disk: usize, req: Request) -> Result<RequestTiming> {
-        // This IS the volume's service primitive; the observed batch paths
-        // delegate to the sim through the same lock.
-        // staticcheck: allow(no-direct-service) — the volume service primitive itself; conformance audits the observed paths.
-        Ok(self.disk(disk)?.lock().service(req)?)
+        let Some((cfg, rec)) = self.disk_recovery(disk)? else {
+            // This IS the volume's service primitive; the observed batch paths
+            // delegate to the sim through the same lock.
+            // staticcheck: allow(no-direct-service) — the volume service primitive itself; conformance audits the observed paths.
+            return Ok(self.disk(disk)?.lock().service(req)?);
+        };
+        let mut sim = self.disk(disk)?.lock();
+        let mut rec = rec.lock();
+        let DiskRecovery { remap, stats } = &mut *rec;
+        let (mut t, outcome) = recovering_serve(&self.geometry, cfg, remap, stats, &mut sim, req)?;
+        if !outcome.is_clean() {
+            t.overhead_ms += outcome.recovery_ms;
+        }
+        Ok(t)
     }
 
     /// Service a batch on one disk under the given policy.
@@ -142,18 +227,62 @@ impl LogicalVolume {
         policy: SchedulePolicy,
         observe: &mut dyn FnMut(ServiceEvent),
     ) -> Result<BatchTiming> {
+        let Some((cfg, rec)) = self.disk_recovery(disk)? else {
+            let mut sim = self.disk(disk)?.lock();
+            let timing = match policy {
+                SchedulePolicy::InOrder => {
+                    service_batch_in_order_observed(&mut sim, requests, observe)
+                }
+                SchedulePolicy::AscendingLbn => {
+                    service_batch_ascending_observed(&mut sim, requests, observe)
+                }
+                SchedulePolicy::Sptf => service_batch_sptf_observed(&mut sim, requests, observe),
+                SchedulePolicy::QueuedSptf(depth) => {
+                    service_batch_queued_sptf_observed(&mut sim, requests, depth, observe)
+                }
+            }?;
+            return Ok(timing);
+        };
         let mut sim = self.disk(disk)?.lock();
-        let timing = match policy {
-            SchedulePolicy::InOrder => service_batch_in_order_observed(&mut sim, requests, observe),
+        let mut rec = rec.lock();
+        let DiskRecovery { remap, stats } = &mut *rec;
+        // Recovery failures carry more context than a DiskError; the serve
+        // closure stashes them and returns the causal DiskError as a
+        // sentinel for the scheduler to abort on.
+        let mut failure: Option<LvmError> = None;
+        let geometry = &self.geometry;
+        let mut serve = |sim: &mut DiskSim, req: Request| match recovering_serve(
+            geometry, cfg, remap, stats, sim, req,
+        ) {
+            Ok(pair) => Ok(pair),
+            Err(LvmError::Disk(e)) => Err(e),
+            Err(other) => {
+                let sentinel = match &other {
+                    LvmError::SpareExhausted { lbn } => DiskError::MediaError { lbn: *lbn },
+                    _ => DiskError::TransientTimeout { lbn: req.lbn },
+                };
+                failure = Some(other);
+                Err(sentinel)
+            }
+        };
+        let result = match policy {
+            SchedulePolicy::InOrder => {
+                service_batch_in_order_serving(&mut sim, requests, &mut serve, observe)
+            }
             SchedulePolicy::AscendingLbn => {
-                service_batch_ascending_observed(&mut sim, requests, observe)
+                service_batch_ascending_serving(&mut sim, requests, &mut serve, observe)
             }
-            SchedulePolicy::Sptf => service_batch_sptf_observed(&mut sim, requests, observe),
+            SchedulePolicy::Sptf => {
+                service_batch_sptf_serving(&mut sim, requests, &mut serve, observe)
+            }
             SchedulePolicy::QueuedSptf(depth) => {
-                service_batch_queued_sptf_observed(&mut sim, requests, depth, observe)
+                service_batch_queued_sptf_serving(&mut sim, requests, depth, &mut serve, observe)
             }
-        }?;
-        Ok(timing)
+        };
+        match result {
+            Ok(timing) => Ok(timing),
+            Err(e) => Err(failure.unwrap_or(LvmError::Disk(e))),
+        }
     }
 
     /// [`LogicalVolume::service_batch`] that collects every scheduler
@@ -193,6 +322,7 @@ impl LogicalVolume {
             per_disk[*disk].requests += t.requests;
             per_disk[*disk].blocks += t.blocks;
             per_disk[*disk].total_ms += t.total_ms;
+            per_disk[*disk].payload = per_disk[*disk].payload.wrapping_add(t.payload);
         }
         let makespan_ms = per_disk.iter().map(|b| b.total_ms).fold(0.0, f64::max);
         Ok(VolumeBatchTiming {
@@ -215,10 +345,68 @@ impl LogicalVolume {
         out
     }
 
-    /// Reset every disk (time, head position and statistics).
+    /// Whether this volume was built with the recovery path active.
+    pub fn has_recovery(&self) -> bool {
+        self.recovery.is_some()
+    }
+
+    /// Number of logical blocks remapped to spares on `disk` so far.
+    pub fn remap_count(&self, disk: usize) -> Result<usize> {
+        match self.disk_recovery(disk)? {
+            None => {
+                self.disk(disk)?; // surface NoSuchDisk consistently
+                Ok(0)
+            }
+            Some((_, rec)) => Ok(rec.lock().remap.len()),
+        }
+    }
+
+    /// Whether any block of `[lbn, lbn + nblocks)` on `disk` has been
+    /// remapped — i.e. lost its adjacency guarantee, so a query should
+    /// fall back from semi-sequential hops to scheduled seeks for it.
+    pub fn is_degraded_range(&self, disk: usize, lbn: Lbn, nblocks: u64) -> Result<bool> {
+        match self.disk_recovery(disk)? {
+            None => {
+                self.disk(disk)?;
+                Ok(false)
+            }
+            Some((_, rec)) => Ok(rec.lock().remap.overlaps(lbn, nblocks)),
+        }
+    }
+
+    /// Recovery actions taken so far, merged across all disks (all zero
+    /// when recovery is inactive).
+    pub fn recovery_stats(&self) -> RecoveryStats {
+        let mut out = RecoveryStats::default();
+        if let Some(r) = &self.recovery {
+            for rec in &r.per_disk {
+                out.merge(&rec.lock().stats);
+            }
+        }
+        out
+    }
+
+    /// Faults the disks injected so far, merged across all disks (all
+    /// zero without a fault plan).
+    pub fn injected_counts(&self) -> FaultCounts {
+        let mut out = FaultCounts::default();
+        for d in &self.disks {
+            out.merge(&d.lock().fault_counts());
+        }
+        out
+    }
+
+    /// Reset every disk (time, head position, statistics and fault
+    /// schedule), and clear all remap tables and recovery statistics —
+    /// a full return to the freshly-constructed state.
     pub fn reset(&self) {
         for d in &self.disks {
             d.lock().reset();
+        }
+        if let Some(r) = &self.recovery {
+            for rec in &r.per_disk {
+                *rec.lock() = DiskRecovery::default();
+            }
         }
     }
 
@@ -248,6 +436,7 @@ impl LogicalVolume {
 mod tests {
     use super::*;
     use multimap_disksim::profiles;
+    use multimap_disksim::FaultPlan;
 
     fn volume(n: usize) -> LogicalVolume {
         LogicalVolume::new(profiles::small(), n)
@@ -339,6 +528,135 @@ mod tests {
         v.service(0, Request::single(5)).unwrap();
         v.reset();
         assert_eq!(v.stats(0).unwrap().requests, 0);
+    }
+
+    #[test]
+    fn try_new_zero_disks_is_typed_error() {
+        match LogicalVolume::try_new(profiles::small(), 0) {
+            Err(e) => assert_eq!(e, LvmError::EmptyVolume),
+            Ok(_) => panic!("zero-disk volume must be rejected"),
+        }
+    }
+
+    /// The determinism pin for the recovery path: a volume built with an
+    /// *empty* fault plan must produce bit-identical timing to a plain
+    /// volume, on every scheduling policy — the recovering code path may
+    /// not cost a single float operation when nothing faults.
+    #[test]
+    fn empty_fault_plan_bit_identical_to_plain_volume() {
+        let reqs: Vec<Request> = (0..40u64)
+            .map(|i| Request::new((i * 9173) % 150_000, 1 + i % 4))
+            .collect();
+        for policy in [
+            SchedulePolicy::InOrder,
+            SchedulePolicy::AscendingLbn,
+            SchedulePolicy::Sptf,
+            SchedulePolicy::QueuedSptf(8),
+        ] {
+            let plain = volume(1);
+            let recovering = LogicalVolume::with_recovery(
+                profiles::small(),
+                1,
+                FaultPlan::none(),
+                crate::recovery::RecoveryConfig::default(),
+            )
+            .unwrap();
+            let (tp, log_p) = plain.service_batch_logged(0, &reqs, policy).unwrap();
+            let (tr, log_r) = recovering.service_batch_logged(0, &reqs, policy).unwrap();
+            assert_eq!(
+                tp.total_ms.to_bits(),
+                tr.total_ms.to_bits(),
+                "{policy:?} timing must be bit-identical"
+            );
+            assert_eq!(tp, tr, "{policy:?}");
+            assert_eq!(log_p.events(), log_r.events(), "{policy:?}");
+        }
+    }
+
+    #[test]
+    fn faulted_batch_payload_matches_fault_free_run() {
+        let reqs: Vec<Request> = (0..30u64)
+            .map(|i| Request::new(i * 400, 3))
+            .collect();
+        let plan = FaultPlan::new(77)
+            .with_transients(0.25, 5.0)
+            .with_media_errors([401u64, 4_802, 8_000]);
+        let clean = volume(1);
+        let faulted = LogicalVolume::with_recovery(
+            profiles::small(),
+            1,
+            plan.clone(),
+            crate::recovery::RecoveryConfig::default(),
+        )
+        .unwrap();
+        let tc = clean
+            .service_batch(0, &reqs, SchedulePolicy::Sptf)
+            .unwrap();
+        let tf = faulted
+            .service_batch(0, &reqs, SchedulePolicy::Sptf)
+            .unwrap();
+        assert_eq!(tc.payload, tf.payload, "same data must be delivered");
+        assert_eq!(tc.blocks, tf.blocks);
+        assert!(tf.total_ms > tc.total_ms, "faults must cost time");
+        // Counter reconciliation: every injected transient was retried
+        // exactly once, and the schedule replays from the plan.
+        let stats = faulted.recovery_stats();
+        let injected = faulted.injected_counts();
+        assert_eq!(stats.transients, injected.transients);
+        assert_eq!(stats.retries, injected.transients);
+        assert_eq!(stats.media_errors, injected.media_errors);
+        assert_eq!(stats.remaps, stats.media_errors);
+        assert_eq!(injected.transients, plan.count_transients(injected.commands));
+        assert!(stats.remaps >= 3, "all three bad blocks were touched");
+        // The remapped cells are now degraded.
+        assert!(faulted.is_degraded_range(0, 401, 1).unwrap());
+        assert!(!faulted.is_degraded_range(0, 0, 1).unwrap());
+        assert_eq!(faulted.remap_count(0).unwrap(), 3);
+    }
+
+    #[test]
+    fn unrecoverable_transient_surfaces_typed_error() {
+        let plan = FaultPlan::new(3)
+            .with_transients(1.0, 5.0)
+            .with_max_consecutive_transients(5);
+        let v = LogicalVolume::with_recovery(
+            profiles::small(),
+            1,
+            plan,
+            crate::recovery::RecoveryConfig {
+                max_retries: 2,
+                ..crate::recovery::RecoveryConfig::default()
+            },
+        )
+        .unwrap();
+        let err = v
+            .service_batch(0, &[Request::single(0)], SchedulePolicy::InOrder)
+            .unwrap_err();
+        assert!(matches!(err, LvmError::RetriesExhausted { .. }), "{err:?}");
+    }
+
+    #[test]
+    fn reset_restores_pristine_recovery_state() {
+        let plan = FaultPlan::new(1).with_media_error(500);
+        let v = LogicalVolume::with_recovery(
+            profiles::small(),
+            1,
+            plan,
+            crate::recovery::RecoveryConfig::default(),
+        )
+        .unwrap();
+        let reqs = [Request::new(498, 5)];
+        let t1 = v
+            .service_batch(0, &reqs, SchedulePolicy::InOrder)
+            .unwrap();
+        assert_eq!(v.remap_count(0).unwrap(), 1);
+        v.reset();
+        assert_eq!(v.remap_count(0).unwrap(), 0);
+        assert_eq!(v.recovery_stats(), crate::recovery::RecoveryStats::default());
+        let t2 = v
+            .service_batch(0, &reqs, SchedulePolicy::InOrder)
+            .unwrap();
+        assert_eq!(t1.total_ms.to_bits(), t2.total_ms.to_bits());
     }
 
     #[test]

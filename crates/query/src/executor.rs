@@ -255,6 +255,12 @@ pub struct QueryResult {
     pub requests: u64,
     /// Total I/O time in milliseconds.
     pub total_io_ms: f64,
+    /// Order-independent checksum of the logical blocks delivered (see
+    /// [`multimap_disksim::request_payload`]): two runs of the same
+    /// query that report equal payloads returned exactly the same data,
+    /// however scheduling or fault recovery reordered or split it. The
+    /// conformance fault sweep pins this against the fault-free run.
+    pub payload: u64,
 }
 
 impl QueryResult {
@@ -264,6 +270,7 @@ impl QueryResult {
             blocks: batch.blocks,
             requests: batch.requests,
             total_io_ms: batch.total_ms,
+            payload: batch.payload,
         }
     }
 
@@ -282,6 +289,7 @@ impl QueryResult {
         self.blocks += other.blocks;
         self.requests += other.requests;
         self.total_io_ms += other.total_io_ms;
+        self.payload = self.payload.wrapping_add(other.payload);
     }
 }
 
@@ -311,7 +319,66 @@ fn record_event(sink: &mut dyn MetricsSink, geom: &DiskGeometry, e: &ServiceEven
     }
     sink.phase(Phase::Rotation, t.rotation_ms);
     sink.phase(Phase::Transfer, t.transfer_ms);
-    sink.service_time(t.total_ms());
+    if !e.fault.is_clean() {
+        let f = e.fault;
+        sink.counter(Counter::TransientFault, f.transients as u64);
+        sink.counter(Counter::MediaFault, f.media_errors as u64);
+        sink.counter(Counter::SlowRead, f.slow_reads as u64);
+        sink.counter(Counter::RetryAttempt, f.retries as u64);
+        sink.counter(Counter::BadBlockRemap, f.remaps as u64);
+        // recovery_ms is `elapsed - components` and can carry a tiny
+        // negative float residue on recovered requests whose components
+        // happen to sum high; only a positive charge is a real phase.
+        if f.recovery_ms > 0.0 {
+            sink.phase(Phase::Recovery, f.recovery_ms);
+        }
+    }
+    // Clean requests record exactly the component total, keeping
+    // fault-free runs bit-identical to builds without fault support.
+    sink.service_time(e.elapsed_ms());
+}
+
+/// Serve a batch, splitting out requests that touch remapped blocks.
+///
+/// A hard media error relocates a block into its track's spare region,
+/// so the cell loses the adjacency the mapping promised: semi-sequential
+/// scheduling (SPTF hop chains, prefetch runs) no longer describes its
+/// true position. When the disk carries remaps, requests overlapping a
+/// remapped range are pulled out of the primary batch and served
+/// afterwards as plain scheduled seeks in ascending LBN order; healthy
+/// requests keep the chosen policy. On a disk with no remaps (including
+/// every fault-free run) this is exactly one batch under `policy` —
+/// byte-identical to the pre-fault-injection executor.
+fn serve_split_degraded(
+    volume: &LogicalVolume,
+    disk: usize,
+    requests: &[Request],
+    policy: SchedulePolicy,
+    record: &mut dyn FnMut(ServiceEvent),
+) -> Result<BatchTiming> {
+    if volume.has_recovery() && volume.remap_count(disk)? > 0 {
+        let mut healthy = Vec::with_capacity(requests.len());
+        let mut degraded = Vec::new();
+        for &r in requests {
+            if volume.is_degraded_range(disk, r.lbn, r.nblocks)? {
+                degraded.push(r);
+            } else {
+                healthy.push(r);
+            }
+        }
+        if !degraded.is_empty() {
+            let mut batch = volume.service_batch_observed(disk, &healthy, policy, record)?;
+            let tail = volume.service_batch_observed(
+                disk,
+                &degraded,
+                SchedulePolicy::AscendingLbn,
+                record,
+            )?;
+            batch.merge(&tail);
+            return Ok(batch);
+        }
+    }
+    Ok(volume.service_batch_observed(disk, requests, policy, record)?)
 }
 
 /// Close a span opened with `Instant::now()` (no-op without a sink).
@@ -506,8 +573,7 @@ impl<'a> QueryExecutor<'a> {
                     o(e);
                 }
             };
-            self.volume
-                .service_batch_observed(self.disk, &requests, policy, &mut record)?
+            serve_split_degraded(self.volume, self.disk, &requests, policy, &mut record)?
         };
         finish_span(&mut sink, Span::Service, t_service);
         if let Some(s) = sink {
@@ -595,13 +661,13 @@ pub fn service_lbns_sinked(
         };
         if sptf {
             let requests: Vec<Request> = lbns.iter().map(|&l| Request::single(l)).collect();
-            volume.service_batch_observed(disk, &requests, SchedulePolicy::Sptf, &mut record)?
+            serve_split_degraded(volume, disk, &requests, SchedulePolicy::Sptf, &mut record)?
         } else {
             let mut sorted = lbns.to_vec();
             sorted.sort_unstable();
             sorted.dedup();
             let requests = coalesce_sorted(&sorted);
-            volume.service_batch_observed(disk, &requests, SchedulePolicy::InOrder, &mut record)?
+            serve_split_degraded(volume, disk, &requests, SchedulePolicy::InOrder, &mut record)?
         }
     };
     finish_span(&mut sink, Span::Service, t_service);
@@ -918,5 +984,92 @@ mod tests {
         assert_eq!(req.op(), QueryOp::Range);
         assert_eq!(req.region(), &region);
         assert_eq!(req.mapping().grid(), &grid);
+    }
+
+    #[test]
+    fn faulted_query_payload_matches_fault_free_and_counters_reconcile() {
+        use multimap_disksim::FaultPlan;
+        use multimap_lvm::RecoveryConfig;
+
+        let grid = GridSpec::new([60u64, 8, 6]);
+        let naive = NaiveMapping::new(grid.clone(), 0);
+        let region = BoxRegion::new([0u64, 0, 0], [20u64, 5, 3]);
+
+        let clean_vol = LogicalVolume::new(profiles::small(), 1);
+        let clean = QueryExecutor::new(&clean_vol, 0)
+            .execute(QueryRequest::range(&naive, &region))
+            .unwrap();
+        assert_ne!(clean.payload, 0, "a non-empty query carries a payload");
+
+        // Dim 0 varies fastest: LBN = x + 60y + 480z. Both bad blocks
+        // lie inside the queried region (15 = cell [15,0,0], 500 =
+        // cell [20,0,1]).
+        let plan = FaultPlan::new(0xFA17)
+            .with_media_errors([15, 500])
+            .with_transients(0.10, 3.0);
+        let vol =
+            LogicalVolume::with_recovery(profiles::small(), 1, plan, RecoveryConfig::default())
+                .unwrap();
+        let exec = QueryExecutor::new(&vol, 0);
+        let mut m = Metrics::new();
+        let r = exec
+            .execute(QueryRequest::range(&naive, &region).with_sink(&mut m))
+            .unwrap();
+
+        assert_eq!(r.payload, clean.payload, "faults must not change the data");
+        assert_eq!((r.cells, r.blocks), (clean.cells, clean.blocks));
+        assert!(
+            r.total_io_ms > clean.total_io_ms,
+            "recovery must cost time: {} vs {}",
+            r.total_io_ms,
+            clean.total_io_ms
+        );
+
+        // The sink's fault counters mirror the volume's recovery stats.
+        let stats = vol.recovery_stats();
+        assert!(stats.transients > 0, "seeded plan must inject transients");
+        assert_eq!(stats.media_errors, 2);
+        assert_eq!(m.counter_value(Counter::TransientFault), stats.transients);
+        assert_eq!(m.counter_value(Counter::RetryAttempt), stats.retries);
+        assert_eq!(m.counter_value(Counter::MediaFault), stats.media_errors);
+        assert_eq!(m.counter_value(Counter::BadBlockRemap), stats.remaps);
+        // And the injector agrees with what the recovery path observed.
+        let injected = vol.injected_counts();
+        assert_eq!(injected.transients, stats.transients);
+        assert_eq!(injected.media_errors, stats.media_errors);
+    }
+
+    #[test]
+    fn degraded_cells_fall_back_to_scheduled_seeks() {
+        use multimap_disksim::FaultPlan;
+        use multimap_lvm::RecoveryConfig;
+
+        let grid = GridSpec::new([60u64, 8, 6]);
+        let naive = NaiveMapping::new(grid.clone(), 0);
+        let clean_vol = LogicalVolume::new(profiles::small(), 1);
+
+        // Only hard errors: the first query remaps LBN 130, after which
+        // the executor must split it out of later primary batches.
+        let plan = FaultPlan::new(1).with_media_error(130);
+        let vol =
+            LogicalVolume::with_recovery(profiles::small(), 1, plan, RecoveryConfig::default())
+                .unwrap();
+        let exec = QueryExecutor::new(&vol, 0);
+        let warm = BoxRegion::new([0u64, 0, 0], [10u64, 7, 5]);
+        exec.execute(QueryRequest::range(&naive, &warm)).unwrap();
+        assert_eq!(vol.remap_count(0).unwrap(), 1);
+        assert!(vol.is_degraded_range(0, 130, 1).unwrap());
+
+        // A beam crossing the remapped cell (LBN = x + 60y + 480z, so
+        // the dim-0 beam at y=2, z=0 covers 120..=179 ∋ 130) still
+        // returns the exact fault-free payload, via the degraded
+        // AscendingLbn tail batch.
+        let beam = BoxRegion::beam(&grid, 0, &[0, 2, 0]);
+        let clean = QueryExecutor::new(&clean_vol, 0)
+            .execute(QueryRequest::beam(&naive, &beam))
+            .unwrap();
+        let r = exec.execute(QueryRequest::beam(&naive, &beam)).unwrap();
+        assert_eq!(r.payload, clean.payload);
+        assert_eq!(r.cells, clean.cells);
     }
 }

@@ -54,7 +54,19 @@ impl Histogram {
     }
 
     /// Record one observation.
+    ///
+    /// Durations are non-negative by definition; a negative or NaN
+    /// input is a caller bug (typically an uninitialised or subtracted
+    /// timestamp). Rather than poisoning `sum_ms` forever — NaN never
+    /// washes out of a running sum, and a negative value silently
+    /// deflates every downstream mean — such inputs are clamped to zero
+    /// (and trip a `debug_assert!` so tests catch the caller).
     pub fn record(&mut self, ms: f64) {
+        debug_assert!(
+            ms >= 0.0, // false for NaN as well
+            "histogram observation must be a non-negative number, got {ms}"
+        );
+        let ms = if ms >= 0.0 { ms } else { 0.0 };
         self.counts[Self::bucket_index(ms)] += 1;
         self.count += 1;
         self.sum_ms += ms;
@@ -168,5 +180,32 @@ mod tests {
         let h = Histogram::new();
         assert_eq!(h.count(), 0);
         assert!(h.mean_ms().abs() < 1e-12);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "non-negative")]
+    fn negative_observation_trips_debug_assert() {
+        Histogram::new().record(-0.5);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "non-negative")]
+    fn nan_observation_trips_debug_assert() {
+        Histogram::new().record(f64::NAN);
+    }
+
+    #[test]
+    #[cfg(not(debug_assertions))]
+    fn invalid_observations_clamp_to_zero_in_release() {
+        let mut h = Histogram::new();
+        h.record(-3.0);
+        h.record(f64::NAN);
+        h.record(1.0);
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.counts()[0], 2, "clamped values land in bucket 0");
+        assert!((h.sum_ms() - 1.0).abs() < 1e-12, "sum stays finite");
+        assert!((h.max_ms() - 1.0).abs() < 1e-12);
     }
 }

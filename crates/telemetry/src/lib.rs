@@ -22,7 +22,7 @@
 //!   are identical at any thread count.
 //!
 //! See `docs/observability.md` for the determinism rules and the
-//! `BENCH_pr4.json` field reference.
+//! `BENCH_pr5.json` field reference.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -12,8 +12,11 @@ use crate::hist::Histogram;
 /// (`ServiceEvent::transition` in `multimap-disksim`): positioning that
 /// fits under the plateau is an adjacency hop and lands in
 /// [`Phase::Settle`], anything longer is a real [`Phase::Seek`]. The
-/// five phase sums therefore add up *exactly* to the observed total
-/// service time — the conformance oracle checks this.
+/// phase sums add up *exactly* to the observed total service time —
+/// the conformance oracle checks this. Requests that hit an injected
+/// fault additionally charge their retry/remap time to
+/// [`Phase::Recovery`]; fault-free runs never record that phase, so
+/// their metrics stay bit-identical to builds without fault support.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum Phase {
     /// Command/controller overhead.
@@ -27,16 +30,20 @@ pub enum Phase {
     Rotation,
     /// Media transfer.
     Transfer,
+    /// Fault-recovery time: retry backoff, timeout burn and the extra
+    /// positioning paid by remapped (degraded) segments.
+    Recovery,
 }
 
 impl Phase {
     /// Every phase, in reporting order.
-    pub const ALL: [Phase; 5] = [
+    pub const ALL: [Phase; 6] = [
         Phase::Overhead,
         Phase::Seek,
         Phase::Settle,
         Phase::Rotation,
         Phase::Transfer,
+        Phase::Recovery,
     ];
 
     /// Stable snake_case name (JSON field).
@@ -47,6 +54,7 @@ impl Phase {
             Phase::Settle => "settle",
             Phase::Rotation => "rotation",
             Phase::Transfer => "transfer",
+            Phase::Recovery => "recovery",
         }
     }
 
@@ -57,6 +65,7 @@ impl Phase {
             Phase::Settle => 2,
             Phase::Rotation => 3,
             Phase::Transfer => 4,
+            Phase::Recovery => 5,
         }
     }
 }
@@ -84,11 +93,22 @@ pub enum Counter {
     PrefetchHit,
     /// Requests serviced.
     RequestsServiced,
+    /// Injected transient (timeout) faults observed on the service path.
+    TransientFault,
+    /// Injected hard media errors observed on the service path.
+    MediaFault,
+    /// Injected slow-read tail-latency events observed.
+    SlowRead,
+    /// Retries issued by the recovery path (one per transient, with the
+    /// bounded-retry policy — the conformance sweep checks equality).
+    RetryAttempt,
+    /// Hard-failed blocks remapped into a track's spare region.
+    BadBlockRemap,
 }
 
 impl Counter {
     /// Every counter, in reporting order.
-    pub const ALL: [Counter; 9] = [
+    pub const ALL: [Counter; 14] = [
         Counter::SeekMemoHit,
         Counter::SeekMemoMiss,
         Counter::TranslationCacheHit,
@@ -98,6 +118,11 @@ impl Counter {
         Counter::SeekTransition,
         Counter::PrefetchHit,
         Counter::RequestsServiced,
+        Counter::TransientFault,
+        Counter::MediaFault,
+        Counter::SlowRead,
+        Counter::RetryAttempt,
+        Counter::BadBlockRemap,
     ];
 
     /// Stable snake_case name (JSON field).
@@ -112,6 +137,11 @@ impl Counter {
             Counter::SeekTransition => "seek_transition",
             Counter::PrefetchHit => "prefetch_hit",
             Counter::RequestsServiced => "requests_serviced",
+            Counter::TransientFault => "transient_fault",
+            Counter::MediaFault => "media_fault",
+            Counter::SlowRead => "slow_read",
+            Counter::RetryAttempt => "retry_attempt",
+            Counter::BadBlockRemap => "bad_block_remap",
         }
     }
 
@@ -126,6 +156,11 @@ impl Counter {
             Counter::SeekTransition => 6,
             Counter::PrefetchHit => 7,
             Counter::RequestsServiced => 8,
+            Counter::TransientFault => 9,
+            Counter::MediaFault => 10,
+            Counter::SlowRead => 11,
+            Counter::RetryAttempt => 12,
+            Counter::BadBlockRemap => 13,
         }
     }
 }

@@ -88,7 +88,7 @@ fn multi_disk_declustered_volume() {
     // 8 chunks declustered over 4 disks, each chunk one batch.
     let batches: Vec<(usize, Vec<Request>, SchedulePolicy)> = (0..8u64)
         .map(|chunk| {
-            let disk = strategy.disk_for(chunk, 4);
+            let disk = strategy.disk_for(chunk, std::num::NonZeroUsize::new(4).unwrap());
             let reqs = (0..16u64)
                 .map(|i| Request::single(chunk * 4096 + i * 37))
                 .collect();
@@ -108,7 +108,7 @@ fn multi_disk_declustered_volume() {
     let cyc = Cyclic::new(3);
     let mut counts = [0; 4];
     for u in 0..100 {
-        counts[cyc.disk_for(u, 4)] += 1;
+        counts[cyc.disk_for(u, std::num::NonZeroUsize::new(4).unwrap())] += 1;
     }
     assert!(counts.iter().all(|&c| c == 25));
 }
