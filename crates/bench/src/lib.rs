@@ -5,10 +5,12 @@
 //! binary dispatches on the command line and writes TSV files next to a
 //! human-readable table.
 //!
-//! Two scales are supported: `Scale::Paper` uses the paper's dataset
+//! Three scales are supported: `Scale::Paper` uses the paper's dataset
 //! sizes (a 259³ synthetic chunk, the (591,75,25,25) OLAP chunk, the
 //! full earthquake configuration); `Scale::Quick` shrinks everything
-//! proportionally for smoke tests and CI.
+//! proportionally for smoke tests and CI; `Scale::Large` keeps the
+//! quick figure datasets but streams tens of millions of requests
+//! through the [`selection`] throughput bench.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -22,5 +24,6 @@ pub mod figure_plots;
 pub mod harness;
 pub mod model_fig;
 pub mod plot;
+pub mod selection;
 
 pub use harness::{Scale, Table};

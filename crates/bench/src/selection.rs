@@ -1,0 +1,242 @@
+//! Selection-throughput benchmark: the incremental rotational-band
+//! SPTF selector against the retained linear-rescan reference, across
+//! the TCQ window spectrum on both paper evaluation drives.
+//!
+//! Each cell streams a scattered request batch through
+//! `service_batch_queued_sptf_{incremental,reference}` at a fixed
+//! window depth. At steady state both implementations hold exactly
+//! `window` requests pending, so serve decisions per second is a pure
+//! selection-speed figure — and because the equivalence suite pins the
+//! two to identical serve orders and timings, the ratio compares the
+//! *same* decisions, made faster. The reference path is the scheduler
+//! the pre-PR6 figures (`BENCH_pr5.json` and earlier) ran on, so the
+//! `speedup` column is the selection-throughput trendline against that
+//! baseline.
+//!
+//! The reference scan costs `O(window)` estimates per decision, so it
+//! is timed over a bounded prefix of the stream; the incremental
+//! selector is timed over the full batch
+//! ([`Scale::selection_decisions`] per cell). Before timing, both
+//! implementations run the reference-sized prefix and the cell asserts
+//! bit-identical simulated time, payload, and eviction counts — a
+//! cheap in-bench restatement of the equivalence guarantee.
+
+// staticcheck: allow-file(no-unwrap) — benchmark code: aborting with a message on a malformed run is the intended failure mode.
+
+use std::time::Instant;
+
+use multimap_disksim::{
+    plain_serve, profiles, service_batch_queued_sptf_incremental,
+    service_batch_queued_sptf_reference, BatchTiming, DiskGeometry, DiskSim, Request,
+    SPTF_INCREMENTAL_MIN_WINDOW,
+};
+
+use crate::harness::{Scale, Table};
+
+/// TCQ window depths of the selection trendline. All are at or above
+/// [`SPTF_INCREMENTAL_MIN_WINDOW`], so the incremental measurements
+/// exercise the rotational-band selector, never the reference scan.
+pub const WINDOWS: [usize; 4] = [64, 256, 1024, 4096];
+
+/// One `(profile, window)` cell of the selection bench.
+#[derive(Clone, Debug)]
+pub struct SelectionCell {
+    /// Disk profile slug.
+    pub profile: &'static str,
+    /// TCQ window depth.
+    pub window: usize,
+    /// Serve decisions timed on the incremental selector.
+    pub incremental_decisions: u64,
+    /// Incremental wall time, seconds.
+    pub incremental_wall_s: f64,
+    /// Incremental serve decisions per second.
+    pub incremental_per_s: f64,
+    /// Serve decisions timed on the linear-rescan reference.
+    pub reference_decisions: u64,
+    /// Reference wall time, seconds.
+    pub reference_wall_s: f64,
+    /// Reference serve decisions per second.
+    pub reference_per_s: f64,
+    /// `incremental_per_s / reference_per_s`.
+    pub speedup: f64,
+    /// Candidates the incremental selector actually estimated per
+    /// decision, averaged (the reference examines `window` per
+    /// decision at steady state).
+    pub candidates_per_decision: f64,
+}
+
+/// Deterministic scattered request stream over the drive's LBN space.
+fn scattered(geom: &DiskGeometry, n: u64) -> Vec<Request> {
+    let span = geom.total_blocks() - 8;
+    (0..n)
+        .map(|i| Request::new(i.wrapping_mul(7_907_693) % span, 1 + i % 4))
+        .collect()
+}
+
+fn run_queued(
+    geom: &DiskGeometry,
+    requests: &[Request],
+    window: usize,
+    incremental: bool,
+) -> (f64, BatchTiming) {
+    let mut sim = DiskSim::new(geom.clone());
+    let start = Instant::now();
+    let out = if incremental {
+        service_batch_queued_sptf_incremental(
+            &mut sim,
+            requests,
+            window,
+            &mut plain_serve,
+            &mut |_| {},
+        )
+    } else {
+        service_batch_queued_sptf_reference(
+            &mut sim,
+            requests,
+            window,
+            &mut plain_serve,
+            &mut |_| {},
+        )
+    }
+    .expect("scattered requests are in range");
+    (start.elapsed().as_secs_f64(), out)
+}
+
+/// Run the full trendline: both evaluation drives × [`WINDOWS`], with
+/// [`Scale::selection_decisions`] serve decisions per cell on the
+/// incremental side.
+pub fn run(scale: Scale) -> Vec<SelectionCell> {
+    let n_inc = scale.selection_decisions();
+    let mut out = Vec::new();
+    for (profile, geom) in [
+        ("cheetah_36es", profiles::cheetah_36es()),
+        ("atlas_10k_iii", profiles::atlas_10k_iii()),
+    ] {
+        let requests = scattered(&geom, n_inc);
+        for window in WINDOWS {
+            assert!(window >= SPTF_INCREMENTAL_MIN_WINDOW);
+            // The reference is O(window) estimates per decision: time it
+            // over a prefix long enough that steady-state selection
+            // dominates the window fill/drain.
+            let n_ref = (4_096 + window as u64).min(n_inc) as usize;
+
+            // Equivalence check on the reference-sized prefix before
+            // any timing: both paths must serve the exact same batch.
+            let (_, inc_prefix) = run_queued(&geom, &requests[..n_ref], window, true);
+            let (ref_wall, ref_out) = run_queued(&geom, &requests[..n_ref], window, false);
+            assert_eq!(
+                inc_prefix.total_ms.to_bits(),
+                ref_out.total_ms.to_bits(),
+                "{profile} w={window}: simulated time diverged"
+            );
+            assert_eq!(
+                inc_prefix.payload, ref_out.payload,
+                "{profile} w={window}: serve payload diverged"
+            );
+            assert_eq!(
+                inc_prefix.sched.window_evictions, ref_out.sched.window_evictions,
+                "{profile} w={window}: eviction decisions diverged"
+            );
+
+            let (inc_wall, inc_out) = run_queued(&geom, &requests, window, true);
+            let incremental_per_s = n_inc as f64 / inc_wall;
+            let reference_per_s = n_ref as f64 / ref_wall;
+            out.push(SelectionCell {
+                profile,
+                window,
+                incremental_decisions: n_inc,
+                incremental_wall_s: inc_wall,
+                incremental_per_s,
+                reference_decisions: n_ref as u64,
+                reference_wall_s: ref_wall,
+                reference_per_s,
+                speedup: incremental_per_s / reference_per_s,
+                candidates_per_decision: inc_out.sched.candidates_examined as f64
+                    / inc_out.requests as f64,
+            });
+        }
+    }
+    out
+}
+
+/// Smallest speedup across both profiles at the given window (the CI
+/// gate reads this at window 4096).
+pub fn min_speedup_at(cells: &[SelectionCell], window: usize) -> f64 {
+    cells
+        .iter()
+        .filter(|c| c.window == window)
+        .map(|c| c.speedup)
+        .fold(f64::INFINITY, f64::min)
+}
+
+/// Render the trendline as a table.
+pub fn table(cells: &[SelectionCell]) -> Table {
+    let mut t = Table::new(
+        "selection: incremental vs linear-rescan SPTF (decisions/s)",
+        &[
+            "profile",
+            "window",
+            "incremental/s",
+            "reference/s",
+            "speedup",
+            "cand/decision",
+        ],
+    );
+    for c in cells {
+        t.row(vec![
+            c.profile.to_string(),
+            c.window.to_string(),
+            format!("{:.0}", c.incremental_per_s),
+            format!("{:.0}", c.reference_per_s),
+            format!("{:.2}", c.speedup),
+            format!("{:.1}", c.candidates_per_decision),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A tiny trendline cell end to end: the in-bench equivalence
+    /// assertions fire, rates are positive, and the incremental side
+    /// examined fewer candidates per decision than the window size.
+    #[test]
+    fn tiny_cell_runs_and_counts_candidates() {
+        let geom = profiles::cheetah_36es();
+        let requests = scattered(&geom, 2_000);
+        let (wall, out) = run_queued(&geom, &requests, 64, true);
+        assert!(wall > 0.0);
+        assert_eq!(out.requests, 2_000);
+        assert!(out.sched.selector_repairs > 0, "incremental path engaged");
+        let per_decision = out.sched.candidates_examined as f64 / out.requests as f64;
+        assert!(
+            per_decision < 64.0,
+            "selector examined {per_decision:.1} candidates/decision, not fewer than the window"
+        );
+    }
+
+    #[test]
+    fn min_speedup_picks_the_weakest_profile() {
+        let mk = |profile, window, speedup| SelectionCell {
+            profile,
+            window,
+            incremental_decisions: 1,
+            incremental_wall_s: 1.0,
+            incremental_per_s: 1.0,
+            reference_decisions: 1,
+            reference_wall_s: 1.0,
+            reference_per_s: 1.0,
+            speedup,
+            candidates_per_decision: 1.0,
+        };
+        let cells = vec![
+            mk("a", 4096, 9.0),
+            mk("b", 4096, 6.0),
+            mk("a", 64, 2.0),
+        ];
+        // staticcheck: allow(float-cmp) — exact literals, no arithmetic.
+        assert_eq!(min_speedup_at(&cells, 4096), 6.0);
+    }
+}

@@ -60,6 +60,65 @@ fn quick_fig6a_is_byte_identical_with_telemetry_on_and_off() {
     assert_eq!(on, off, "telemetry changed fig6a output");
 }
 
+/// The incremental SPTF selector under the engine: a sweep whose every
+/// cell crosses the incremental-dispatch threshold (256-request SPTF
+/// batches and 192-request queued batches at depth 64, both evaluation
+/// drives) produces byte-identical results at 1, 2, 4 and 8 threads —
+/// the same pin the quick fig6a/fig6b/fig7a tests place on the
+/// reference path.
+#[test]
+fn incremental_sptf_sweep_identical_at_all_thread_counts() {
+    use multimap_disksim::{
+        profiles, service_batch_queued_sptf, service_batch_sptf, DiskSim, Request,
+    };
+
+    let run = |threads: usize| {
+        with_threads(threads, || {
+            let disks = profiles::evaluation_disks();
+            let cells: Vec<(usize, u64)> = (0..disks.len())
+                .flat_map(|d| (0..6u64).map(move |s| (d, s)))
+                .collect();
+            multimap_engine::sweep(&cells, |&(d, seed)| {
+                let geom = &disks[d];
+                let total = geom.total_blocks();
+                let reqs: Vec<Request> = (0..256u64)
+                    .map(|i| {
+                        let lbn = i
+                            .wrapping_mul(48_611)
+                            .wrapping_add(seed.wrapping_mul(7_907_693))
+                            % (total - 8);
+                        Request::new(lbn, 1 + (i + seed) % 4)
+                    })
+                    .collect();
+                let mut sim = DiskSim::new(geom.clone());
+                let full = service_batch_sptf(&mut sim, &reqs).expect("in-range");
+                // The dispatch threshold is crossed: these cells really
+                // ran the incremental selector, not the reference scan.
+                assert!(full.sched.selector_repairs > 0, "full batch took reference path");
+                let mut sim = DiskSim::new(geom.clone());
+                let queued =
+                    service_batch_queued_sptf(&mut sim, &reqs[..192], 64).expect("in-range");
+                assert!(queued.sched.selector_repairs > 0, "queued batch took reference path");
+                (
+                    full.total_ms.to_bits(),
+                    full.payload,
+                    queued.total_ms.to_bits(),
+                    queued.payload,
+                    queued.sched.window_evictions,
+                )
+            })
+        })
+    };
+    let baseline = run(1);
+    for threads in [2usize, 4, 8] {
+        assert_eq!(
+            baseline,
+            run(threads),
+            "incremental-scheduler sweep diverged at {threads} threads"
+        );
+    }
+}
+
 /// The merged per-figure record in the global registry is bit-identical
 /// at any thread count (submission-order fold under the engine sweep).
 #[test]

@@ -1,6 +1,6 @@
 //! Golden-trace regression harness.
 //!
-//! A fixed, seeded workload matrix (two disk profiles x five access
+//! A fixed, seeded workload matrix (two disk profiles x eight access
 //! patterns) is serviced through the scheduler layer, and the resulting
 //! [`TraceRecord`] streams are serialized to `tests/golden/*.json` at
 //! the repository root. The checked-in files pin the simulator's exact
@@ -71,9 +71,10 @@ fn random_requests(seed: u64, n: usize, span: u64, max_blocks: u64) -> Vec<Reque
         .collect()
 }
 
-/// The full seeded workload matrix: both paper evaluation drives, five
+/// The full seeded workload matrix: both paper evaluation drives, eight
 /// access patterns each (sequential streaming, coalesced ascending scan,
-/// semi-sequential adjacency walk, random SPTF, random queued SPTF).
+/// semi-sequential adjacency walk, random SPTF, random queued SPTF, and
+/// queued SPTF at TCQ depths 1 / 64 / 4096 over a 192-request batch).
 pub fn workload_matrix() -> Vec<GoldenCase> {
     let mut out = Vec::new();
     for (profile, geometry) in [
@@ -117,10 +118,30 @@ pub fn workload_matrix() -> Vec<GoldenCase> {
         out.push(GoldenCase {
             profile,
             workload: "random_queued_sptf",
-            geometry,
+            geometry: geometry.clone(),
             requests: random_requests(0x5EED_0002, 48, span, 4),
             policy: SchedulePolicy::QueuedSptf(8),
         });
+        // Queued SPTF across the TCQ depth spectrum, pinning window
+        // eviction decisions: depth 1 (pure in-order), depth 64 (a
+        // window under steady admission pressure) and depth 4096
+        // (larger than the batch, so it degenerates to full SPTF).
+        // With 192 requests, depths 64 and 4096 exceed the scheduler's
+        // incremental dispatch threshold while depth 1 stays on the
+        // linear reference scan — the traces pin both code paths.
+        for depth in [1usize, 64, 4096] {
+            out.push(GoldenCase {
+                profile,
+                workload: match depth {
+                    1 => "queued_sptf_depth_1",
+                    64 => "queued_sptf_depth_64",
+                    _ => "queued_sptf_depth_4096",
+                },
+                geometry: geometry.clone(),
+                requests: random_requests(0x5EED_0003, 192, span, 4),
+                policy: SchedulePolicy::QueuedSptf(depth),
+            });
+        }
     }
     out
 }
@@ -249,7 +270,7 @@ mod tests {
     fn matrix_is_deterministic() {
         let a = workload_matrix();
         let b = workload_matrix();
-        assert_eq!(a.len(), 10);
+        assert_eq!(a.len(), 16);
         for (x, y) in a.iter().zip(&b) {
             assert_eq!(x.name(), y.name());
             assert_eq!(x.requests, y.requests);

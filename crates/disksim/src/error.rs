@@ -66,6 +66,9 @@ pub enum DiskError {
         /// First LBN of the aborted command.
         lbn: Lbn,
     },
+    /// A queued-SPTF batch was submitted with `queue_depth == 0`: a
+    /// zero-slot TCQ window can never admit a request.
+    ZeroQueueDepth,
 }
 
 impl fmt::Display for DiskError {
@@ -101,6 +104,9 @@ impl fmt::Display for DiskError {
             }
             DiskError::TransientTimeout { lbn } => {
                 write!(f, "transient timeout servicing command at LBN {lbn}")
+            }
+            DiskError::ZeroQueueDepth => {
+                write!(f, "queued SPTF requires a queue depth of at least 1")
             }
         }
     }

@@ -39,6 +39,21 @@ pub fn locate_call_count() -> u64 {
 /// Bytes per sector/LBN (the paper assumes 512-byte blocks).
 pub const SECTOR_BYTES: u32 = 512;
 
+/// Floating-point guard (in revolutions) against an exact rotational hit
+/// being pushed to a full-revolution wait by representation noise.
+///
+/// Shared between [`DiskGeometry::rotational_wait_from_angle`] (which
+/// clamps any wait above `1 - ROTATION_WRAP_GUARD` revolutions to zero)
+/// and the incremental SPTF selector's rotational-band scan, which
+/// starts each circular bucket walk at the first item the clamp treats
+/// as non-wrapped so the per-item waits it observes are monotone
+/// non-decreasing — the property its early-exit bound relies on. The
+/// scan classifies items by replaying the clamp's own float expressions
+/// (`angle - phase`, `+ 1.0`, `1.0 - ROTATION_WRAP_GUARD`), never a
+/// separately rounded threshold, so the two can never disagree on a
+/// boundary angle.
+pub(crate) const ROTATION_WRAP_GUARD: f64 = 1e-9;
+
 /// A declarative zone description used when building a [`DiskGeometry`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ZoneSpec {
@@ -350,7 +365,7 @@ impl DiskGeometry {
         }
         // Guard against floating-point noise pushing an exact hit to a
         // full-revolution wait.
-        if delta > 1.0 - 1e-9 {
+        if delta > 1.0 - ROTATION_WRAP_GUARD {
             delta = 0.0;
         }
         delta * self.revolution_ms()
@@ -371,6 +386,24 @@ impl DiskGeometry {
             let d = (dcyl - self.settle_cylinders as u64) as f64;
             self.settle_ms + self.seek_a * d.sqrt() + self.seek_b * d
         }
+    }
+
+    /// Lower bound on the seek cost of *any* cylinder distance `>= dcyl`.
+    ///
+    /// [`DiskBuilder::build`] clamps both calibrated tail coefficients to
+    /// be non-negative, so the whole seek curve is weakly monotone in the
+    /// distance (sqrt, multiplication by a non-negative constant and
+    /// addition are all monotone under IEEE-754 rounding) and the suffix
+    /// minimum is simply `seek_ms(dcyl)` itself. The incremental SPTF
+    /// selector uses this as the pruning bound of its outward cylinder
+    /// walk; the bound being the *same float* the estimator later charges
+    /// is what keeps the pruned search bit-identical to the full scan.
+    pub(crate) fn seek_floor_ms(&self, dcyl: u64) -> f64 {
+        debug_assert!(
+            self.seek_a >= 0.0 && self.seek_b >= 0.0,
+            "builder guarantees a monotone seek curve"
+        );
+        self.seek_ms(dcyl)
     }
 
     /// Positioning time from one track to another: pure head switch within
@@ -789,6 +822,34 @@ mod tests {
         // Hits roughly the calibrated full-stroke value.
         let full = g.seek_ms(19);
         assert!((full - 6.0).abs() < 1.0, "full stroke {full}");
+    }
+
+    /// The incremental SPTF selector prunes its outward cylinder walk
+    /// with [`DiskGeometry::seek_floor_ms`], which is only sound if the
+    /// seek curve is weakly monotone in the distance — pin that across
+    /// every geometry the repo ships, over the full stroke.
+    #[test]
+    fn seek_curve_is_monotone_over_full_stroke() {
+        let geoms = [
+            toy(),
+            crate::profiles::cheetah_36es(),
+            crate::profiles::atlas_10k_iii(),
+            crate::profiles::small(),
+        ];
+        for g in geoms {
+            let mut prev = g.seek_ms(0);
+            for d in 1..g.total_cylinders() {
+                let s = g.seek_ms(d);
+                assert!(
+                    s >= prev,
+                    "{}: seek_ms({d}) = {s} < seek_ms({}) = {prev}",
+                    g.name,
+                    d - 1
+                );
+                assert_eq!(s.to_bits(), g.seek_floor_ms(d).to_bits());
+                prev = s;
+            }
+        }
     }
 
     #[test]

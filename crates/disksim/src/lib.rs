@@ -45,6 +45,7 @@ pub mod geometry;
 pub mod observe;
 pub mod profiles;
 pub mod scheduler;
+mod selector;
 pub mod sim;
 pub mod stats;
 pub mod trace;
@@ -60,8 +61,10 @@ pub use scheduler::{
     coalesce_sorted, plain_serve, service_batch_ascending, service_batch_ascending_observed,
     service_batch_ascending_serving, service_batch_in_order, service_batch_in_order_observed,
     service_batch_in_order_serving, service_batch_queued_sptf,
-    service_batch_queued_sptf_observed, service_batch_queued_sptf_serving, service_batch_sptf,
-    service_batch_sptf_observed, service_batch_sptf_serving, BatchTiming, SchedStats, ServeFn,
+    service_batch_queued_sptf_incremental, service_batch_queued_sptf_observed,
+    service_batch_queued_sptf_reference, service_batch_queued_sptf_serving, service_batch_sptf,
+    service_batch_sptf_incremental, service_batch_sptf_observed, service_batch_sptf_reference,
+    service_batch_sptf_serving, BatchTiming, SchedStats, ServeFn, SPTF_INCREMENTAL_MIN_WINDOW,
 };
 pub use sim::{AccessKind, DiskSim, HeadState, Request, RequestProfile, RequestTiming, SeekMemo};
 pub use stats::AccessStats;

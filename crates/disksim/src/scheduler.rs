@@ -10,11 +10,23 @@
 //!   disk's internal scheduler. When a MultiMap beam query issues all its
 //!   blocks at once, SPTF discovers the semi-sequential path by itself.
 
-use crate::error::Result;
+use crate::error::{DiskError, Result};
 use crate::fault::{request_payload, FaultOutcome};
 use crate::geometry::Lbn;
 use crate::observe::ServiceEvent;
+use crate::selector::SptfSelector;
 use crate::sim::{AccessKind, DiskSim, Request, RequestProfile, RequestTiming, SeekMemo};
+
+/// Smallest SPTF window routed to the incremental selection structure.
+///
+/// Below this, [`service_batch_sptf_serving`] and
+/// [`service_batch_queued_sptf_serving`] use the linear reference scan:
+/// the two are bit-identical in behavior (see
+/// `tests/scheduler_equivalence.rs`), but building the band structure
+/// costs more than it saves on a handful of candidates. The queued
+/// policy compares its *effective* window,
+/// `queue_depth.min(requests.len())`, against this bound.
+pub const SPTF_INCREMENTAL_MIN_WINDOW: usize = 48;
 
 /// How a batch policy actually serves one chosen request. The default
 /// ([`plain_serve`]) calls [`DiskSim::service`] directly; a storage
@@ -41,6 +53,18 @@ pub struct SchedStats {
     /// to admit the next pending one (TCQ window pressure); zero for
     /// full SPTF, which admits everything up front.
     pub window_evictions: u64,
+    /// Rotational-band buckets whose angle scan was entered during
+    /// incremental selection; zero on the linear reference path, which
+    /// has no bucket structure.
+    pub bucket_scans: u64,
+    /// Candidate service-time estimates evaluated during selection. The
+    /// reference scan evaluates every pending request per serve (`n`
+    /// per round); the incremental selector evaluates only candidates
+    /// its pruning bounds cannot exclude.
+    pub candidates_examined: u64,
+    /// Incremental-structure repairs (admissions plus removals) applied
+    /// to the selector; zero on the linear reference path.
+    pub selector_repairs: u64,
 }
 
 impl SchedStats {
@@ -49,6 +73,9 @@ impl SchedStats {
         self.seek_memo_hits += other.seek_memo_hits;
         self.seek_memo_misses += other.seek_memo_misses;
         self.window_evictions += other.window_evictions;
+        self.bucket_scans += other.bucket_scans;
+        self.candidates_examined += other.candidates_examined;
+        self.selector_repairs += other.selector_repairs;
     }
 }
 
@@ -225,8 +252,10 @@ pub fn service_batch_in_order_serving(
 /// policy: at each step pick the pending request with the smallest
 /// estimated service time from the current head state.
 ///
-/// Runs in `O(n^2)` service-time estimates; intended for batches up to a
-/// few thousand requests (beam queries).
+/// Batches of at least [`SPTF_INCREMENTAL_MIN_WINDOW`] requests are
+/// served through the incremental rotational-band selector (near-linear
+/// estimate counts in practice); smaller ones through the `O(n²)`
+/// linear reference scan. The two are behaviorally identical.
 pub fn service_batch_sptf(sim: &mut DiskSim, requests: &[Request]) -> Result<BatchTiming> {
     service_batch_sptf_observed(sim, requests, &mut |_| {})
 }
@@ -246,7 +275,33 @@ pub fn service_batch_sptf_observed(
 /// (recovery hook). Selection still estimates against the *logical*
 /// request from the current head state — the scheduler is not
 /// clairvoyant about faults or remapped blocks.
+///
+/// Dispatches on window size: batches of at least
+/// [`SPTF_INCREMENTAL_MIN_WINDOW`] requests use the incremental
+/// rotational-band selector, smaller batches the linear reference scan.
+/// The two produce identical serve orders and timings on every input
+/// (only the implementation-level [`SchedStats`] counters differ), so
+/// the split is invisible to callers.
 pub fn service_batch_sptf_serving(
+    sim: &mut DiskSim,
+    requests: &[Request],
+    serve: &mut ServeFn<'_>,
+    observe: &mut dyn FnMut(ServiceEvent),
+) -> Result<BatchTiming> {
+    if requests.len() >= SPTF_INCREMENTAL_MIN_WINDOW {
+        service_batch_sptf_incremental(sim, requests, serve, observe)
+    } else {
+        service_batch_sptf_reference(sim, requests, serve, observe)
+    }
+}
+
+/// The linear reference SPTF scan: every pending request is re-estimated
+/// per serve, `O(n²)` estimates per batch.
+///
+/// Retained (and exported) as the behavioral oracle for
+/// [`service_batch_sptf_incremental`]; the equivalence suite pins the
+/// two to identical serve orders, timings, and events.
+pub fn service_batch_sptf_reference(
     sim: &mut DiskSim,
     requests: &[Request],
     serve: &mut ServeFn<'_>,
@@ -272,6 +327,7 @@ pub fn service_batch_sptf_serving(
                 best_idx = i;
             }
         }
+        out.sched.candidates_examined += pending.len() as u64;
         let queue_len = pending.len();
         let (rank, profile) = pending.swap_remove(best_idx);
         serve_observed(sim, profile.request(), &mut out, rank, queue_len, serve, observe)?;
@@ -282,14 +338,52 @@ pub fn service_batch_sptf_serving(
     Ok(out)
 }
 
+/// SPTF via the incremental rotational-band selector: pending requests
+/// are bucketed by arrival band per cylinder group and each serve
+/// evaluates only the candidates the selector's lower bounds cannot
+/// exclude — `O(n · k)` estimates for small per-round candidate counts
+/// `k`, instead of the reference scan's `O(n²)`.
+///
+/// Behaviorally identical to [`service_batch_sptf_reference`] on every
+/// input, including exact positioning-time ties.
+pub fn service_batch_sptf_incremental(
+    sim: &mut DiskSim,
+    requests: &[Request],
+    serve: &mut ServeFn<'_>,
+    observe: &mut dyn FnMut(ServiceEvent),
+) -> Result<BatchTiming> {
+    let mut selector = SptfSelector::with_capacity(requests.len());
+    for (rank, req) in requests.iter().enumerate() {
+        selector.admit(rank, RequestProfile::new(sim.geometry(), *req)?);
+    }
+    let mut memo = SeekMemo::new();
+    let mut out = BatchTiming::default();
+    while let Some(slot) = selector.select(sim, &mut memo)? {
+        let queue_len = selector.live();
+        let (rank, req) = selector.remove(slot);
+        serve_observed(sim, req, &mut out, rank, queue_len, serve, observe)?;
+        memo.begin_round();
+    }
+    out.sched.seek_memo_hits = memo.hits();
+    out.sched.seek_memo_misses = memo.misses();
+    let sel = selector.stats();
+    out.sched.bucket_scans = sel.bucket_scans;
+    out.sched.candidates_examined = sel.candidates_examined;
+    out.sched.selector_repairs = sel.repairs;
+    Ok(out)
+}
+
 /// Serve the requests with a queue-depth-limited SPTF policy: requests
 /// enter the disk's queue in the order given (typically ascending LBN,
 /// as the storage manager issues them) and the disk repeatedly serves
 /// the queued request with the smallest estimated service time —
 /// modelling SCSI tagged command queueing.
 ///
-/// `queue_depth = 1` degenerates to in-order service; large depths
-/// approach full SPTF. Runs in `O(n * queue_depth)` estimates.
+/// `queue_depth = 1` degenerates to in-order service; depths of at
+/// least the batch size are *identical* to full SPTF (same fill order,
+/// zero evictions). `queue_depth = 0` is a
+/// [`DiskError::ZeroQueueDepth`] error: a zero-slot window can never
+/// admit a request.
 pub fn service_batch_queued_sptf(
     sim: &mut DiskSim,
     requests: &[Request],
@@ -312,6 +406,13 @@ pub fn service_batch_queued_sptf_observed(
 
 /// [`service_batch_queued_sptf_observed`] with a caller-supplied serve
 /// closure (recovery hook).
+///
+/// Dispatches on the *effective* window,
+/// `queue_depth.min(requests.len())`: windows of at least
+/// [`SPTF_INCREMENTAL_MIN_WINDOW`] use the incremental rotational-band
+/// selector, smaller ones the linear reference scan. The two produce
+/// identical serve orders, timings, and eviction decisions on every
+/// input.
 pub fn service_batch_queued_sptf_serving(
     sim: &mut DiskSim,
     requests: &[Request],
@@ -319,11 +420,33 @@ pub fn service_batch_queued_sptf_serving(
     serve: &mut ServeFn<'_>,
     observe: &mut dyn FnMut(ServiceEvent),
 ) -> Result<BatchTiming> {
-    let depth = queue_depth.max(1);
+    if queue_depth.min(requests.len()) >= SPTF_INCREMENTAL_MIN_WINDOW {
+        service_batch_queued_sptf_incremental(sim, requests, queue_depth, serve, observe)
+    } else {
+        service_batch_queued_sptf_reference(sim, requests, queue_depth, serve, observe)
+    }
+}
+
+/// The linear reference queued-SPTF scan: every queued request is
+/// re-estimated per serve, `O(n · queue_depth)` estimates per batch.
+///
+/// Retained (and exported) as the behavioral oracle for
+/// [`service_batch_queued_sptf_incremental`].
+pub fn service_batch_queued_sptf_reference(
+    sim: &mut DiskSim,
+    requests: &[Request],
+    queue_depth: usize,
+    serve: &mut ServeFn<'_>,
+    observe: &mut dyn FnMut(ServiceEvent),
+) -> Result<BatchTiming> {
+    if queue_depth == 0 {
+        return Err(DiskError::ZeroQueueDepth);
+    }
+    let depth = queue_depth;
     let mut out = BatchTiming::default();
     // Profiles are built at admission, preserving the original error
     // order (an invalid request fails when it would enter the queue).
-    let mut queue: Vec<(usize, RequestProfile)> = Vec::with_capacity(depth);
+    let mut queue: Vec<(usize, RequestProfile)> = Vec::with_capacity(depth.min(requests.len()));
     let mut memo = SeekMemo::new();
     let mut next = 0usize;
     while next < requests.len() && queue.len() < depth {
@@ -340,6 +463,7 @@ pub fn service_batch_queued_sptf_serving(
                 best_idx = i;
             }
         }
+        out.sched.candidates_examined += queue.len() as u64;
         let queue_len = queue.len();
         let (rank, profile) = queue.swap_remove(best_idx);
         serve_observed(sim, profile.request(), &mut out, rank, queue_len, serve, observe)?;
@@ -354,6 +478,50 @@ pub fn service_batch_queued_sptf_serving(
     }
     out.sched.seek_memo_hits = memo.hits();
     out.sched.seek_memo_misses = memo.misses();
+    Ok(out)
+}
+
+/// Queued SPTF via the incremental rotational-band selector. Admission
+/// order, eviction accounting, and error order (profiles are built when
+/// a request would enter the queue) all mirror
+/// [`service_batch_queued_sptf_reference`] exactly.
+pub fn service_batch_queued_sptf_incremental(
+    sim: &mut DiskSim,
+    requests: &[Request],
+    queue_depth: usize,
+    serve: &mut ServeFn<'_>,
+    observe: &mut dyn FnMut(ServiceEvent),
+) -> Result<BatchTiming> {
+    if queue_depth == 0 {
+        return Err(DiskError::ZeroQueueDepth);
+    }
+    let depth = queue_depth;
+    let mut out = BatchTiming::default();
+    let mut selector = SptfSelector::with_capacity(depth.min(requests.len()));
+    let mut memo = SeekMemo::new();
+    let mut next = 0usize;
+    while next < requests.len() && selector.live() < depth {
+        selector.admit(next, RequestProfile::new(sim.geometry(), requests[next])?);
+        next += 1;
+    }
+    while let Some(slot) = selector.select(sim, &mut memo)? {
+        let queue_len = selector.live();
+        let (rank, req) = selector.remove(slot);
+        serve_observed(sim, req, &mut out, rank, queue_len, serve, observe)?;
+        memo.begin_round();
+        if next < requests.len() {
+            // Same TCQ eviction accounting as the reference scan.
+            out.sched.window_evictions += 1;
+            selector.admit(next, RequestProfile::new(sim.geometry(), requests[next])?);
+            next += 1;
+        }
+    }
+    out.sched.seek_memo_hits = memo.hits();
+    out.sched.seek_memo_misses = memo.misses();
+    let sel = selector.stats();
+    out.sched.bucket_scans = sel.bucket_scans;
+    out.sched.candidates_examined = sel.candidates_examined;
+    out.sched.selector_repairs = sel.repairs;
     Ok(out)
 }
 

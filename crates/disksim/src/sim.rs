@@ -151,6 +151,13 @@ pub struct RequestProfile {
     /// segment (`sector + nblocks <= spt`); `None` forces the exact
     /// multi-track simulation fallback.
     single_track_xfer_ms: Option<f64>,
+    /// Exact media-transfer time of the first track segment — the whole
+    /// transfer for a single-track request. Bit-identical to the
+    /// estimator's first-segment term, and a provable lower bound on the
+    /// estimate's total transfer component, which is what lets the
+    /// incremental selector keep multi-track requests inside its pruned
+    /// band index.
+    first_segment_xfer_ms: f64,
     /// Transfer sum of the sequential-continuation (prefetch) fast path.
     seq_transfer_ms: f64,
 }
@@ -171,8 +178,12 @@ impl RequestProfile {
         }
         let loc = geom.locate(req.lbn)?;
         let start_angle = geom.sector_start_angle(&loc);
+        // Same `take` and float product as `simulate_inner`'s first
+        // segment iteration, so the cached value is bit-identical.
+        let take = req.nblocks.min((loc.spt - loc.sector) as u64);
+        let first_segment_xfer_ms = take as f64 * geom.sector_time_ms(&geom.zones()[loc.zone]);
         let single_track_xfer_ms = if loc.sector as u64 + req.nblocks <= loc.spt as u64 {
-            Some(req.nblocks as f64 * geom.sector_time_ms(&geom.zones()[loc.zone]))
+            Some(first_segment_xfer_ms)
         } else {
             None
         };
@@ -193,6 +204,7 @@ impl RequestProfile {
             loc,
             start_angle,
             single_track_xfer_ms,
+            first_segment_xfer_ms,
             seq_transfer_ms,
         })
     }
@@ -201,6 +213,36 @@ impl RequestProfile {
     #[inline]
     pub fn request(&self) -> Request {
         self.req
+    }
+
+    /// Physical location of the request's first block.
+    #[inline]
+    pub(crate) fn loc(&self) -> &Location {
+        &self.loc
+    }
+
+    /// Start angle of the first block, in revolutions.
+    #[inline]
+    pub(crate) fn start_angle(&self) -> f64 {
+        self.start_angle
+    }
+
+    /// Single-track transfer time, `None` for multi-track requests.
+    /// (The estimator reads the field directly; tests assert through
+    /// this accessor.)
+    #[cfg(test)]
+    #[inline]
+    pub(crate) fn single_track_xfer_ms(&self) -> Option<f64> {
+        self.single_track_xfer_ms
+    }
+
+    /// Exact transfer time of the first track segment (the whole
+    /// transfer for a single-track request) — a lower bound on the
+    /// estimate's transfer component, bit-identical to the estimator's
+    /// own first-segment term.
+    #[inline]
+    pub(crate) fn first_segment_xfer_ms(&self) -> f64 {
+        self.first_segment_xfer_ms
     }
 }
 
@@ -241,7 +283,7 @@ impl SeekMemo {
         self.misses
     }
 
-    fn positioning(
+    pub(crate) fn positioning(
         &mut self,
         geom: &DiskGeometry,
         from_cylinder: u64,

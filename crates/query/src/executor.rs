@@ -580,6 +580,9 @@ impl<'a> QueryExecutor<'a> {
             s.counter(Counter::SeekMemoHit, batch.sched.seek_memo_hits);
             s.counter(Counter::SeekMemoMiss, batch.sched.seek_memo_misses);
             s.counter(Counter::SptfWindowEviction, batch.sched.window_evictions);
+            s.counter(Counter::SptfBucketScan, batch.sched.bucket_scans);
+            s.counter(Counter::SptfCandidateExamined, batch.sched.candidates_examined);
+            s.counter(Counter::SptfSelectorRepair, batch.sched.selector_repairs);
         }
         Ok(QueryResult::from_batch(batch, cells))
     }
@@ -675,6 +678,9 @@ pub fn service_lbns_sinked(
         s.counter(Counter::SeekMemoHit, batch.sched.seek_memo_hits);
         s.counter(Counter::SeekMemoMiss, batch.sched.seek_memo_misses);
         s.counter(Counter::SptfWindowEviction, batch.sched.window_evictions);
+        s.counter(Counter::SptfBucketScan, batch.sched.bucket_scans);
+        s.counter(Counter::SptfCandidateExamined, batch.sched.candidates_examined);
+        s.counter(Counter::SptfSelectorRepair, batch.sched.selector_repairs);
     }
     Ok(QueryResult::from_batch(batch, cells))
 }

@@ -104,11 +104,20 @@ pub enum Counter {
     RetryAttempt,
     /// Hard-failed blocks remapped into a track's spare region.
     BadBlockRemap,
+    /// Rotational-band buckets scanned by the incremental SPTF
+    /// selector; zero when batches ran on the linear reference scan.
+    SptfBucketScan,
+    /// Candidate service-time estimates evaluated during SPTF selection
+    /// (reference scan: every pending request per serve; incremental
+    /// selector: only candidates its pruning bounds cannot exclude).
+    SptfCandidateExamined,
+    /// Incremental selector structure repairs (admissions + removals).
+    SptfSelectorRepair,
 }
 
 impl Counter {
     /// Every counter, in reporting order.
-    pub const ALL: [Counter; 14] = [
+    pub const ALL: [Counter; 17] = [
         Counter::SeekMemoHit,
         Counter::SeekMemoMiss,
         Counter::TranslationCacheHit,
@@ -123,6 +132,9 @@ impl Counter {
         Counter::SlowRead,
         Counter::RetryAttempt,
         Counter::BadBlockRemap,
+        Counter::SptfBucketScan,
+        Counter::SptfCandidateExamined,
+        Counter::SptfSelectorRepair,
     ];
 
     /// Stable snake_case name (JSON field).
@@ -142,6 +154,9 @@ impl Counter {
             Counter::SlowRead => "slow_read",
             Counter::RetryAttempt => "retry_attempt",
             Counter::BadBlockRemap => "bad_block_remap",
+            Counter::SptfBucketScan => "sptf_bucket_scan",
+            Counter::SptfCandidateExamined => "sptf_candidate_examined",
+            Counter::SptfSelectorRepair => "sptf_selector_repair",
         }
     }
 
@@ -161,6 +176,9 @@ impl Counter {
             Counter::SlowRead => 11,
             Counter::RetryAttempt => 12,
             Counter::BadBlockRemap => 13,
+            Counter::SptfBucketScan => 14,
+            Counter::SptfCandidateExamined => 15,
+            Counter::SptfSelectorRepair => 16,
         }
     }
 }

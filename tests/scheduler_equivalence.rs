@@ -1,0 +1,361 @@
+//! Scheduler equivalence suite: the incremental rotational-band SPTF
+//! selector must be *behaviorally identical* to the retained naive
+//! O(n²) reference scan — same serve order, same timings, same
+//! eviction decisions — on every input, including exact
+//! positioning-time ties.
+//!
+//! The suite drives both implementations directly (bypassing the
+//! window-size dispatch in `service_batch_sptf_serving`, which would
+//! otherwise make small-batch comparisons vacuous) over random
+//! workloads × both evaluation drives × all four mappings, plus
+//! explicit regression cases for ties, single-request windows, and the
+//! queued-SPTF edge cases (empty batch, depth 0, depth > n).
+//!
+//! Comparison is *semantic*: full `ServiceEvent` streams (order, ranks,
+//! queue lengths, mechanical before/after states, per-request timings)
+//! and the semantic `BatchTiming` fields (requests, blocks, bit-exact
+//! `total_ms`, payload checksum, window evictions). The
+//! implementation-level `SchedStats` counters (memo hits, candidates
+//! examined, bucket scans, repairs) differ by design — that asymmetry
+//! is the whole point of the rewrite.
+
+use multimap::core::{
+    hilbert_mapping, zorder_mapping, GridSpec, Mapping, MultiMapping, NaiveMapping,
+};
+use multimap::disksim::{
+    plain_serve, profiles, service_batch_queued_sptf, service_batch_queued_sptf_incremental,
+    service_batch_queued_sptf_reference, service_batch_sptf, service_batch_sptf_incremental,
+    service_batch_sptf_reference, BatchTiming, DiskError, DiskGeometry, DiskSim, Request,
+    ServiceEvent, ServiceLog, SPTF_INCREMENTAL_MIN_WINDOW,
+};
+use proptest::prelude::*;
+
+type Run = (BatchTiming, Vec<ServiceEvent>);
+
+fn run_full(geom: &DiskGeometry, reqs: &[Request], incremental: bool) -> Run {
+    let mut sim = DiskSim::new(geom.clone());
+    let mut log = ServiceLog::new();
+    let t = if incremental {
+        service_batch_sptf_incremental(&mut sim, reqs, &mut plain_serve, &mut log.recorder())
+    } else {
+        service_batch_sptf_reference(&mut sim, reqs, &mut plain_serve, &mut log.recorder())
+    }
+    .expect("equivalence workloads are valid");
+    (t, log.events().to_vec())
+}
+
+fn run_queued(geom: &DiskGeometry, reqs: &[Request], depth: usize, incremental: bool) -> Run {
+    let mut sim = DiskSim::new(geom.clone());
+    let mut log = ServiceLog::new();
+    let t = if incremental {
+        service_batch_queued_sptf_incremental(
+            &mut sim,
+            reqs,
+            depth,
+            &mut plain_serve,
+            &mut log.recorder(),
+        )
+    } else {
+        service_batch_queued_sptf_reference(
+            &mut sim,
+            reqs,
+            depth,
+            &mut plain_serve,
+            &mut log.recorder(),
+        )
+    }
+    .expect("equivalence workloads are valid");
+    (t, log.events().to_vec())
+}
+
+/// Semantic equality: identical event streams and identical
+/// caller-visible `BatchTiming` fields. Counters are excluded (the two
+/// implementations count different things).
+fn assert_same(reference: &Run, incremental: &Run, ctx: &str) {
+    let (ta, ea) = reference;
+    let (tb, eb) = incremental;
+    assert_eq!(ta.requests, tb.requests, "{ctx}: request count");
+    assert_eq!(ta.blocks, tb.blocks, "{ctx}: block count");
+    assert_eq!(
+        ta.total_ms.to_bits(),
+        tb.total_ms.to_bits(),
+        "{ctx}: total time diverged ({} vs {})",
+        ta.total_ms,
+        tb.total_ms
+    );
+    assert_eq!(ta.payload, tb.payload, "{ctx}: payload checksum");
+    assert_eq!(
+        ta.sched.window_evictions, tb.sched.window_evictions,
+        "{ctx}: eviction decisions"
+    );
+    assert_eq!(ea.len(), eb.len(), "{ctx}: event count");
+    for (i, (x, y)) in ea.iter().zip(eb.iter()).enumerate() {
+        assert_eq!(x, y, "{ctx}: event {i} diverged");
+    }
+}
+
+/// Check full SPTF plus a spread of queue depths on one workload.
+fn check_workload(geom: &DiskGeometry, reqs: &[Request], ctx: &str) {
+    assert_same(
+        &run_full(geom, reqs, false),
+        &run_full(geom, reqs, true),
+        &format!("{ctx} full"),
+    );
+    for depth in [1usize, 7, SPTF_INCREMENTAL_MIN_WINDOW, 64] {
+        assert_same(
+            &run_queued(geom, reqs, depth, false),
+            &run_queued(geom, reqs, depth, true),
+            &format!("{ctx} queued depth {depth}"),
+        );
+    }
+}
+
+/// LBNs of pseudo-randomly picked cells of a 3-D grid under one of the
+/// paper's four mappings (Naive, Z-order, Hilbert, MultiMap). Repeated
+/// picks produce duplicate LBNs — exact positioning-time ties.
+fn mapping_lbns(geom: &DiskGeometry, mapping: usize, picks: &[usize]) -> Vec<u64> {
+    let grid = GridSpec::new([24u64, 12, 6]);
+    let naive;
+    let zord;
+    let hilb;
+    let mm;
+    let m: &dyn Mapping = match mapping {
+        0 => {
+            naive = NaiveMapping::new(grid.clone(), 0);
+            &naive
+        }
+        1 => {
+            zord = zorder_mapping(grid.clone(), 0, 1).expect("grid fits");
+            &zord
+        }
+        2 => {
+            hilb = hilbert_mapping(grid.clone(), 0, 1).expect("grid fits");
+            &hilb
+        }
+        _ => {
+            mm = MultiMapping::new(geom, grid.clone()).expect("chunk fits the disk");
+            &mm
+        }
+    };
+    let mut all = Vec::new();
+    grid.for_each_cell(|c| all.push(m.lbn_of(c).expect("cell in grid")));
+    picks.iter().map(|&i| all[i % all.len()]).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Random cell picks under all four mappings, on both evaluation
+    /// drives: identical serve order, timings and evictions.
+    #[test]
+    fn equivalent_over_mappings_and_drives(
+        picks in proptest::collection::vec(0usize..4_000_000, 1..100),
+    ) {
+        for geom in profiles::evaluation_disks() {
+            for mapping in 0..4usize {
+                let reqs: Vec<Request> = mapping_lbns(&geom, mapping, &picks)
+                    .into_iter()
+                    .map(Request::single)
+                    .collect();
+                check_workload(&geom, &reqs, &format!("mapping {mapping}"));
+            }
+        }
+    }
+
+    /// Scattered multi-block batches with duplicates and interleaved
+    /// sequential runs (exercising the prefetch fast path).
+    #[test]
+    fn equivalent_on_scattered_and_sequential_batches(
+        pairs in proptest::collection::vec((0u64..u64::MAX, 1u64..6, 0u8..2), 1..110),
+    ) {
+        for geom in profiles::evaluation_disks() {
+            let total = geom.total_blocks();
+            let mut reqs = Vec::new();
+            for &(raw, nblocks, chain) in &pairs {
+                let lbn = raw % (total - 16);
+                reqs.push(Request::new(lbn, nblocks));
+                if chain == 1 {
+                    // A contiguous continuation: once its predecessor is
+                    // served, this request is a read-ahead candidate.
+                    reqs.push(Request::new(lbn + nblocks, nblocks));
+                }
+            }
+            check_workload(&geom, &reqs, "scattered");
+        }
+    }
+
+    /// Long requests crossing track (and cylinder) boundaries take the
+    /// selector's exhaustive multi-track side path; mixed with short
+    /// ones they must still serve in reference order.
+    #[test]
+    fn equivalent_with_multi_track_requests(
+        pairs in proptest::collection::vec((0u64..u64::MAX, 1u64..700), 1..40),
+    ) {
+        for geom in profiles::evaluation_disks() {
+            let total = geom.total_blocks();
+            let reqs: Vec<Request> = pairs
+                .iter()
+                .map(|&(raw, nblocks)| Request::new(raw % (total - 1024), nblocks))
+                .collect();
+            check_workload(&geom, &reqs, "multi-track");
+        }
+    }
+}
+
+/// Regression: exact positioning-time ties (duplicate requests) must
+/// resolve to the reference scan's winner — first strictly-smaller
+/// estimate over the swap_remove-compacted pending vec — at any batch
+/// size, below and above the dispatch threshold.
+#[test]
+fn positioning_time_ties_resolve_identically() {
+    for geom in profiles::evaluation_disks() {
+        let total = geom.total_blocks();
+        for n in [2usize, 6, 96] {
+            // All-duplicates: every round is an n-way exact tie.
+            let reqs: Vec<Request> = (0..n).map(|_| Request::single(total / 3)).collect();
+            check_workload(&geom, &reqs, &format!("{n} duplicates"));
+            // Duplicates mixed with distinct near/far requests.
+            let reqs: Vec<Request> = (0..n)
+                .map(|i| match i % 3 {
+                    0 => Request::single(total / 3),
+                    1 => Request::single(total / 3),
+                    _ => Request::single((i as u64 * 7_907_693) % (total - 8)),
+                })
+                .collect();
+            check_workload(&geom, &reqs, &format!("{n} mixed ties"));
+        }
+    }
+}
+
+/// Regression: a single-request window has exactly one legal decision;
+/// both implementations must make it with identical accounting.
+#[test]
+fn single_request_windows_are_identical() {
+    for geom in profiles::evaluation_disks() {
+        let req = [Request::new(12_345, 3)];
+        check_workload(&geom, &req, "single request");
+        // Depth-1 queued service over many requests: a window of one is
+        // in-order service in both implementations.
+        let reqs: Vec<Request> =
+            (0..70u64).map(|i| Request::single((i * 48_611) % 1_000_000)).collect();
+        assert_same(
+            &run_queued(&geom, &reqs, 1, false),
+            &run_queued(&geom, &reqs, 1, true),
+            "depth-1 window",
+        );
+    }
+}
+
+/// The public entry points dispatch across the window-size threshold
+/// without a visible seam: straddling batch sizes all match the
+/// reference scan run directly.
+#[test]
+fn dispatch_is_invisible_across_the_threshold() {
+    let geom = profiles::cheetah_36es();
+    let total = geom.total_blocks();
+    for n in [
+        SPTF_INCREMENTAL_MIN_WINDOW - 1,
+        SPTF_INCREMENTAL_MIN_WINDOW,
+        SPTF_INCREMENTAL_MIN_WINDOW + 1,
+        200,
+    ] {
+        let reqs: Vec<Request> = (0..n as u64)
+            .map(|i| Request::single((i * 7_907_693) % (total - 8)))
+            .collect();
+        let reference = run_full(&geom, &reqs, false);
+        let mut sim = DiskSim::new(geom.clone());
+        let mut log = ServiceLog::new();
+        let t = {
+            let mut obs = log.recorder();
+            let mut observed = |e: ServiceEvent| obs(e);
+            multimap::disksim::service_batch_sptf_serving(
+                &mut sim,
+                &reqs,
+                &mut plain_serve,
+                &mut observed,
+            )
+            .expect("valid batch")
+        };
+        assert_same(&reference, &(t, log.events().to_vec()), &format!("entry n={n}"));
+    }
+}
+
+/// Edge case: an empty batch is a no-op for every implementation.
+#[test]
+fn empty_batch_is_a_no_op() {
+    let geom = profiles::atlas_10k_iii();
+    let mut sim = DiskSim::new(geom.clone());
+    let t = service_batch_sptf(&mut sim, &[]).expect("empty batch is valid");
+    assert_eq!(t, BatchTiming::default());
+    let empty = run_full(&geom, &[], true);
+    assert_eq!(empty.0, BatchTiming::default());
+    assert!(empty.1.is_empty());
+    let mut sim = DiskSim::new(geom.clone());
+    let t = service_batch_queued_sptf(&mut sim, &[], 8).expect("empty batch is valid");
+    assert_eq!(t, BatchTiming::default());
+}
+
+/// Edge case: queue depth 0 is a typed error on every queued entry
+/// point (it used to be silently clamped to 1), even for empty batches.
+#[test]
+fn zero_queue_depth_is_a_typed_error() {
+    let geom = profiles::atlas_10k_iii();
+    let reqs = [Request::single(5), Request::single(99)];
+    let mut sim = DiskSim::new(geom.clone());
+    assert_eq!(
+        service_batch_queued_sptf(&mut sim, &reqs, 0),
+        Err(DiskError::ZeroQueueDepth)
+    );
+    assert_eq!(
+        service_batch_queued_sptf(&mut sim, &[], 0),
+        Err(DiskError::ZeroQueueDepth)
+    );
+    let mut log = ServiceLog::new();
+    assert_eq!(
+        service_batch_queued_sptf_reference(
+            &mut sim,
+            &reqs,
+            0,
+            &mut plain_serve,
+            &mut log.recorder()
+        ),
+        Err(DiskError::ZeroQueueDepth)
+    );
+    assert_eq!(
+        service_batch_queued_sptf_incremental(
+            &mut sim,
+            &reqs,
+            0,
+            &mut plain_serve,
+            &mut log.recorder()
+        ),
+        Err(DiskError::ZeroQueueDepth)
+    );
+    // The failed calls served nothing and left the clock untouched.
+    assert_eq!(sim.state().time_ms.to_bits(), 0f64.to_bits());
+}
+
+/// Edge case: a queue depth of at least the batch size admits the whole
+/// batch up front, making queued SPTF *identical* to full SPTF — same
+/// events, zero evictions — in both implementations.
+#[test]
+fn depth_beyond_batch_size_equals_full_sptf() {
+    for geom in profiles::evaluation_disks() {
+        let total = geom.total_blocks();
+        let reqs: Vec<Request> = (0..90u64)
+            .map(|i| Request::new((i * 4_861_127) % (total - 8), 1 + i % 4))
+            .collect();
+        let full = run_full(&geom, &reqs, false);
+        for depth in [reqs.len(), reqs.len() + 1, 4096] {
+            for incremental in [false, true] {
+                let queued = run_queued(&geom, &reqs, depth, incremental);
+                assert_same(
+                    &full,
+                    &queued,
+                    &format!("depth {depth} incremental {incremental}"),
+                );
+                assert_eq!(queued.0.sched.window_evictions, 0);
+            }
+        }
+    }
+}
