@@ -101,6 +101,7 @@ fn main() {
     }
 
     for fig in figures {
+        // staticcheck: allow(det-wall-clock) — progress reporting only: the elapsed time is printed to stderr and never reaches a figure table.
         let started = Instant::now();
         match fig {
             "fig1" => {

@@ -26,6 +26,8 @@
 //! (5x at `large`/`paper` scale — the acceptance figure — or a softer
 //! 3x at `quick`, where short cells are fill/drain- and noise-bound).
 
+
+// staticcheck: allow-file(det-wall-clock) — wall-clock measurement is this binary's purpose: it times real runs and reports slowdowns, while asserting the simulated outputs stay byte-identical.
 // staticcheck: allow-file(no-unwrap) — benchmark/CLI binary: aborting with a message on a malformed run is the intended failure mode.
 
 use std::fmt::Write as _;

@@ -80,6 +80,7 @@ fn run_queued(
     incremental: bool,
 ) -> (f64, BatchTiming) {
     let mut sim = DiskSim::new(geom.clone());
+    // staticcheck: allow(det-wall-clock) — measures real elapsed selection time for the throughput trendline; simulated results are checked byte-identical separately.
     let start = Instant::now();
     let out = if incremental {
         service_batch_queued_sptf_incremental(

@@ -203,10 +203,9 @@ pub fn check_event(geom: &DiskGeometry, e: &ServiceEvent) -> Vec<Violation> {
 
     // Transfer is identical on the prefetch and the positioned path:
     // every sector pays exactly one sector-time of its zone.
-    let expected_transfer: f64 = segs
-        .iter()
-        .map(|s| s.take as f64 * geom.sector_time_ms(&geom.zones()[s.loc.zone]))
-        .sum();
+    // staticcheck: allow(det-float-sum) — `segs` is the per-request segment walk in LBN order; the oracle must mirror the simulator's own left-to-right accumulation.
+    let expected_transfer: f64 =
+        segs.iter().map(|s| s.take as f64 * geom.sector_time_ms(&geom.zones()[s.loc.zone])).sum();
     if (t.transfer_ms - expected_transfer).abs() > TIME_EPS_MS {
         fail(
             "transfer-exact",

@@ -6,7 +6,7 @@
 //! into chained *overflow pages* otherwise. Underflowing cells are
 //! flagged for reorganisation once they drop below a tunable threshold.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use multimap_disksim::Lbn;
 
@@ -55,9 +55,9 @@ pub struct UpdateStats {
 pub struct CellStore {
     config: UpdateConfig,
     /// Points currently stored per cell (primary page only).
-    occupancy: HashMap<u64, u32>,
+    occupancy: BTreeMap<u64, u32>,
     /// Overflow chains per cell, plus points in the last page.
-    overflow: HashMap<u64, (Vec<Lbn>, u32)>,
+    overflow: BTreeMap<u64, (Vec<Lbn>, u32)>,
     /// Bump allocator for overflow pages.
     next_overflow: Lbn,
     stats: UpdateStats,
@@ -81,8 +81,8 @@ impl CellStore {
         );
         CellStore {
             config,
-            occupancy: HashMap::new(),
-            overflow: HashMap::new(),
+            occupancy: BTreeMap::new(),
+            overflow: BTreeMap::new(),
             next_overflow: overflow_base,
             stats: UpdateStats::default(),
         }
@@ -157,16 +157,14 @@ impl CellStore {
 
     /// Cells whose primary occupancy has fallen below the reclaim
     /// threshold — candidates for the (expensive) reorganisation pass.
+    /// The B-tree walk already yields ascending cell indices.
     pub fn underflowing_cells(&self) -> Vec<u64> {
         let limit = self.config.cell_capacity as f64 * self.config.reclaim_threshold;
-        let mut cells: Vec<u64> = self
-            .occupancy
+        self.occupancy
             .iter()
             .filter(|(_, &occ)| (occ as f64) < limit)
             .map(|(&c, _)| c)
-            .collect();
-        cells.sort_unstable();
-        cells
+            .collect()
     }
 
     /// Update counters so far.

@@ -52,7 +52,9 @@ pub const SECTOR_BYTES: u32 = 512;
 /// (`angle - phase`, `+ 1.0`, `1.0 - ROTATION_WRAP_GUARD`), never a
 /// separately rounded threshold, so the two can never disagree on a
 /// boundary angle.
-pub(crate) const ROTATION_WRAP_GUARD: f64 = 1e-9;
+/// Public so the staticcheck selector-bound prover can replay the exact
+/// clamp expressions when it machine-checks that classification.
+pub const ROTATION_WRAP_GUARD: f64 = 1e-9;
 
 /// A declarative zone description used when building a [`DiskGeometry`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
@@ -398,7 +400,7 @@ impl DiskGeometry {
     /// selector uses this as the pruning bound of its outward cylinder
     /// walk; the bound being the *same float* the estimator later charges
     /// is what keeps the pruned search bit-identical to the full scan.
-    pub(crate) fn seek_floor_ms(&self, dcyl: u64) -> f64 {
+    pub fn seek_floor_ms(&self, dcyl: u64) -> f64 {
         debug_assert!(
             self.seek_a >= 0.0 && self.seek_b >= 0.0,
             "builder guarantees a monotone seek curve"

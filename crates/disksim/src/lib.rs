@@ -35,7 +35,7 @@
 //! assert!(t.total_ms() < sim.geometry().revolution_ms() / 2.0);
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod adjacency;
@@ -54,7 +54,8 @@ pub use adjacency::{adjacency_offset_sectors, adjacent_lbn, semi_sequential_path
 pub use error::{DiskError, Result};
 pub use fault::{request_payload, FaultCounts, FaultDecision, FaultInjector, FaultOutcome, FaultPlan};
 pub use geometry::{
-    locate_call_count, DiskBuilder, DiskGeometry, Lbn, Location, Zone, ZoneSpec, SECTOR_BYTES,
+    locate_call_count, DiskBuilder, DiskGeometry, Lbn, Location, Zone, ZoneSpec,
+    ROTATION_WRAP_GUARD, SECTOR_BYTES,
 };
 pub use observe::{ServiceEvent, ServiceLog, Transition};
 pub use scheduler::{

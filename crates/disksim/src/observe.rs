@@ -147,6 +147,7 @@ impl ServiceLog {
     /// Sum of all recorded service times (including fault-recovery
     /// time, which is zero for clean events).
     pub fn total_ms(&self) -> f64 {
+        // staticcheck: allow(det-float-sum) — `events` is an append-only Vec summed in service (push) order; single-threaded, order pinned.
         self.events.iter().map(|e| e.elapsed_ms()).sum()
     }
 

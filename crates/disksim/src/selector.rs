@@ -123,6 +123,7 @@ pub(crate) struct SptfSelector {
     vec_pos: Vec<usize>,
     cyls: BTreeMap<u64, CylGroup>,
     /// First-LBN index, for the read-ahead (prefetch) fast path.
+    // staticcheck: allow(det-unordered-collection) — keyed-only index: accessed via get/get_mut/entry/remove by exact LBN, never iterated; the per-LBN Vec preserves admission order, and ties still resolve through the mirrored pending-vec position.
     by_lbn: HashMap<Lbn, Vec<Slot>>,
     /// Served slots available for reuse. Recycling keeps `entries`
     /// sized by the *live* window, not by total admissions — a streamed
@@ -159,6 +160,7 @@ impl SptfSelector {
             vec_order: Vec::with_capacity(n),
             vec_pos: Vec::with_capacity(n),
             cyls: BTreeMap::new(),
+            // staticcheck: allow(det-unordered-collection) — same keyed-only index as the field declaration above; construction site.
             by_lbn: HashMap::with_capacity(n),
             free: Vec::new(),
             min_xfer: f64::INFINITY,

@@ -222,17 +222,19 @@ impl RequestProfile {
     }
 
     /// Start angle of the first block, in revolutions.
+    ///
+    /// Public so the staticcheck selector-bound prover can reconstruct
+    /// the selector's rotational-band bounds from the same cached float.
     #[inline]
-    pub(crate) fn start_angle(&self) -> f64 {
+    pub fn start_angle(&self) -> f64 {
         self.start_angle
     }
 
     /// Single-track transfer time, `None` for multi-track requests.
-    /// (The estimator reads the field directly; tests assert through
-    /// this accessor.)
-    #[cfg(test)]
+    /// (The estimator reads the field directly; tests and the
+    /// selector-bound prover assert through this accessor.)
     #[inline]
-    pub(crate) fn single_track_xfer_ms(&self) -> Option<f64> {
+    pub fn single_track_xfer_ms(&self) -> Option<f64> {
         self.single_track_xfer_ms
     }
 
@@ -240,9 +242,19 @@ impl RequestProfile {
     /// transfer for a single-track request) — a lower bound on the
     /// estimate's transfer component, bit-identical to the estimator's
     /// own first-segment term.
+    ///
+    /// Public so the staticcheck selector-bound prover can verify the
+    /// lower-bound claim against the reference estimator.
     #[inline]
-    pub(crate) fn first_segment_xfer_ms(&self) -> f64 {
+    pub fn first_segment_xfer_ms(&self) -> f64 {
         self.first_segment_xfer_ms
+    }
+
+    /// Physical track of the request's first block, as
+    /// `(cylinder, surface)` — the selector's bucket key.
+    #[inline]
+    pub fn track(&self) -> (u64, u32) {
+        (self.loc.cylinder, self.loc.surface)
     }
 }
 
@@ -254,6 +266,7 @@ impl RequestProfile {
 /// Call [`SeekMemo::begin_round`] after every head movement.
 #[derive(Debug, Default)]
 pub struct SeekMemo {
+    // staticcheck: allow(det-unordered-collection) — keyed-only memo: accessed solely via entry() by exact (cylinder, surface) key and cleared per round; never iterated, so RandomState order cannot reach any result.
     map: HashMap<(u64, u32), f64>,
     hits: u64,
     misses: u64,

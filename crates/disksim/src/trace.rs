@@ -1,6 +1,8 @@
 //! Request tracing: record every serviced request with its timing for
 //! post-hoc analysis, debugging of schedules, and replay.
 
+// staticcheck: allow-file(det-float-sum) — every reduction here sums the append-only `records` Vec in service (push) order; accumulation is single-threaded, so the f64 sums are order-pinned and replayable.
+
 use serde::{Deserialize, Serialize};
 
 use crate::error::Result;

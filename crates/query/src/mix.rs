@@ -152,6 +152,7 @@ impl WorkloadMix {
 
     /// Draw an entry index according to the weights.
     fn draw(&self, rng: &mut WorkloadRng) -> usize {
+        // staticcheck: allow(det-float-sum) — `entries` is a Vec in builder order; the weight sum is order-pinned and feeds a seeded RNG draw.
         let total: f64 = self.entries.iter().map(|e| e.weight.max(0.0)).sum();
         let mut x = rng.random_range(0.0..total);
         for (i, e) in self.entries.iter().enumerate() {

@@ -1,6 +1,8 @@
-//! # staticcheck — static invariant analyzer and source lint
+//! # staticcheck — static invariant analyzer, source lint and
+//! determinism analyzer
 //!
-//! Two prongs of offline correctness tooling for the MultiMap workspace:
+//! Three prongs of offline correctness tooling for the MultiMap
+//! workspace:
 //!
 //! 1. **Layout invariant prover** ([`sweep`], [`bijection`],
 //!    [`adjacency`], [`zones`]): for a sweep of (drive profile × dataset
@@ -14,11 +16,19 @@
 //!    `unwrap`/`expect`/`panic!` in library code, no `service()` calls
 //!    bypassing the `ServiceLog` observed paths, and `deny(unsafe_code)`
 //!    in every crate root — with a justification-carrying allowlist.
+//! 3. **Determinism analyzer** ([`lint::determinism`],
+//!    [`selector_bounds`]): a rule family fencing the four ways source
+//!    code leaks nondeterminism into the replayability contract (hash
+//!    iteration order, float reductions, wall-clock reads, unseeded
+//!    entropy), built on the token-level syntax layer in [`lint::ast`],
+//!    plus a prover that machine-checks the incremental SPTF selector's
+//!    pruning bounds against the reference estimator over the sweep.
 //!
-//! Both prongs reduce to a [`report::Report`] that serializes to JSON and
+//! All prongs reduce to a [`report::Report`] that serializes to JSON and
 //! drives the CI exit code. Run them with
-//! `cargo run --release -p staticcheck -- verify` and
-//! `cargo run -p staticcheck -- lint`.
+//! `cargo run --release -p staticcheck -- verify`,
+//! `cargo run -p staticcheck -- lint`, and
+//! `cargo run --release -p staticcheck -- determinism`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -28,6 +38,7 @@ pub mod bijection;
 pub mod lint;
 pub mod report;
 pub mod sample;
+pub mod selector_bounds;
 pub mod sweep;
 pub mod zones;
 

@@ -1,0 +1,522 @@
+//! Token-level syntax pass over scrubbed source.
+//!
+//! The determinism rules need more structure than substring matching can
+//! provide: a method call's *receiver*, the name a `HashMap` binding
+//! introduces, the expression a `for` loop iterates. The workspace
+//! vendors no Rust parser (`syn` is unavailable offline), so this module
+//! implements the minimal syntactic layer those rules need: a lossless
+//! tokenizer over the [`Scrubbed`] text (comments and literal interiors
+//! already blanked) plus pattern extractors for method calls, collection
+//! bindings and `for` loops. Offsets index into the original source, so
+//! findings keep exact lines.
+//!
+//! This is deliberately not a full grammar: extractors resolve names
+//! *within one file* (fields and locals declared in the same file), which
+//! is exactly the scope a per-file lint can reason about. Cross-file
+//! types are out of scope and handled by rule design (crate/module
+//! exemptions) instead.
+
+use super::lexer::Scrubbed;
+
+/// Token classification.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Kind {
+    /// Identifier or keyword.
+    Ident,
+    /// Numeric literal; `float` when it carries a decimal point, an
+    /// exponent or an `f32`/`f64` suffix.
+    Num {
+        /// Whether the literal is floating-point.
+        float: bool,
+    },
+    /// One punctuation byte (multi-byte operators appear as adjacent
+    /// tokens; adjacency is checked through offsets).
+    Punct(u8),
+    /// String, byte-string or char literal (interior already blanked).
+    Lit,
+    /// Lifetime such as `'a`.
+    Lifetime,
+}
+
+/// One token of the scrubbed source.
+#[derive(Clone, Copy, Debug)]
+pub struct Tok<'a> {
+    /// What kind of token this is.
+    pub kind: Kind,
+    /// The token's text in the scrubbed source.
+    pub text: &'a str,
+    /// Byte offset of the token start.
+    pub off: usize,
+}
+
+impl Tok<'_> {
+    /// Whether this token is the identifier `s`.
+    #[inline]
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == Kind::Ident && self.text == s
+    }
+
+    /// Whether this token is the punctuation byte `b`.
+    #[inline]
+    pub fn is_punct(&self, b: u8) -> bool {
+        self.kind == Kind::Punct(b)
+    }
+
+    /// Byte offset one past the token end.
+    #[inline]
+    pub fn end(&self) -> usize {
+        self.off + self.text.len()
+    }
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_'
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// Tokenize the scrubbed text.
+pub fn tokenize(s: &Scrubbed) -> Vec<Tok<'_>> {
+    let text = s.text.as_str();
+    let b = text.as_bytes();
+    let mut out = Vec::with_capacity(b.len() / 4);
+    let mut i = 0usize;
+    while i < b.len() {
+        let c = b[i];
+        if c.is_ascii_whitespace() {
+            i += 1;
+        } else if is_ident_start(c) {
+            let start = i;
+            while i < b.len() && is_ident_continue(b[i]) {
+                i += 1;
+            }
+            out.push(Tok {
+                kind: Kind::Ident,
+                text: &text[start..i],
+                off: start,
+            });
+        } else if c.is_ascii_digit() {
+            let start = i;
+            let mut float = false;
+            while i < b.len() && (b[i].is_ascii_digit() || b[i] == b'_') {
+                i += 1;
+            }
+            // Fractional part — only when a digit follows the dot, so
+            // `1.max(2)` stays an integer plus a method call.
+            if i + 1 < b.len() && b[i] == b'.' && b[i + 1].is_ascii_digit() {
+                float = true;
+                i += 1;
+                while i < b.len() && (b[i].is_ascii_digit() || b[i] == b'_') {
+                    i += 1;
+                }
+            }
+            // Exponent.
+            if i < b.len()
+                && (b[i] == b'e' || b[i] == b'E')
+                && (b.get(i + 1).is_some_and(u8::is_ascii_digit)
+                    || (matches!(b.get(i + 1), Some(b'+') | Some(b'-'))
+                        && b.get(i + 2).is_some_and(u8::is_ascii_digit)))
+            {
+                float = true;
+                i += 1;
+                if matches!(b.get(i), Some(b'+') | Some(b'-')) {
+                    i += 1;
+                }
+                while i < b.len() && b[i].is_ascii_digit() {
+                    i += 1;
+                }
+            }
+            // Type suffix (`u64`, `f64`, `usize`…).
+            let suffix_start = i;
+            while i < b.len() && is_ident_continue(b[i]) {
+                i += 1;
+            }
+            if text[suffix_start..i].starts_with('f') {
+                float = true;
+            }
+            out.push(Tok {
+                kind: Kind::Num { float },
+                text: &text[start..i],
+                off: start,
+            });
+        } else if c == b'"' {
+            // Scrubbing blanked the interior and kept the quotes.
+            let start = i;
+            i += 1;
+            while i < b.len() && b[i] != b'"' {
+                i += 1;
+            }
+            i = (i + 1).min(b.len());
+            out.push(Tok {
+                kind: Kind::Lit,
+                text: &text[start..i],
+                off: start,
+            });
+        } else if c == b'\'' {
+            let next = b.get(i + 1).copied().unwrap_or(0);
+            let is_lifetime = is_ident_start(next) && b.get(i + 2) != Some(&b'\'');
+            let start = i;
+            if is_lifetime {
+                i += 1;
+                while i < b.len() && is_ident_continue(b[i]) {
+                    i += 1;
+                }
+                out.push(Tok {
+                    kind: Kind::Lifetime,
+                    text: &text[start..i],
+                    off: start,
+                });
+            } else {
+                // Char literal (interior blanked); bail at end of line on
+                // malformed input, mirroring the scrubber.
+                i += 1;
+                while i < b.len() && b[i] != b'\'' && b[i] != b'\n' {
+                    i += 1;
+                }
+                i = (i + 1).min(b.len());
+                out.push(Tok {
+                    kind: Kind::Lit,
+                    text: &text[start..i],
+                    off: start,
+                });
+            }
+        } else {
+            out.push(Tok {
+                kind: Kind::Punct(c),
+                text: &text[i..i + 1],
+                off: i,
+            });
+            i += 1;
+        }
+    }
+    out
+}
+
+/// Whether tokens `i` and `i + 1` form the given two-byte operator with
+/// no intervening space (`::`, `->`, …).
+pub fn pair(toks: &[Tok<'_>], i: usize, a: u8, b: u8) -> bool {
+    i + 1 < toks.len()
+        && toks[i].is_punct(a)
+        && toks[i + 1].is_punct(b)
+        && toks[i].off + 1 == toks[i + 1].off
+}
+
+/// One `receiver.method(…)` call site.
+#[derive(Clone, Debug)]
+pub struct MethodCall<'a> {
+    /// Method name.
+    pub name: &'a str,
+    /// Byte offset of the method name (anchors the finding).
+    pub off: usize,
+    /// Base identifier of the receiver — the identifier immediately left
+    /// of the final dot (`self.by_lbn.iter()` → `by_lbn`), or `None`
+    /// when the receiver is a call/index/parenthesized expression.
+    pub receiver: Option<&'a str>,
+    /// Token index of the method-name token.
+    pub name_idx: usize,
+    /// Token index of the opening `(` of the arguments, if present
+    /// (absent for path references such as `Instant::now` used as a
+    /// value — those are not method calls and never yield one of these).
+    pub args_open: usize,
+}
+
+/// Extract every `recv.method(…)` call, including turbofished calls
+/// (`sum::<f64>()`).
+pub fn method_calls<'a>(toks: &'a [Tok<'a>]) -> Vec<MethodCall<'a>> {
+    let mut out = Vec::new();
+    for i in 1..toks.len() {
+        if !toks[i - 1].is_punct(b'.') || toks[i].kind != Kind::Ident {
+            continue;
+        }
+        // `1.0.max(…)` — the dot of a float literal never reaches here
+        // because the tokenizer folds it into the literal.
+        let mut j = i + 1;
+        // Skip a turbofish `::<…>`.
+        if pair(toks, j, b':', b':') && toks.get(j + 2).is_some_and(|t| t.is_punct(b'<')) {
+            let mut depth = 0i32;
+            j += 2;
+            while j < toks.len() {
+                if toks[j].is_punct(b'<') {
+                    depth += 1;
+                } else if toks[j].is_punct(b'>') {
+                    depth -= 1;
+                    if depth == 0 {
+                        j += 1;
+                        break;
+                    }
+                }
+                j += 1;
+            }
+        }
+        if !toks.get(j).is_some_and(|t| t.is_punct(b'(')) {
+            continue;
+        }
+        // Receiver base: identifier directly before the dot.
+        let receiver = if i >= 2 && toks[i - 2].kind == Kind::Ident {
+            Some(toks[i - 2].text)
+        } else {
+            None
+        };
+        out.push(MethodCall {
+            name: toks[i].text,
+            off: toks[i].off,
+            receiver,
+            name_idx: i,
+            args_open: j,
+        });
+    }
+    out
+}
+
+/// Names this file binds to `HashMap`/`HashSet` (fields, locals, struct
+/// literal fields, parameters), resolved by two local patterns:
+///
+/// * type position — `name: …HashMap<…>` / `name: …HashSet<…>`;
+/// * constructor — `name = …HashMap::new()` / `with_capacity` / `default`.
+pub fn hash_bound_names(toks: &[Tok<'_>]) -> Vec<String> {
+    let mut names = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        if !(t.is_ident("HashMap") || t.is_ident("HashSet")) {
+            continue;
+        }
+        // Walk left over a `std :: collections ::`-style path prefix.
+        let mut j = i;
+        while j >= 2 && pair(toks, j - 2, b':', b':') && toks.get(j.wrapping_sub(3)).is_some_and(|t| t.kind == Kind::Ident) {
+            j -= 3;
+        }
+        // `name :` or `name =` directly before the path start.
+        let Some(sep) = j.checked_sub(1).map(|k| &toks[k]) else {
+            continue;
+        };
+        let double_colon = j >= 2 && pair(toks, j - 2, b':', b':');
+        let bind = match sep.kind {
+            Kind::Punct(b':') if !double_colon => j.checked_sub(2),
+            Kind::Punct(b'=') => j.checked_sub(2),
+            _ => None,
+        };
+        if let Some(k) = bind {
+            if toks[k].kind == Kind::Ident {
+                let name = toks[k].text.to_string();
+                if !names.contains(&name) {
+                    names.push(name);
+                }
+            }
+        }
+    }
+    names
+}
+
+/// Whether the token at `i` is part of a `use` declaration: scanning
+/// left, a `use` keyword appears before any token that could not occur
+/// inside a use tree.
+pub fn in_use_decl(toks: &[Tok<'_>], i: usize) -> bool {
+    let mut j = i;
+    for _ in 0..64 {
+        if j == 0 {
+            return false;
+        }
+        j -= 1;
+        match toks[j].kind {
+            Kind::Ident if toks[j].text == "use" => return true,
+            Kind::Ident | Kind::Punct(b':') | Kind::Punct(b',') | Kind::Punct(b'{') => {}
+            _ => return false,
+        }
+    }
+    false
+}
+
+/// One `for … in <expr> { … }` loop whose iterated expression is a plain
+/// (optionally borrowed) name or field path; `base` is the path's last
+/// identifier.
+#[derive(Clone, Debug)]
+pub struct ForLoop<'a> {
+    /// Last identifier of the iterated path (`&self.map` → `map`).
+    pub base: &'a str,
+    /// Byte offset anchoring the finding (the `for` keyword).
+    pub off: usize,
+}
+
+/// Extract `for` loops that iterate a simple name or field path directly
+/// (`for x in map`, `for (k, v) in &self.index`). Loops over method-call
+/// results are covered by [`method_calls`] instead.
+pub fn for_loops<'a>(toks: &'a [Tok<'a>]) -> Vec<ForLoop<'a>> {
+    let mut out = Vec::new();
+    for i in 0..toks.len() {
+        if !toks[i].is_ident("for") {
+            continue;
+        }
+        // Find the matching `in` at pattern depth 0.
+        let mut depth = 0i32;
+        let mut j = i + 1;
+        let mut found_in = None;
+        while j < toks.len() && j < i + 64 {
+            match toks[j].kind {
+                Kind::Punct(b'(') | Kind::Punct(b'[') => depth += 1,
+                Kind::Punct(b')') | Kind::Punct(b']') => depth -= 1,
+                Kind::Punct(b'{') | Kind::Punct(b';') => break,
+                Kind::Ident if depth == 0 && toks[j].text == "in" => {
+                    found_in = Some(j);
+                    break;
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        let Some(in_idx) = found_in else { continue };
+        // Expression tokens up to the loop body `{`.
+        let mut k = in_idx + 1;
+        let mut expr: Vec<&Tok<'_>> = Vec::new();
+        while k < toks.len() && !toks[k].is_punct(b'{') {
+            expr.push(&toks[k]);
+            k += 1;
+            if expr.len() > 16 {
+                break;
+            }
+        }
+        // Accept `&`/`mut` prefixes and an ident path `a . b . c`; any
+        // call parentheses or other operators disqualify (those surface
+        // through method_calls).
+        let mut base: Option<&str> = None;
+        let mut ok = !expr.is_empty() && expr.len() <= 16;
+        let mut expect_ident = true;
+        for t in &expr {
+            match t.kind {
+                Kind::Punct(b'&') if base.is_none() => {}
+                Kind::Ident if t.text == "mut" && base.is_none() => {}
+                Kind::Ident if expect_ident => {
+                    base = Some(t.text);
+                    expect_ident = false;
+                }
+                Kind::Punct(b'.') if !expect_ident => expect_ident = true,
+                _ => {
+                    ok = false;
+                    break;
+                }
+            }
+        }
+        if ok && !expect_ident {
+            if let Some(base) = base {
+                out.push(ForLoop {
+                    base,
+                    off: toks[i].off,
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Token index of the start of the statement containing token `i`: one
+/// past the previous `;`, `{` or `}` (clamped to the slice).
+pub fn stmt_start(toks: &[Tok<'_>], i: usize) -> usize {
+    let mut j = i;
+    while j > 0 {
+        match toks[j - 1].kind {
+            Kind::Punct(b';') | Kind::Punct(b'{') | Kind::Punct(b'}') => return j,
+            _ => j -= 1,
+        }
+    }
+    0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> (Scrubbed, Vec<String>) {
+        let s = Scrubbed::new(src);
+        let t = tokenize(&s);
+        let texts = t.iter().map(|t| t.text.to_string()).collect();
+        (s, texts)
+    }
+
+    #[test]
+    fn tokenizer_basics() {
+        let (_, t) = toks("let x = a.iter().sum::<f64>(); // done\n");
+        assert_eq!(
+            t,
+            ["let", "x", "=", "a", ".", "iter", "(", ")", ".", "sum", ":", ":", "<", "f64", ">",
+             "(", ")", ";"]
+        );
+    }
+
+    #[test]
+    fn numbers_classify_floats() {
+        let s = Scrubbed::new("a(1, 2.5, 1e-9, 0.5f32, 7u64, 3f64, 1.max(2))");
+        let t = tokenize(&s);
+        let floats: Vec<(&str, bool)> = t
+            .iter()
+            .filter_map(|t| match t.kind {
+                Kind::Num { float } => Some((t.text, float)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(
+            floats,
+            [("1", false), ("2.5", true), ("1e-9", true), ("0.5f32", true), ("7u64", false),
+             ("3f64", true), ("1", false), ("2", false)]
+        );
+    }
+
+    #[test]
+    fn method_calls_carry_receivers() {
+        let s = Scrubbed::new("self.by_lbn.iter(); foo().keys(); m.get(&k); v.sum::<f64>();");
+        let t = tokenize(&s);
+        let calls = method_calls(&t);
+        let summary: Vec<(Option<&str>, &str)> =
+            calls.iter().map(|c| (c.receiver, c.name)).collect();
+        assert_eq!(
+            summary,
+            [(Some("by_lbn"), "iter"), (None, "keys"), (Some("m"), "get"), (Some("v"), "sum")]
+        );
+    }
+
+    #[test]
+    fn hash_bindings_are_harvested() {
+        let src = "struct S { map: HashMap<u64, f64>, v: Vec<u8> }\n\
+                   fn f() { let mut seen = std::collections::HashSet::new(); \
+                   let t: BTreeMap<u8, u8> = BTreeMap::new(); }\n";
+        let s = Scrubbed::new(src);
+        let names = hash_bound_names(&tokenize(&s));
+        assert_eq!(names, ["map", "seen"]);
+    }
+
+    #[test]
+    fn use_decls_are_recognized() {
+        let src = "use std::collections::{HashMap, HashSet};\nfn f(m: HashMap<u8, u8>) {}\n";
+        let s = Scrubbed::new(src);
+        let t = tokenize(&s);
+        let hash_positions: Vec<usize> = t
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.is_ident("HashMap") || t.is_ident("HashSet"))
+            .map(|(i, _)| i)
+            .collect();
+        assert_eq!(hash_positions.len(), 3);
+        assert!(in_use_decl(&t, hash_positions[0]));
+        assert!(in_use_decl(&t, hash_positions[1]));
+        assert!(!in_use_decl(&t, hash_positions[2]));
+    }
+
+    #[test]
+    fn for_loops_extract_simple_paths() {
+        let src = "for (k, v) in &self.index { } for x in items.iter() { } for y in list { }\n";
+        let s = Scrubbed::new(src);
+        let toks = tokenize(&s);
+        let loops = for_loops(&toks);
+        let bases: Vec<&str> = loops.iter().map(|l| l.base).collect();
+        assert_eq!(bases, ["index", "list"]);
+    }
+
+    #[test]
+    fn stmt_start_stops_at_separators() {
+        let s = Scrubbed::new("let a = 1; let b: f64 = x.iter().sum();");
+        let t = tokenize(&s);
+        let sum_idx = t.iter().position(|t| t.is_ident("sum")).unwrap();
+        let start = stmt_start(&t, sum_idx);
+        assert!(t[start].is_ident("let"));
+        assert_eq!(t[start + 1].text, "b");
+    }
+}

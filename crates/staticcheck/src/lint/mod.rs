@@ -15,6 +15,8 @@
 //! a bare `allow` is itself reported as `allow-missing-justification`,
 //! and a directive naming an unknown rule as `allow-unknown-rule`.
 
+pub mod ast;
+pub mod determinism;
 pub mod lexer;
 pub mod rules;
 
@@ -23,7 +25,28 @@ use std::path::{Path, PathBuf};
 
 use crate::report::{Report, Verdict};
 use lexer::Scrubbed;
-use rules::{Finding, RULES};
+use rules::{Family, Finding, RULES};
+
+/// Which rule families a lint run applies.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RuleSelection {
+    /// The classic hygiene rules only (`staticcheck lint`).
+    Classic,
+    /// The determinism family only (`staticcheck determinism`).
+    Determinism,
+    /// Both families (`staticcheck all`).
+    All,
+}
+
+impl RuleSelection {
+    fn includes(self, family: Family) -> bool {
+        match self {
+            RuleSelection::Classic => family == Family::Classic,
+            RuleSelection::Determinism => family == Family::Determinism,
+            RuleSelection::All => true,
+        }
+    }
+}
 
 /// Classification of one source file for rule applicability.
 #[derive(Clone, Debug)]
@@ -146,14 +169,27 @@ pub struct LintOutcome {
     pub allowed: BTreeMap<String, usize>,
 }
 
-/// Lint every workspace source file under `root`.
+/// Lint every workspace source file under `root` with the classic rules.
 pub fn lint_workspace(root: &Path) -> std::io::Result<LintOutcome> {
+    lint_workspace_selected(root, RuleSelection::Classic)
+}
+
+/// Lint every workspace source file under `root` with the selected
+/// rule families.
+pub fn lint_workspace_selected(
+    root: &Path,
+    sel: RuleSelection,
+) -> std::io::Result<LintOutcome> {
     let files = workspace_rs_files(root)?;
-    lint_files(root, &files)
+    lint_files(root, &files, sel)
 }
 
 /// Lint the given files (workspace-relative reporting against `root`).
-pub fn lint_files(root: &Path, files: &[PathBuf]) -> std::io::Result<LintOutcome> {
+pub fn lint_files(
+    root: &Path,
+    files: &[PathBuf],
+    sel: RuleSelection,
+) -> std::io::Result<LintOutcome> {
     let mut violations: Vec<(String, Finding)> = Vec::new();
     let mut allowed: BTreeMap<String, usize> = BTreeMap::new();
     for path in files {
@@ -167,7 +203,7 @@ pub fn lint_files(root: &Path, files: &[PathBuf]) -> std::io::Result<LintOutcome
 
         // Malformed directives are findings themselves (never allowable).
         for d in &directives {
-            if !RULES.iter().any(|(r, _)| *r == d.rule) {
+            if !RULES.iter().any(|(r, _, _)| *r == d.rule) {
                 violations.push((
                     rel_str.clone(),
                     Finding {
@@ -189,15 +225,30 @@ pub fn lint_files(root: &Path, files: &[PathBuf]) -> std::io::Result<LintOutcome
         }
 
         let mut raw: Vec<Finding> = Vec::new();
-        if class.is_lib_code {
-            raw.extend(rules::no_unwrap(&scrubbed));
+        if sel.includes(Family::Classic) {
+            if class.is_lib_code {
+                raw.extend(rules::no_unwrap(&scrubbed));
+            }
+            raw.extend(rules::float_cmp(&scrubbed));
+            if class.crate_name != "disksim" {
+                raw.extend(rules::no_direct_service(&scrubbed));
+            }
+            if class.is_crate_root {
+                raw.extend(rules::unsafe_attr(&scrubbed));
+            }
         }
-        raw.extend(rules::float_cmp(&scrubbed));
-        if class.crate_name != "disksim" {
-            raw.extend(rules::no_direct_service(&scrubbed));
-        }
-        if class.is_crate_root {
-            raw.extend(rules::unsafe_attr(&scrubbed));
+        if sel.includes(Family::Determinism) {
+            let toks = ast::tokenize(&scrubbed);
+            raw.extend(determinism::unordered_collection(&scrubbed, &toks));
+            raw.extend(determinism::unordered_iter(&scrubbed, &toks));
+            // The telemetry crate is the blessed home of pinned-order
+            // float merges (`merge_ordered`, histograms) and of the span
+            // module — the one place allowed to read the wall clock.
+            if class.crate_name != "telemetry" {
+                raw.extend(determinism::float_sum(&scrubbed, &toks));
+                raw.extend(determinism::wall_clock(&scrubbed, &toks));
+            }
+            raw.extend(determinism::entropy(&scrubbed, &toks));
         }
         for f in raw {
             if allowlist.allows(f.rule, f.line) {
@@ -219,7 +270,10 @@ pub fn lint_files(root: &Path, files: &[PathBuf]) -> std::io::Result<LintOutcome
             },
         );
     }
-    for (rule, _) in RULES {
+    for (rule, family, _) in RULES {
+        if !sel.includes(*family) {
+            continue;
+        }
         if !violations.iter().any(|(_, f)| f.rule == *rule) {
             let n = allowed.get(*rule).copied().unwrap_or(0);
             report.push(

@@ -9,23 +9,63 @@
 
 use super::lexer::Scrubbed;
 
-/// Every rule the lint pass knows, with its identifier and rationale.
-pub const RULES: &[(&str, &str)] = &[
+/// Which pass a rule belongs to: the classic hygiene pass (`lint`) or
+/// the determinism family (`determinism`). `all` runs both.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Family {
+    /// General source hygiene (unwrap, float equality, service paths).
+    Classic,
+    /// Nondeterminism fences (hash order, float reductions, wall clock,
+    /// entropy) — see [`super::determinism`].
+    Determinism,
+}
+
+/// Every rule the lint pass knows: identifier, family, rationale.
+pub const RULES: &[(&str, Family, &str)] = &[
     (
         "no-unwrap",
+        Family::Classic,
         "library code must return typed errors, not abort the process",
     ),
     (
         "float-cmp",
+        Family::Classic,
         "exact f64 equality in timing code hides representation drift",
     ),
     (
         "no-direct-service",
+        Family::Classic,
         "requests must flow through ServiceLog-observed paths",
     ),
     (
         "unsafe-attr",
+        Family::Classic,
         "every crate root must carry #![forbid(unsafe_code)] or deny",
+    ),
+    (
+        "det-unordered-collection",
+        Family::Determinism,
+        "HashMap/HashSet iteration order varies per process; convert to a B-tree or justify keyed-only access",
+    ),
+    (
+        "det-unordered-iter",
+        Family::Determinism,
+        "iterating a hash collection leaks RandomState order into results",
+    ),
+    (
+        "det-float-sum",
+        Family::Determinism,
+        "float reductions are order-sensitive; only pinned-order iterators may sum f64",
+    ),
+    (
+        "det-wall-clock",
+        Family::Determinism,
+        "wall-clock reads are nondeterministic; only telemetry spans may observe time",
+    ),
+    (
+        "det-entropy",
+        Family::Determinism,
+        "all randomness must flow from seeded constructors so runs replay exactly",
     ),
 ];
 

@@ -1,9 +1,11 @@
-//! `staticcheck` CLI: run the invariant prover and/or the source lint.
+//! `staticcheck` CLI: run the invariant prover, the source lint and/or
+//! the determinism analyzer.
 //!
 //! ```text
-//! staticcheck verify [--quick] [--json PATH]   layout invariant sweep
-//! staticcheck lint   [--json PATH] [ROOT]      source lint pass
-//! staticcheck all    [--quick] [--json PATH]   both prongs
+//! staticcheck verify      [--quick] [--json PATH]        layout invariant sweep
+//! staticcheck lint        [--json PATH] [ROOT]           classic source lint
+//! staticcheck determinism [--quick] [--json PATH] [ROOT] det lints + selector bounds
+//! staticcheck all         [--quick] [--json PATH] [ROOT] every prong
 //! ```
 //!
 //! Exit code 0 when every check passes (or is skipped), 1 on any
@@ -12,8 +14,9 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use staticcheck::lint;
+use staticcheck::lint::{self, RuleSelection};
 use staticcheck::report::Report;
+use staticcheck::selector_bounds;
 use staticcheck::sweep;
 
 struct Args {
@@ -24,7 +27,7 @@ struct Args {
 }
 
 fn usage() -> ExitCode {
-    eprintln!("usage: staticcheck <verify|lint|all> [--quick] [--json PATH] [ROOT]");
+    eprintln!("usage: staticcheck <verify|lint|determinism|all> [--quick] [--json PATH] [ROOT]");
     ExitCode::from(2)
 }
 
@@ -58,14 +61,27 @@ fn run_verify(quick: bool) -> Report {
     sweep::run_sweep(&configs)
 }
 
-fn run_lint(root: &std::path::Path) -> std::io::Result<Report> {
-    let outcome = lint::lint_workspace(root)?;
+fn run_lint(root: &std::path::Path, sel: RuleSelection) -> std::io::Result<Report> {
+    let outcome = lint::lint_workspace_selected(root, sel)?;
     let allowed: usize = outcome.allowed.values().sum();
     eprintln!(
         "staticcheck: linted {} files ({allowed} findings allowlisted)",
         outcome.files
     );
     Ok(outcome.report)
+}
+
+fn run_selector_bounds(quick: bool) -> Report {
+    let configs = if quick {
+        selector_bounds::quick_configs()
+    } else {
+        selector_bounds::default_configs()
+    };
+    eprintln!(
+        "staticcheck: proving selector bounds over {} configurations…",
+        configs.len()
+    );
+    selector_bounds::run(&configs)
 }
 
 fn workspace_root(explicit: Option<PathBuf>) -> PathBuf {
@@ -88,22 +104,36 @@ fn main() -> ExitCode {
     let mut report = Report::new();
     match args.command.as_str() {
         "verify" => report.merge(run_verify(args.quick)),
-        "lint" => match run_lint(&workspace_root(args.root.clone())) {
+        "lint" => match run_lint(&workspace_root(args.root.clone()), RuleSelection::Classic) {
             Ok(r) => report.merge(r),
             Err(e) => {
                 eprintln!("staticcheck: lint failed: {e}");
                 return ExitCode::from(2);
             }
         },
-        "all" => {
-            report.merge(run_verify(args.quick));
-            match run_lint(&workspace_root(args.root.clone())) {
+        "determinism" => {
+            match run_lint(
+                &workspace_root(args.root.clone()),
+                RuleSelection::Determinism,
+            ) {
                 Ok(r) => report.merge(r),
                 Err(e) => {
                     eprintln!("staticcheck: lint failed: {e}");
                     return ExitCode::from(2);
                 }
             }
+            report.merge(run_selector_bounds(args.quick));
+        }
+        "all" => {
+            report.merge(run_verify(args.quick));
+            match run_lint(&workspace_root(args.root.clone()), RuleSelection::All) {
+                Ok(r) => report.merge(r),
+                Err(e) => {
+                    eprintln!("staticcheck: lint failed: {e}");
+                    return ExitCode::from(2);
+                }
+            }
+            report.merge(run_selector_bounds(args.quick));
         }
         _ => return usage(),
     }

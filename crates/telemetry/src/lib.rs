@@ -25,7 +25,7 @@
 //! `BENCH_pr5.json` field reference.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 mod hist;
 mod metrics;
