@@ -23,6 +23,7 @@ pub mod fig8;
 pub mod figure_plots;
 pub mod harness;
 pub mod model_fig;
+pub mod pagecache;
 pub mod plot;
 pub mod selection;
 

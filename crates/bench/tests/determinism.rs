@@ -1,7 +1,7 @@
 //! The experiment engine's headline guarantee: a parallel figure sweep
 //! renders byte-identically to a serial one, with telemetry on or off.
 
-use multimap_bench::{fig6, fig7, Scale};
+use multimap_bench::{fig6, fig7, pagecache, Scale};
 use multimap_telemetry::Counter;
 
 /// Serialise tests that flip the global engine override or the global
@@ -115,6 +115,28 @@ fn incremental_sptf_sweep_identical_at_all_thread_counts() {
             baseline,
             run(threads),
             "incremental-scheduler sweep diverged at {threads} threads"
+        );
+    }
+}
+
+/// The page-cache sweep under the engine: 48 independent cached replays
+/// (mapping × policy × capacity × prefetch), each with its own cache and
+/// volume, render byte-identically at 1, 2, 4 and 8 threads — the same
+/// determinism pin the figure sweeps carry, now covering the cache,
+/// prefetcher and eviction policies.
+#[test]
+fn page_cache_sweep_identical_at_all_thread_counts() {
+    let run = |threads: usize| {
+        with_threads(threads, || {
+            pagecache::table(Scale::Quick, &pagecache::run(Scale::Quick)).render()
+        })
+    };
+    let baseline = run(1);
+    for threads in [2usize, 4, 8] {
+        assert_eq!(
+            baseline,
+            run(threads),
+            "page-cache sweep diverged at {threads} threads"
         );
     }
 }

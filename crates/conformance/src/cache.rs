@@ -1,0 +1,135 @@
+//! Page-cache conformance: result identity and counter reconciliation.
+//!
+//! The cache layer must be *transparent* to everything except timing:
+//!
+//! * **Result identity** — a query through a [`PageCache`] returns the
+//!   same cell count and payload checksum as the same query against a
+//!   bare volume, for every mapping family and eviction policy.
+//! * **Counter reconciliation** — the executor-recorded telemetry and
+//!   the cache's own bookkeeping must agree exactly: every demanded
+//!   cell is either a hit or a miss, every prefetch use pairs with an
+//!   issued prefetch, and the per-query phase decomposition still
+//!   reconstructs the measured I/O time (cache hits contribute zero).
+
+use multimap_core::{BoxRegion, GridSpec};
+use multimap_disksim::DiskGeometry;
+use multimap_lvm::LogicalVolume;
+use multimap_query::{QueryExecutor, QueryRequest};
+use multimap_store::{CacheConfig, EvictionKind, PageCache, PrefetchMode};
+use multimap_telemetry::{Counter, Metrics};
+
+use crate::differential::{check_telemetry, standard_mappings};
+
+/// Run a beam sweep along the last dimension through every standard
+/// mapping, uncached and cached, and verify the cache conformance
+/// contract for `eviction` at `capacity_pages`. Returns a description
+/// of the first discrepancy.
+pub fn check_cached_sweep(
+    geom: &DiskGeometry,
+    grid: &GridSpec,
+    eviction: EvictionKind,
+    capacity_pages: usize,
+) -> Result<(), String> {
+    let last_dim = grid.extents().len() - 1;
+    let steps = grid.extent(last_dim);
+    let config = CacheConfig {
+        capacity_pages,
+        eviction,
+        prefetch: PrefetchMode::Adjacency { depth: 1 },
+        ..CacheConfig::default()
+    };
+
+    for mapping in standard_mappings(geom, grid) {
+        let label = format!("{}/{}", mapping.name(), eviction.name());
+        let bare_volume = LogicalVolume::new(geom.clone(), 1);
+        let bare_exec = QueryExecutor::new(&bare_volume, 0);
+        let cached_volume = LogicalVolume::new(geom.clone(), 1);
+        let cached_exec = QueryExecutor::new(&cached_volume, 0);
+        let cache = PageCache::new(&config);
+
+        let mut per_query: Vec<Metrics> = Vec::new();
+        let mut demanded = 0u64;
+        for z in 0..steps {
+            let mut anchor = vec![0u64; grid.extents().len()];
+            anchor[last_dim] = z;
+            let region = BoxRegion::beam(grid, 1, &anchor);
+            demanded += region.cells();
+
+            let bare = bare_exec
+                .execute(QueryRequest::beam(mapping.as_ref(), &region))
+                .map_err(|e| format!("{label}: bare query failed: {e}"))?;
+            let mut metrics = Metrics::new();
+            let cached = cached_exec
+                .execute(
+                    QueryRequest::beam(mapping.as_ref(), &region)
+                        .with_cache(&cache)
+                        .with_sink(&mut metrics),
+                )
+                .map_err(|e| format!("{label}: cached query failed: {e}"))?;
+
+            if cached.cells != bare.cells {
+                return Err(format!(
+                    "{label}: step {z} returned {} cells cached vs {} bare",
+                    cached.cells, bare.cells
+                ));
+            }
+            if cached.payload != bare.payload {
+                return Err(format!(
+                    "{label}: step {z} payload {:#x} cached vs {:#x} bare",
+                    cached.payload, bare.payload
+                ));
+            }
+            // The phase/service reconciliation holds for cached queries
+            // too: hits are free, serviced requests decompose exactly.
+            check_telemetry(&format!("{label} step {z}"), &metrics, &cached)?;
+            per_query.push(metrics);
+        }
+
+        let merged = Metrics::merge_ordered(per_query.iter());
+        let stats = cache.stats();
+        let pairs = [
+            ("page_cache_hit", Counter::PageCacheHit, stats.hits),
+            ("page_cache_miss", Counter::PageCacheMiss, stats.misses),
+            (
+                "cache_prefetch_issued",
+                Counter::CachePrefetchIssued,
+                stats.prefetch_issued,
+            ),
+            (
+                "cache_prefetch_used",
+                Counter::CachePrefetchUsed,
+                stats.prefetch_used,
+            ),
+        ];
+        for (name, counter, internal) in pairs {
+            let recorded = merged.counter_value(counter);
+            if recorded != internal {
+                return Err(format!(
+                    "{label}: sink recorded {recorded} {name} but the \
+                     cache's own stats say {internal}"
+                ));
+            }
+        }
+        let hits = merged.counter_value(Counter::PageCacheHit);
+        let misses = merged.counter_value(Counter::PageCacheMiss);
+        if hits + misses != demanded {
+            return Err(format!(
+                "{label}: {hits} hits + {misses} misses != {demanded} demanded cells"
+            ));
+        }
+        let issued = merged.counter_value(Counter::CachePrefetchIssued);
+        let used = merged.counter_value(Counter::CachePrefetchUsed);
+        if used > issued {
+            return Err(format!(
+                "{label}: {used} prefetch uses exceed {issued} issues"
+            ));
+        }
+        if stats.evictions > 0 && capacity_pages > 0 && cache.len() > capacity_pages {
+            return Err(format!(
+                "{label}: {} resident pages exceed capacity {capacity_pages}",
+                cache.len()
+            ));
+        }
+    }
+    Ok(())
+}

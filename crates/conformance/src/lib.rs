@@ -25,6 +25,10 @@
 //!   run, and the fault/retry/remap counters must reconcile exactly
 //!   across the injector, the LVM recovery path, telemetry and a pure
 //!   replay of the transient schedule.
+//! * **Cache conformance** ([`cache`]): the page cache is transparent
+//!   to results — cached queries return the same cells and payload as
+//!   bare ones — and its counters reconcile exactly between the
+//!   executor's telemetry and the cache's own bookkeeping.
 //!
 //! See `docs/conformance.md` for the invariant catalogue and workflow.
 //!
@@ -34,12 +38,14 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod cache;
 pub mod differential;
 pub mod fault;
 pub mod golden;
 pub mod json;
 pub mod oracle;
 
+pub use cache::check_cached_sweep;
 pub use differential::{
     assert_model_agreement, check_region, check_telemetry, check_translation_cache,
     differential_query, model_agreement, standard_mappings, DifferentialOutcome,

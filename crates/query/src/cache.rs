@@ -1,0 +1,77 @@
+//! The executor-side cache interface.
+//!
+//! The page cache itself lives in `multimap-store` (above this crate in
+//! the dependency order), so the executor sees it only through the
+//! [`BlockCache`] trait: probe a page, plan prefetch, admit fetched
+//! pages. A [`QueryRequest`](crate::QueryRequest) carries an optional
+//! `&dyn BlockCache`; without one the executor takes the exact pre-cache
+//! code path, byte-identical to builds without cache support.
+//!
+//! Pages are cell-granular: the key is the cell's first LBN and a page
+//! spans the mapping's `cell_blocks()`. All methods take `&self` — an
+//! implementation serving one query stream uses interior mutability.
+
+use multimap_core::{BoxRegion, Mapping};
+use multimap_disksim::Lbn;
+
+/// Outcome of probing one page.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CacheProbe {
+    /// Not resident: the executor must read it from disk.
+    Miss,
+    /// Resident: the page's payload is delivered without disk I/O.
+    /// `first_prefetch_use` is true exactly once per prefetched page —
+    /// the first demand hit on it — so the executor can count
+    /// `cache_prefetch_used` without double counting.
+    Hit {
+        /// First demand hit on a page the prefetcher brought in.
+        first_prefetch_use: bool,
+    },
+}
+
+/// What a query hands the cache to plan prefetch with.
+///
+/// Bundled as a struct so cache implementations can evolve their
+/// planning inputs without breaking the trait signature.
+pub struct PrefetchContext<'a> {
+    /// The mapping the query runs against (gives `cell_blocks`,
+    /// `grid`, and cell→LBN translation for predicted regions).
+    pub mapping: &'a dyn Mapping,
+    /// The region the current query covers.
+    pub region: &'a BoxRegion,
+    /// First LBN of every cell the query demands (hit or miss), in
+    /// row-major cell order. Prefetch must not duplicate these.
+    pub demand: &'a [Lbn],
+    /// The demanded LBNs that missed, in demand order.
+    pub missed: &'a [Lbn],
+    /// Exclusive LBN bound: no prefetched page may extend past it.
+    pub lbn_limit: Lbn,
+}
+
+/// A page cache the executor can consult during a query.
+///
+/// Contract, in call order per query:
+///
+/// 1. [`BlockCache::probe`] once per demanded cell, in cell order.
+/// 2. [`BlockCache::plan_prefetch`] once — even when every probe hit,
+///    so stream detection keeps tracking the query sequence. The
+///    returned page starts are serviced in the same disk batch as the
+///    demand misses (prefetch rides the scheduler).
+/// 3. [`BlockCache::admit`] once per fetched page (demand misses first,
+///    then prefetched pages), after the batch is serviced.
+///
+/// Implementations must be deterministic: the same call sequence yields
+/// the same probe outcomes and prefetch plans.
+pub trait BlockCache {
+    /// Probe one page (keyed by the cell's first LBN).
+    fn probe(&self, lbn: Lbn) -> CacheProbe;
+
+    /// Plan speculative reads for the stream this query belongs to.
+    /// Returns page-start LBNs, already filtered against resident
+    /// pages, the current demand set and `lbn_limit`.
+    fn plan_prefetch(&self, ctx: &PrefetchContext<'_>) -> Vec<Lbn>;
+
+    /// Admit one fetched page of `nblocks` blocks; `prefetched` marks
+    /// speculative pages so their first later hit can be attributed.
+    fn admit(&self, lbn: Lbn, nblocks: u64, prefetched: bool);
+}

@@ -12,11 +12,13 @@ use std::time::Instant;
 
 use multimap_core::{shared_cache, BoxRegion, GridSpec, Mapping, MappingKind, MIN_CACHED_LOOKUPS};
 use multimap_disksim::{
-    coalesce_sorted, BatchTiming, DiskGeometry, Lbn, Request, ServiceEvent, Transition,
+    coalesce_sorted, request_payload, BatchTiming, DiskGeometry, Lbn, Request, ServiceEvent,
+    Transition,
 };
 use multimap_lvm::{LogicalVolume, SchedulePolicy};
 use multimap_telemetry::{Counter, MetricsSink, Phase, Span};
 
+use crate::cache::{BlockCache, CacheProbe, PrefetchContext};
 use crate::error::{QueryError, Result};
 
 /// [`QueryError::RegionOutsideGrid`] for a region/grid pair.
@@ -190,6 +192,7 @@ pub struct QueryRequest<'a> {
     op: QueryOp,
     observer: Option<&'a mut dyn FnMut(ServiceEvent)>,
     sink: Option<&'a mut dyn MetricsSink>,
+    cache: Option<&'a dyn BlockCache>,
 }
 
 impl<'a> QueryRequest<'a> {
@@ -201,6 +204,7 @@ impl<'a> QueryRequest<'a> {
             op,
             observer: None,
             sink: None,
+            cache: None,
         }
     }
 
@@ -226,6 +230,15 @@ impl<'a> QueryRequest<'a> {
     /// and span timings for this query (see `multimap-telemetry`).
     pub fn with_sink(mut self, sink: &'a mut dyn MetricsSink) -> Self {
         self.sink = Some(sink);
+        self
+    }
+
+    /// Attach a page cache: resident cells are delivered without disk
+    /// I/O and the cache's prefetch plan rides the demand batch (see
+    /// [`BlockCache`]). Without a cache the executor takes the exact
+    /// pre-cache code path — byte-identical timings.
+    pub fn with_cache(mut self, cache: &'a dyn BlockCache) -> Self {
+        self.cache = Some(cache);
         self
     }
 
@@ -300,7 +313,9 @@ impl QueryResult {
 /// [`Phase::Settle`] (per the transition classification) and zero
 /// charges are skipped, so the five phase sums add up *exactly* to the
 /// batch's total service time — the conformance oracle's cross-check.
-fn record_event(sink: &mut dyn MetricsSink, geom: &DiskGeometry, e: &ServiceEvent) {
+/// Public so other service paths (the store's write-back batcher) can
+/// record the identical decomposition.
+pub fn record_service_event(sink: &mut dyn MetricsSink, geom: &DiskGeometry, e: &ServiceEvent) {
     let t = e.timing;
     sink.counter(Counter::RequestsServiced, 1);
     if e.is_prefetch_hit() {
@@ -380,6 +395,35 @@ fn serve_split_degraded(
         }
     }
     Ok(volume.service_batch_observed(disk, requests, policy, record)?)
+}
+
+/// Record a batch's scheduler-internal counters into a sink (the tail
+/// block shared by every service path).
+fn record_sched_stats(s: &mut dyn MetricsSink, batch: &BatchTiming) {
+    s.counter(Counter::SeekMemoHit, batch.sched.seek_memo_hits);
+    s.counter(Counter::SeekMemoMiss, batch.sched.seek_memo_misses);
+    s.counter(Counter::SptfWindowEviction, batch.sched.window_evictions);
+    s.counter(Counter::SptfBucketScan, batch.sched.bucket_scans);
+    s.counter(Counter::SptfCandidateExamined, batch.sched.candidates_examined);
+    s.counter(Counter::SptfSelectorRepair, batch.sched.selector_repairs);
+}
+
+/// The translated, policy-resolved inputs [`QueryExecutor::execute`]
+/// hands to the cached service path.
+struct CachedPlan<'a> {
+    mapping: &'a dyn Mapping,
+    region: &'a BoxRegion,
+    op: QueryOp,
+    beam_policy: Option<SchedulePolicy>,
+    cell_blocks: u64,
+    lbns: Vec<Lbn>,
+}
+
+/// Span bookkeeping carried into the cached service path (the schedule
+/// span opens before the probe loop, in `execute`).
+struct CachedServiceTiming {
+    timed: bool,
+    t_schedule: Option<Instant>,
 }
 
 /// Close a span opened with `Instant::now()` (no-op without a sink).
@@ -494,6 +538,7 @@ impl<'a> QueryExecutor<'a> {
             op,
             mut observer,
             mut sink,
+            cache,
         } = req;
         let timed = sink.is_some();
 
@@ -511,7 +556,7 @@ impl<'a> QueryExecutor<'a> {
 
         // Translate: region cells → LBNs (direct or via the flat table).
         let t_translate = timed.then(Instant::now);
-        let (mut lbns, cache_hit) = self.region_lbns(mapping, region)?;
+        let (lbns, cache_hit) = self.region_lbns(mapping, region)?;
         if let Some(s) = sink.as_deref_mut() {
             match cache_hit {
                 Some(true) => s.counter(Counter::TranslationCacheHit, 1),
@@ -522,9 +567,65 @@ impl<'a> QueryExecutor<'a> {
         finish_span(&mut sink, Span::Translate, t_translate);
         let cells = lbns.len() as u64;
 
+        // Cached path: probe resident pages, fetch only the misses
+        // (plus the cache's prefetch plan) in one batch. Taken only
+        // when a cache is attached, so cache-off runs stay
+        // byte-identical to builds without cache support.
+        if let Some(cache) = cache {
+            let timing = CachedServiceTiming {
+                timed,
+                t_schedule: timed.then(Instant::now),
+            };
+            let plan = CachedPlan {
+                mapping,
+                region,
+                op,
+                beam_policy,
+                cell_blocks,
+                lbns,
+            };
+            return self.execute_cached(plan, cache, &mut observer, &mut sink, timing);
+        }
+
         // Schedule: build the request batch in issue order.
         let t_schedule = timed.then(Instant::now);
-        let (requests, policy) = match (op, beam_policy) {
+        let (requests, policy) = self.build_requests(op, beam_policy, lbns, cell_blocks);
+        finish_span(&mut sink, Span::Schedule, t_schedule);
+
+        // Service: hand the batch to the volume's scheduler.
+        let t_service = timed.then(Instant::now);
+        let geom = self.volume.geometry();
+        let batch = {
+            let mut tap = sink.as_deref_mut();
+            let mut record = |e: ServiceEvent| {
+                if let Some(s) = tap.as_deref_mut() {
+                    record_service_event(s, geom, &e);
+                }
+                if let Some(o) = observer.as_mut() {
+                    o(e);
+                }
+            };
+            serve_split_degraded(self.volume, self.disk, &requests, policy, &mut record)?
+        };
+        finish_span(&mut sink, Span::Service, t_service);
+        if let Some(s) = sink {
+            record_sched_stats(s, &batch);
+        }
+        Ok(QueryResult::from_batch(batch, cells))
+    }
+
+    /// Build the disk request batch (issue order plus schedule policy)
+    /// for cell-start `lbns` under this executor's options. Shared by
+    /// the cached and uncached paths, so a cache that misses every
+    /// probe issues exactly the batch an uncached run would.
+    fn build_requests(
+        &self,
+        op: QueryOp,
+        beam_policy: Option<SchedulePolicy>,
+        mut lbns: Vec<Lbn>,
+        cell_blocks: u64,
+    ) -> (Vec<Request>, SchedulePolicy) {
+        match (op, beam_policy) {
             (QueryOp::Beam, Some(policy)) => {
                 let requests: Vec<Request> =
                     lbns.iter().map(|&l| Request::new(l, cell_blocks)).collect();
@@ -558,17 +659,89 @@ impl<'a> QueryExecutor<'a> {
                     (requests, policy)
                 }
             },
-        };
-        finish_span(&mut sink, Span::Schedule, t_schedule);
+        }
+    }
 
-        // Service: hand the batch to the volume's scheduler.
-        let t_service = timed.then(Instant::now);
+    /// Serve one query through an attached [`BlockCache`].
+    ///
+    /// Resident cells are delivered without disk I/O; the misses are
+    /// scheduled exactly as an uncached query over those cells would
+    /// be, and the cache's prefetch plan is appended to the same batch
+    /// so speculative reads ride the scheduler (SPTF and coalescing see
+    /// demand + prefetch together). The result's `payload` covers every
+    /// demanded cell — cached or fetched — so it equals the uncached
+    /// run's payload; `blocks`/`requests`/`total_io_ms` report the disk
+    /// traffic that actually happened.
+    fn execute_cached(
+        &self,
+        plan: CachedPlan<'_>,
+        cache: &dyn BlockCache,
+        observer: &mut Option<&mut dyn FnMut(ServiceEvent)>,
+        sink: &mut Option<&mut dyn MetricsSink>,
+        timing: CachedServiceTiming,
+    ) -> Result<QueryResult> {
+        let CachedPlan {
+            mapping,
+            region,
+            op,
+            beam_policy,
+            cell_blocks,
+            lbns,
+        } = plan;
+        let cells = lbns.len() as u64;
+
+        // Probe: split the demand set into resident hits and misses.
+        let mut missed: Vec<Lbn> = Vec::new();
+        let mut hits = 0u64;
+        let mut prefetch_used = 0u64;
+        for &l in &lbns {
+            match cache.probe(l) {
+                CacheProbe::Hit { first_prefetch_use } => {
+                    hits += 1;
+                    if first_prefetch_use {
+                        prefetch_used += 1;
+                    }
+                }
+                CacheProbe::Miss => missed.push(l),
+            }
+        }
+        // The delivered data is the same whether a cell came from a
+        // resident page or a fresh read, and `request_payload` is a
+        // pure per-block sum — so charging every demanded cell keeps
+        // the payload bit-identical to an uncached run of this query.
+        let payload = lbns.iter().fold(0u64, |acc, &l| {
+            acc.wrapping_add(request_payload(Request::new(l, cell_blocks)))
+        });
+        let misses = missed.len() as u64;
+
+        // Plan prefetch — even on an all-hit query, so stream detection
+        // keeps tracking the query sequence and can run ahead of it.
+        let prefetch = cache.plan_prefetch(&PrefetchContext {
+            mapping,
+            region,
+            demand: &lbns,
+            missed: &missed,
+            lbn_limit: self.volume.geometry().total_blocks(),
+        });
+
+        // Schedule the misses exactly as an uncached query over them
+        // would be scheduled, then append the speculative reads.
+        let (mut requests, policy) =
+            self.build_requests(op, beam_policy, missed.clone(), cell_blocks);
+        requests.extend(prefetch.iter().map(|&l| Request::new(l, cell_blocks)));
+        finish_span(sink, Span::Schedule, timing.t_schedule);
+
+        // Service the combined batch (skipped when everything was
+        // resident and no prefetch is due).
+        let t_service = timing.timed.then(Instant::now);
         let geom = self.volume.geometry();
-        let batch = {
+        let batch = if requests.is_empty() {
+            BatchTiming::default()
+        } else {
             let mut tap = sink.as_deref_mut();
             let mut record = |e: ServiceEvent| {
                 if let Some(s) = tap.as_deref_mut() {
-                    record_event(s, geom, &e);
+                    record_service_event(s, geom, &e);
                 }
                 if let Some(o) = observer.as_mut() {
                     o(e);
@@ -576,16 +749,31 @@ impl<'a> QueryExecutor<'a> {
             };
             serve_split_degraded(self.volume, self.disk, &requests, policy, &mut record)?
         };
-        finish_span(&mut sink, Span::Service, t_service);
-        if let Some(s) = sink {
-            s.counter(Counter::SeekMemoHit, batch.sched.seek_memo_hits);
-            s.counter(Counter::SeekMemoMiss, batch.sched.seek_memo_misses);
-            s.counter(Counter::SptfWindowEviction, batch.sched.window_evictions);
-            s.counter(Counter::SptfBucketScan, batch.sched.bucket_scans);
-            s.counter(Counter::SptfCandidateExamined, batch.sched.candidates_examined);
-            s.counter(Counter::SptfSelectorRepair, batch.sched.selector_repairs);
+        finish_span(sink, Span::Service, t_service);
+
+        // Admission order is part of the deterministic contract:
+        // demand misses first (cell order), then prefetched pages.
+        for &l in &missed {
+            cache.admit(l, cell_blocks, false);
         }
-        Ok(QueryResult::from_batch(batch, cells))
+        for &l in &prefetch {
+            cache.admit(l, cell_blocks, true);
+        }
+
+        if let Some(s) = sink.as_deref_mut() {
+            s.counter(Counter::PageCacheHit, hits);
+            s.counter(Counter::PageCacheMiss, misses);
+            s.counter(Counter::CachePrefetchIssued, prefetch.len() as u64);
+            s.counter(Counter::CachePrefetchUsed, prefetch_used);
+            record_sched_stats(s, &batch);
+        }
+        Ok(QueryResult {
+            cells,
+            blocks: batch.blocks,
+            requests: batch.requests,
+            total_io_ms: batch.total_ms,
+            payload,
+        })
     }
 
     /// Run a beam query: fetch all cells of `region` (usually a line
@@ -660,7 +848,7 @@ pub fn service_lbns_sinked(
         let mut tap = sink.as_deref_mut();
         let mut record = |e: ServiceEvent| {
             if let Some(s) = tap.as_deref_mut() {
-                record_event(s, geom, &e);
+                record_service_event(s, geom, &e);
             }
         };
         if sptf {
@@ -676,12 +864,7 @@ pub fn service_lbns_sinked(
     };
     finish_span(&mut sink, Span::Service, t_service);
     if let Some(s) = sink {
-        s.counter(Counter::SeekMemoHit, batch.sched.seek_memo_hits);
-        s.counter(Counter::SeekMemoMiss, batch.sched.seek_memo_misses);
-        s.counter(Counter::SptfWindowEviction, batch.sched.window_evictions);
-        s.counter(Counter::SptfBucketScan, batch.sched.bucket_scans);
-        s.counter(Counter::SptfCandidateExamined, batch.sched.candidates_examined);
-        s.counter(Counter::SptfSelectorRepair, batch.sched.selector_repairs);
+        record_sched_stats(s, &batch);
     }
     Ok(QueryResult::from_batch(batch, cells))
 }
@@ -935,6 +1118,95 @@ mod tests {
                 + beam_metrics.counter_value(Counter::SeekMemoMiss)
                 > 0
         );
+    }
+
+    /// An unbounded test cache: enough to pin the executor's cached
+    /// service path without pulling in the real store-side page cache.
+    #[derive(Default)]
+    struct TestCache {
+        pages: std::cell::RefCell<std::collections::BTreeMap<Lbn, (bool, bool)>>,
+    }
+
+    impl BlockCache for TestCache {
+        fn probe(&self, lbn: Lbn) -> CacheProbe {
+            let mut pages = self.pages.borrow_mut();
+            match pages.get_mut(&lbn) {
+                Some((prefetched, used)) => {
+                    let first = *prefetched && !*used;
+                    *used = true;
+                    CacheProbe::Hit {
+                        first_prefetch_use: first,
+                    }
+                }
+                None => CacheProbe::Miss,
+            }
+        }
+
+        fn plan_prefetch(&self, _ctx: &PrefetchContext<'_>) -> Vec<Lbn> {
+            Vec::new()
+        }
+
+        fn admit(&self, lbn: Lbn, _nblocks: u64, prefetched: bool) {
+            self.pages.borrow_mut().insert(lbn, (prefetched, false));
+        }
+    }
+
+    /// A cache that misses every probe and plans no prefetch must leave
+    /// the serviced batch — and thus every timing bit — unchanged.
+    #[test]
+    fn cold_cache_is_byte_identical_to_uncached() {
+        let (vol, grid) = setup();
+        let mm = MultiMapping::new(vol.geometry(), grid.clone()).unwrap();
+        let exec = QueryExecutor::new(&vol, 0);
+        for req in [
+            QueryRequest::beam(&mm, &BoxRegion::beam(&grid, 1, &[3, 0, 2])),
+            QueryRequest::range(&mm, &BoxRegion::new([0u64, 0, 0], [20u64, 5, 3])),
+        ] {
+            let (op, region) = (req.op(), req.region().clone());
+            let bare = exec.execute(req).unwrap();
+            vol.reset();
+            let cache = TestCache::default();
+            let cached = exec
+                .execute(QueryRequest::new(op, &mm, &region).with_cache(&cache))
+                .unwrap();
+            vol.reset();
+            assert_eq!(bare, cached);
+            assert_eq!(bare.total_io_ms.to_bits(), cached.total_io_ms.to_bits());
+        }
+    }
+
+    /// A fully resident query is served without any disk traffic but
+    /// still delivers the exact uncached payload.
+    #[test]
+    fn warm_cache_serves_without_io() {
+        let (vol, grid) = setup();
+        let mm = MultiMapping::new(vol.geometry(), grid.clone()).unwrap();
+        let exec = QueryExecutor::new(&vol, 0);
+        let region = BoxRegion::beam(&grid, 1, &[3, 0, 2]);
+        let cache = TestCache::default();
+        let mut first_m = Metrics::new();
+        let first = exec
+            .execute(
+                QueryRequest::beam(&mm, &region)
+                    .with_cache(&cache)
+                    .with_sink(&mut first_m),
+            )
+            .unwrap();
+        let mut second_m = Metrics::new();
+        let second = exec
+            .execute(
+                QueryRequest::beam(&mm, &region)
+                    .with_cache(&cache)
+                    .with_sink(&mut second_m),
+            )
+            .unwrap();
+        assert_eq!(first_m.counter_value(Counter::PageCacheMiss), first.cells);
+        assert_eq!(second_m.counter_value(Counter::PageCacheHit), second.cells);
+        assert_eq!(second.cells, first.cells);
+        assert_eq!(second.payload, first.payload);
+        assert_eq!(second.blocks, 0);
+        assert_eq!(second.requests, 0);
+        assert_eq!(second.total_io_ms, 0.0);
     }
 
     #[test]

@@ -38,16 +38,18 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cache;
 pub mod error;
 pub mod executor;
 pub mod mix;
 pub mod plan;
 pub mod workload;
 
+pub use cache::{BlockCache, CacheProbe, PrefetchContext};
 pub use error::{QueryError, Result};
 pub use executor::{
-    service_lbns, service_lbns_sinked, BeamPolicy, ExecOptions, ExecOptionsBuilder, QueryExecutor,
-    QueryOp, QueryRequest, QueryResult, RangeOrder,
+    record_service_event, service_lbns, service_lbns_sinked, BeamPolicy, ExecOptions,
+    ExecOptionsBuilder, QueryExecutor, QueryOp, QueryRequest, QueryResult, RangeOrder,
 };
 pub use mix::{MixEntry, MixReport, QueryKind, WorkloadMix, WorkloadMixBuilder};
 pub use plan::{explain_beam, explain_range, AccessPlan, PlanKind};

@@ -32,9 +32,16 @@
 #![forbid(unsafe_code)]
 
 pub mod alloc;
+pub mod cache;
 pub mod manager;
 pub mod page;
+pub mod prefetch;
 
 pub use alloc::{ZoneAllocator, ZoneGrant};
+pub use cache::{
+    make_policy, CacheConfig, CacheStats, ClockPolicy, EvictionKind, EvictionPolicy, LruPolicy,
+    PageCache, TwoQPolicy,
+};
 pub use manager::{LayoutChoice, Result, SpatialTable, StorageManager, StoreError};
 pub use page::{CellPage, PageError};
+pub use prefetch::{adjacency_plan, sequential_plan, PrefetchMode, StreamModel, StreamVector};

@@ -7,11 +7,15 @@ use multimap_core::{
     hilbert_mapping, zorder_mapping, BoxRegion, CellStore, GridSpec, LoadReport, Mapping,
     MappingError, MultiMapOptions, MultiMapping, NaiveMapping, UpdateConfig,
 };
-use multimap_disksim::{DiskGeometry, Lbn};
-use multimap_lvm::{LogicalVolume, LvmError};
-use multimap_query::{service_lbns, QueryError, QueryExecutor, QueryRequest, QueryResult};
+use multimap_disksim::{DiskGeometry, Lbn, Request};
+use multimap_lvm::{LogicalVolume, LvmError, SchedulePolicy};
+use multimap_query::{
+    record_service_event, service_lbns, QueryError, QueryExecutor, QueryRequest, QueryResult,
+};
+use multimap_telemetry::{Counter, Metrics, MetricsSink, Phase};
 
 use crate::alloc::{ZoneAllocator, ZoneGrant};
+use crate::cache::{CacheConfig, CacheStats, PageCache};
 
 /// Which placement a table uses.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -125,14 +129,47 @@ impl SpatialTable {
     }
 }
 
+/// What one write-back flush (or a drain of several) serviced.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct FlushReport {
+    /// Flush batches issued.
+    pub batches: u64,
+    /// Dirty pages written.
+    pub pages: u64,
+    /// Blocks written across them.
+    pub blocks: u64,
+    /// Simulated I/O time of the batches, in milliseconds.
+    pub total_io_ms: f64,
+}
+
+impl FlushReport {
+    fn absorb(&mut self, other: FlushReport) {
+        self.batches += other.batches;
+        self.pages += other.pages;
+        self.blocks += other.blocks;
+        self.total_io_ms += other.total_io_ms;
+    }
+}
+
 /// The database storage manager of the paper's prototype: owns the
 /// logical volume, allocates zone ranges to tables, and runs loads,
 /// updates and queries against them.
+///
+/// With [`StorageManager::enable_cache`] the manager interposes one
+/// [`PageCache`] per disk between queries/updates and the volume:
+/// queries run with the cache attached (hits skip disk I/O, the
+/// prefetcher rides their batches), and inserts dirty cache pages
+/// instead of issuing one positioned write each — a write-back batcher
+/// flushes accumulated dirty pages through the queued-SPTF scheduler
+/// once `writeback_batch` of them are pending.
 pub struct StorageManager {
     volume: LogicalVolume,
     allocator: ZoneAllocator,
     tables: BTreeMap<String, SpatialTable>,
     update_config: UpdateConfig,
+    caches: BTreeMap<usize, PageCache>,
+    cache_config: Option<CacheConfig>,
+    cache_metrics: Metrics,
 }
 
 impl StorageManager {
@@ -143,12 +180,112 @@ impl StorageManager {
             allocator: ZoneAllocator::new(ndisks),
             tables: BTreeMap::new(),
             update_config: UpdateConfig::default(),
+            caches: BTreeMap::new(),
+            cache_config: None,
+            cache_metrics: Metrics::new(),
         }
     }
 
     /// Override the update tunables used for new tables.
     pub fn set_update_config(&mut self, cfg: UpdateConfig) {
         self.update_config = cfg;
+    }
+
+    /// Interpose a page cache per disk. A `capacity_pages` of 0 leaves
+    /// every operation byte-identical to a cache-less manager (probes
+    /// always miss, inserts write through immediately).
+    pub fn enable_cache(&mut self, config: CacheConfig) {
+        self.caches = (0..self.volume.num_disks())
+            .map(|d| (d, PageCache::new(&config)))
+            .collect();
+        self.cache_config = Some(config);
+    }
+
+    /// Flush all pending dirty pages and detach the caches.
+    pub fn disable_cache(&mut self) -> Result<FlushReport> {
+        let report = self.flush_all()?;
+        self.caches.clear();
+        self.cache_config = None;
+        Ok(report)
+    }
+
+    /// The active cache configuration, if caching is enabled.
+    pub fn cache_config(&self) -> Option<CacheConfig> {
+        self.cache_config
+    }
+
+    /// The page cache serving `disk`, if caching is enabled.
+    pub fn cache(&self, disk: usize) -> Option<&PageCache> {
+        self.caches.get(&disk)
+    }
+
+    /// Cache event totals summed across all disks.
+    pub fn cache_stats(&self) -> CacheStats {
+        let mut total = CacheStats::default();
+        for cache in self.caches.values() {
+            let s = cache.stats();
+            total.hits += s.hits;
+            total.misses += s.misses;
+            total.prefetch_issued += s.prefetch_issued;
+            total.prefetch_used += s.prefetch_used;
+            total.evictions += s.evictions;
+            total.writeback_pages += s.writeback_pages;
+        }
+        total
+    }
+
+    /// Telemetry recorded by the write-back batcher: the per-request
+    /// phase decomposition of every flush, the [`Phase::Writeback`]
+    /// memo overlay, and the `writeback_flush` counter.
+    pub fn cache_metrics(&self) -> &Metrics {
+        &self.cache_metrics
+    }
+
+    /// Flush the pending dirty pages of every disk as queued-SPTF
+    /// batches (a no-op without a cache or dirty pages).
+    pub fn flush_all(&mut self) -> Result<FlushReport> {
+        let disks: Vec<usize> = self.caches.keys().copied().collect();
+        let mut report = FlushReport::default();
+        for disk in disks {
+            report.absorb(self.flush_disk(disk)?);
+        }
+        Ok(report)
+    }
+
+    /// Flush one disk's pending dirty pages as one queued-SPTF batch.
+    fn flush_disk(&mut self, disk: usize) -> Result<FlushReport> {
+        let Some(cache) = self.caches.get(&disk) else {
+            return Ok(FlushReport::default());
+        };
+        let pages = cache.take_writeback();
+        if pages.is_empty() {
+            return Ok(FlushReport::default());
+        }
+        let requests: Vec<Request> = pages.iter().map(|&(l, n)| Request::new(l, n)).collect();
+        let depth = self
+            .cache_config
+            .map(|c| c.queue_depth.max(1))
+            .unwrap_or(1);
+        let volume = &self.volume;
+        let metrics = &mut self.cache_metrics;
+        let geom = volume.geometry().clone();
+        let timing = volume.service_batch_observed(
+            disk,
+            &requests,
+            SchedulePolicy::QueuedSptf(depth),
+            &mut |e| record_service_event(metrics, &geom, &e),
+        )?;
+        // The per-event decomposition above already sums to the batch
+        // total; the Writeback phase is a memo overlay (excluded from
+        // `phase_sum_ms`) attributing that time to the flusher.
+        metrics.phase(Phase::Writeback, timing.total_ms);
+        metrics.counter(Counter::WritebackFlush, 1);
+        Ok(FlushReport {
+            batches: 1,
+            pages: pages.len() as u64,
+            blocks: timing.blocks,
+            total_io_ms: timing.total_ms,
+        })
     }
 
     /// The underlying volume (for direct experimentation).
@@ -283,11 +420,20 @@ impl StorageManager {
             table.cells.bulk_load(c);
         }
         table.loaded = true;
+        // The bulk rewrite supersedes anything cached over the grant.
+        let grant = table.grant;
+        if let Some(cache) = self.caches.get(&grant.disk) {
+            cache.invalidate_range(grant.base_lbn, grant.blocks);
+        }
         Ok(report)
     }
 
     /// Insert one point at `coord`: updates occupancy and writes the
     /// affected block (plus a new overflow page when one is allocated).
+    ///
+    /// With a cache enabled the write only dirties cache pages; the
+    /// write-back batcher flushes once `writeback_batch` dirty pages
+    /// are pending (or at [`Self::flush_all`] / [`Self::disable_cache`]).
     pub fn insert(&mut self, name: &str, coord: &[u64]) -> Result<()> {
         let table = self
             .tables
@@ -304,13 +450,35 @@ impl StorageManager {
                 what: format!("overflow area of table {name:?}"),
             });
         }
-        let mut writes: Vec<Lbn> = vec![lbn];
+        let mut writes: Vec<(Lbn, u64)> = vec![(lbn, table.mapping.cell_blocks())];
         if table.cells.overflow_lbns(cell).len() > pages_before {
             // staticcheck: allow(no-unwrap) — len() > pages_before proves the overflow list is non-empty.
-            writes.push(*table.cells.overflow_lbns(cell).last().expect("just added"));
+            let over = *table.cells.overflow_lbns(cell).last().expect("just added");
+            writes.push((over, 1));
         }
-        self.volume.with_disk(table.grant.disk, |sim| {
-            for w in writes {
+        let disk = table.grant.disk;
+
+        // Write-back path: dirty the pages and let the batcher flush.
+        if let Some(cache) = self.caches.get(&disk) {
+            if cache.mark_dirty(writes[0].0, writes[0].1) {
+                for &(l, n) in &writes[1..] {
+                    cache.mark_dirty(l, n);
+                }
+                let batch = self
+                    .cache_config
+                    .map(|c| c.writeback_batch.max(1))
+                    .unwrap_or(1);
+                if cache.writeback_pending() >= batch {
+                    self.flush_disk(disk)?;
+                }
+                return Ok(());
+            }
+        }
+
+        // Write-through path (no cache, or capacity 0): one positioned
+        // write per page, exactly the pre-cache behaviour.
+        self.volume.with_disk(disk, |sim| {
+            for (w, _) in writes {
                 // staticcheck: allow(no-unwrap) — grant LBNs were validated against the allocator at create time.
                 sim.service_write(multimap_disksim::Request::single(w))
                     .expect("grant LBNs are on disk");
@@ -336,21 +504,33 @@ impl StorageManager {
         Ok(())
     }
 
-    /// Run a beam query (cells plus their overflow chains).
+    /// Run a beam query (cells plus their overflow chains). With a
+    /// cache enabled the executor probes it per cell and services only
+    /// the misses (plus the prefetch plan).
     pub fn beam(&self, name: &str, dim: usize, anchor: &[u64]) -> Result<QueryResult> {
         let table = self.table(name)?;
         let region = BoxRegion::beam(table.grid(), dim, anchor);
         let exec = QueryExecutor::new(&self.volume, table.grant.disk);
-        let mut result = exec.execute(QueryRequest::beam(table.mapping.as_ref(), &region))?;
+        let mut request = QueryRequest::beam(table.mapping.as_ref(), &region);
+        if let Some(cache) = self.caches.get(&table.grant.disk) {
+            request = request.with_cache(cache);
+        }
+        let mut result = exec.execute(request)?;
         result.accumulate(&self.read_overflow(table, &region)?);
         Ok(result)
     }
 
-    /// Run a range query (cells plus their overflow chains).
+    /// Run a range query (cells plus their overflow chains). With a
+    /// cache enabled the executor probes it per cell and services only
+    /// the misses (plus the prefetch plan).
     pub fn range(&self, name: &str, region: &BoxRegion) -> Result<QueryResult> {
         let table = self.table(name)?;
         let exec = QueryExecutor::new(&self.volume, table.grant.disk);
-        let mut result = exec.execute(QueryRequest::range(table.mapping.as_ref(), region))?;
+        let mut request = QueryRequest::range(table.mapping.as_ref(), region);
+        if let Some(cache) = self.caches.get(&table.grant.disk) {
+            request = request.with_cache(cache);
+        }
+        let mut result = exec.execute(request)?;
         result.accumulate(&self.read_overflow(table, region)?);
         Ok(result)
     }
@@ -375,6 +555,12 @@ impl StorageManager {
         for c in 0..table.grid().cells() {
             table.cells.bulk_load(c);
         }
+        // The rewrite supersedes cached pages (including dirty ones
+        // queued for write-back) over the grant.
+        let grant = table.grant;
+        if let Some(cache) = self.caches.get(&grant.disk) {
+            cache.invalidate_range(grant.base_lbn, grant.blocks);
+        }
         Ok(report)
     }
 
@@ -387,10 +573,16 @@ impl StorageManager {
     /// Drop a table. Its zone grant is *not* reused (the allocator is a
     /// bump allocator, like the paper's static allocation).
     pub fn drop_table(&mut self, name: &str) -> Result<()> {
-        self.tables
+        let table = self
+            .tables
             .remove(name)
-            .map(|_| ())
-            .ok_or_else(|| StoreError::NoSuchTable(name.into()))
+            .ok_or_else(|| StoreError::NoSuchTable(name.into()))?;
+        // Cached pages (and pending write-backs) of a dropped table are
+        // garbage: discard rather than flush them.
+        if let Some(cache) = self.caches.get(&table.grant.disk) {
+            cache.invalidate_range(table.grant.base_lbn, table.grant.blocks);
+        }
+        Ok(())
     }
 
     /// Fetch the overflow chains of every cell in `region` (often empty).

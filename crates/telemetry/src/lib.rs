@@ -32,5 +32,7 @@ mod metrics;
 mod registry;
 
 pub use hist::{Histogram, BUCKET_EDGES_MS, NUM_BUCKETS};
-pub use metrics::{Counter, Metrics, MetricsSink, NullSink, Phase, Span, SpanStat};
+pub use metrics::{
+    Counter, Metrics, MetricsSink, NullSink, Phase, Span, SpanStat, HIT_RATE_FLOOR,
+};
 pub use registry::{enabled, global, set_enabled, Registry};

@@ -4,6 +4,12 @@ use std::fmt::Write as _;
 
 use crate::hist::Histogram;
 
+/// Minimum lookups a hit/miss pair needs before its rate is reported:
+/// below this, [`Metrics::hit_rate_floored`] answers `None` and reports
+/// print `n/a` — a rate over a few dozen lookups is start-up transient,
+/// not steady state.
+pub const HIT_RATE_FLOOR: u64 = 256;
+
 /// Service-time components, as charged by the disk simulator.
 ///
 /// The simulator's `RequestTiming` folds seek, settle and head-switch
@@ -33,17 +39,25 @@ pub enum Phase {
     /// Fault-recovery time: retry backoff, timeout burn and the extra
     /// positioning paid by remapped (degraded) segments.
     Recovery,
+    /// Cache write-back flush time — a *memo* phase: the flush batch
+    /// total recorded by the page cache's write-back batcher on top of
+    /// the per-event decomposition (which already lands in the phases
+    /// above). Excluded from [`Metrics::phase_sum_ms`] so the
+    /// phase-sum = total-service-time reconciliation stays exact; it
+    /// labels how much of that total was write-back traffic.
+    Writeback,
 }
 
 impl Phase {
     /// Every phase, in reporting order.
-    pub const ALL: [Phase; 6] = [
+    pub const ALL: [Phase; 7] = [
         Phase::Overhead,
         Phase::Seek,
         Phase::Settle,
         Phase::Rotation,
         Phase::Transfer,
         Phase::Recovery,
+        Phase::Writeback,
     ];
 
     /// Stable snake_case name (JSON field).
@@ -55,6 +69,7 @@ impl Phase {
             Phase::Rotation => "rotation",
             Phase::Transfer => "transfer",
             Phase::Recovery => "recovery",
+            Phase::Writeback => "writeback",
         }
     }
 
@@ -66,7 +81,15 @@ impl Phase {
             Phase::Rotation => 3,
             Phase::Transfer => 4,
             Phase::Recovery => 5,
+            Phase::Writeback => 6,
         }
+    }
+
+    /// Whether this phase is a memo line (an overlay labelling part of
+    /// the total) rather than a disjoint component of service time.
+    /// Memo phases are excluded from [`Metrics::phase_sum_ms`].
+    pub fn is_memo(self) -> bool {
+        matches!(self, Phase::Writeback)
     }
 }
 
@@ -113,11 +136,23 @@ pub enum Counter {
     SptfCandidateExamined,
     /// Incremental selector structure repairs (admissions + removals).
     SptfSelectorRepair,
+    /// Page-cache probes answered from a resident page (no disk I/O).
+    PageCacheHit,
+    /// Page-cache probes that fell through to a demand read.
+    PageCacheMiss,
+    /// Pages fetched speculatively by the cache's prefetcher (batched
+    /// with the demand reads, riding the same scheduler).
+    CachePrefetchIssued,
+    /// First hit on a page the prefetcher brought in — a prefetch that
+    /// paid off. Never exceeds [`Counter::CachePrefetchIssued`].
+    CachePrefetchUsed,
+    /// Dirty pages written out by the write-back batcher.
+    WritebackFlush,
 }
 
 impl Counter {
     /// Every counter, in reporting order.
-    pub const ALL: [Counter; 17] = [
+    pub const ALL: [Counter; 22] = [
         Counter::SeekMemoHit,
         Counter::SeekMemoMiss,
         Counter::TranslationCacheHit,
@@ -135,6 +170,11 @@ impl Counter {
         Counter::SptfBucketScan,
         Counter::SptfCandidateExamined,
         Counter::SptfSelectorRepair,
+        Counter::PageCacheHit,
+        Counter::PageCacheMiss,
+        Counter::CachePrefetchIssued,
+        Counter::CachePrefetchUsed,
+        Counter::WritebackFlush,
     ];
 
     /// Stable snake_case name (JSON field).
@@ -157,6 +197,11 @@ impl Counter {
             Counter::SptfBucketScan => "sptf_bucket_scan",
             Counter::SptfCandidateExamined => "sptf_candidate_examined",
             Counter::SptfSelectorRepair => "sptf_selector_repair",
+            Counter::PageCacheHit => "page_cache_hit",
+            Counter::PageCacheMiss => "page_cache_miss",
+            Counter::CachePrefetchIssued => "cache_prefetch_issued",
+            Counter::CachePrefetchUsed => "cache_prefetch_used",
+            Counter::WritebackFlush => "writeback_flush",
         }
     }
 
@@ -179,6 +224,11 @@ impl Counter {
             Counter::SptfBucketScan => 14,
             Counter::SptfCandidateExamined => 15,
             Counter::SptfSelectorRepair => 16,
+            Counter::PageCacheHit => 17,
+            Counter::PageCacheMiss => 18,
+            Counter::CachePrefetchIssued => 19,
+            Counter::CachePrefetchUsed => 20,
+            Counter::WritebackFlush => 21,
         }
     }
 }
@@ -301,10 +351,17 @@ impl Metrics {
         self.spans[span.index()]
     }
 
-    /// Sum of all phase-histogram sums — by construction equal to the
-    /// total observed service time (the oracle cross-checks this).
+    /// Sum of all *component* phase-histogram sums — by construction
+    /// equal to the total observed service time (the oracle cross-checks
+    /// this). Memo phases ([`Phase::is_memo`], currently only
+    /// [`Phase::Writeback`]) overlay the same time a second way and are
+    /// excluded to keep the reconciliation exact.
     pub fn phase_sum_ms(&self) -> f64 {
-        self.phases.iter().map(Histogram::sum_ms).sum()
+        Phase::ALL
+            .iter()
+            .filter(|p| !p.is_memo())
+            .map(|&p| self.phase_hist(p).sum_ms())
+            .sum()
     }
 
     /// Hit rate of a hit/miss counter pair, or `None` with no lookups.
@@ -315,6 +372,31 @@ impl Metrics {
             None
         } else {
             Some(h as f64 / (h + m) as f64)
+        }
+    }
+
+    /// Fraction of prefetched pages that were hit before eviction
+    /// (`cache_prefetch_used / cache_prefetch_issued`), or `None` when
+    /// no prefetches were issued.
+    pub fn prefetch_efficiency(&self) -> Option<f64> {
+        let issued = self.counter_value(Counter::CachePrefetchIssued);
+        if issued == 0 {
+            None
+        } else {
+            Some(self.counter_value(Counter::CachePrefetchUsed) as f64 / issued as f64)
+        }
+    }
+
+    /// Like [`Metrics::hit_rate`] but `None` when the pair saw fewer
+    /// than [`HIT_RATE_FLOOR`] total lookups: a rate computed over a
+    /// handful of lookups (64 hits / 0 misses at quick bench scale
+    /// reads as a flawless 1.0000) says nothing about steady state, so
+    /// reports render it as `n/a` instead.
+    pub fn hit_rate_floored(&self, hit: Counter, miss: Counter) -> Option<f64> {
+        if self.counter_value(hit) + self.counter_value(miss) < HIT_RATE_FLOOR {
+            None
+        } else {
+            self.hit_rate(hit, miss)
         }
     }
 
@@ -384,10 +466,21 @@ impl Metrics {
             "{inner}  \"seek_memo\": {},",
             rate(self.hit_rate(Counter::SeekMemoHit, Counter::SeekMemoMiss))
         );
+        // Low-volume pairs render as null (n/a): see `hit_rate_floored`.
         let _ = writeln!(
             out,
-            "{inner}  \"translation_cache\": {}",
-            rate(self.hit_rate(Counter::TranslationCacheHit, Counter::TranslationCacheMiss))
+            "{inner}  \"translation_cache\": {},",
+            rate(self.hit_rate_floored(Counter::TranslationCacheHit, Counter::TranslationCacheMiss))
+        );
+        let _ = writeln!(
+            out,
+            "{inner}  \"page_cache\": {},",
+            rate(self.hit_rate(Counter::PageCacheHit, Counter::PageCacheMiss))
+        );
+        let _ = writeln!(
+            out,
+            "{inner}  \"cache_prefetch\": {}",
+            rate(self.prefetch_efficiency())
         );
         let _ = writeln!(out, "{inner}}},");
         let _ = writeln!(out, "{inner}\"phases_ms\": {{");
@@ -519,6 +612,52 @@ mod tests {
         assert!(j.contains("\"seek\""));
         assert!(j.contains("\"translation_cache\": null"));
         assert!(j.contains("\"spans_wall_ms\""));
+    }
+
+    #[test]
+    fn hit_rate_floor_suppresses_low_volume_rates() {
+        let mut m = Metrics::new();
+        m.counter(Counter::TranslationCacheHit, 64);
+        // 64 hits / 0 misses would read as a meaningless 1.0000.
+        assert!(m
+            .hit_rate_floored(Counter::TranslationCacheHit, Counter::TranslationCacheMiss)
+            .is_none());
+        assert!(m.to_json(0).contains("\"translation_cache\": null"));
+        m.counter(Counter::TranslationCacheMiss, HIT_RATE_FLOOR);
+        let r = m
+            .hit_rate_floored(Counter::TranslationCacheHit, Counter::TranslationCacheMiss)
+            .unwrap();
+        assert!((r - 64.0 / (64.0 + HIT_RATE_FLOOR as f64)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn writeback_is_a_memo_phase_outside_the_component_sum() {
+        let mut m = Metrics::new();
+        m.phase(Phase::Seek, 3.0);
+        m.phase(Phase::Transfer, 1.0);
+        m.phase(Phase::Writeback, 4.0);
+        m.service_time(4.0);
+        // The memo overlay does not perturb phase-sum reconciliation.
+        assert!((m.phase_sum_ms() - 4.0).abs() < 1e-12);
+        assert!((m.phase_hist(Phase::Writeback).sum_ms() - 4.0).abs() < 1e-12);
+        assert!(Phase::Writeback.is_memo());
+        assert_eq!(Phase::ALL.iter().filter(|p| p.is_memo()).count(), 1);
+    }
+
+    #[test]
+    fn page_cache_rates_render_in_json() {
+        let mut m = Metrics::new();
+        assert!(m.to_json(0).contains("\"page_cache\": null"));
+        assert!(m.to_json(0).contains("\"cache_prefetch\": null"));
+        m.counter(Counter::PageCacheHit, 3);
+        m.counter(Counter::PageCacheMiss, 1);
+        m.counter(Counter::CachePrefetchIssued, 4);
+        m.counter(Counter::CachePrefetchUsed, 1);
+        let j = m.to_json(0);
+        assert!(j.contains("\"page_cache\": 0.7500"), "{j}");
+        assert!(j.contains("\"cache_prefetch\": 0.2500"), "{j}");
+        assert!(j.contains("\"writeback_flush\": 0"));
+        assert!((m.prefetch_efficiency().unwrap() - 0.25).abs() < 1e-12);
     }
 
     #[test]
