@@ -5,10 +5,12 @@
 //! cargo run --release -p multimap-bench --bin figures -- fig6a fig6b
 //! cargo run --release -p multimap-bench --bin figures -- --quick all
 //! cargo run --release -p multimap-bench --bin figures -- --replot all
+//! cargo run --release -p multimap-bench --bin figures -- --quick --backend ssd backends
 //! ```
 //!
 //! `--replot` rebuilds the SVG charts from previously saved TSVs without
-//! re-running any experiment.
+//! re-running any experiment. `--backend` restricts the `backends`
+//! matrix to one registry device backend (`disk`, `ssd` or `imr`).
 //!
 //! Results are printed and saved as TSV under `results/<scale>/`.
 
@@ -17,7 +19,7 @@ use std::time::Instant;
 
 use multimap_bench::figure_plots::auto_plots;
 use multimap_bench::plot::save_svg;
-use multimap_bench::{ablations, fig1, fig6, fig7, fig8, model_fig, Scale, Table};
+use multimap_bench::{ablations, backends, fig1, fig6, fig7, fig8, model_fig, Scale, Table};
 
 /// TSV file name for each figure id.
 fn tsv_name(fig: &str) -> Option<&'static str> {
@@ -37,11 +39,36 @@ fn main() {
     let quick = args.iter().any(|a| a == "--quick");
     let replot = args.iter().any(|a| a == "--replot");
     let scale = if quick { Scale::Quick } else { Scale::Paper };
-    let mut figures: Vec<&str> = args
+    let backend: Option<String> = args
         .iter()
-        .filter(|a| !a.starts_with("--"))
-        .map(|s| s.as_str())
-        .collect();
+        .position(|a| a == "--backend")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+    if let Some(name) = backend.as_deref() {
+        if !multimap_disksim::BACKEND_NAMES.contains(&name) {
+            eprintln!(
+                "error: unknown --backend '{name}' (expected one of {})",
+                multimap_disksim::BACKEND_NAMES.join("|")
+            );
+            std::process::exit(2);
+        }
+    }
+    // Figure ids are the positional args, minus `--backend`'s value.
+    let mut figures: Vec<&str> = Vec::new();
+    let mut skip_value = false;
+    for a in &args {
+        if skip_value {
+            skip_value = false;
+            continue;
+        }
+        if a == "--backend" {
+            skip_value = true;
+            continue;
+        }
+        if !a.starts_with("--") {
+            figures.push(a.as_str());
+        }
+    }
     if figures.is_empty() || figures.contains(&"all") {
         figures = vec![
             "fig1",
@@ -52,6 +79,7 @@ fn main() {
             "fig8",
             "ablations",
             "model",
+            "backends",
         ];
     }
     let out_dir = PathBuf::from("results").join(if quick { "quick" } else { "paper" });
@@ -140,9 +168,18 @@ fn main() {
                     save(t, &format!("ablation_{i}"));
                 }
             }
+            "backends" => {
+                let filter = backend.as_deref();
+                let cells = backends::run(scale, filter);
+                save(&backends::table(scale, &cells), "backend_matrix");
+                let writes = backends::write_sweep(scale, filter);
+                save(&backends::write_table(scale, &writes), "backend_write_sweep");
+            }
             other => {
                 eprintln!("unknown figure id: {other}");
-                eprintln!("known: fig1 fig6a fig6b fig7a fig7b fig8 ablations model all");
+                eprintln!(
+                    "known: fig1 fig6a fig6b fig7a fig7b fig8 ablations model backends all"
+                );
                 std::process::exit(2);
             }
         }

@@ -9,16 +9,24 @@
 //! selector vs the linear-rescan reference across TCQ windows, both
 //! evaluation drives), sweeps the page cache over mapping × eviction
 //! policy × capacity × prefetch mode on the streaming-beam workload
-//! (hit rate vs mapping is the headline), and writes `BENCH_pr8.json`.
+//! (hit rate vs mapping is the headline), runs the backend × mapping
+//! matrix (rotating disk, multi-queue SSD, IMR through the
+//! backend-generic executor, plus the interlaced-track write sweep
+//! whose IMR read-modify-write amplification is the PR 9 headline),
+//! and writes `BENCH_pr9.json`.
 //!
 //! ```text
 //! cargo run --release -p multimap-bench --bin perf -- \
-//!     [--out BENCH_pr8.json] [--scale quick|large|paper]
+//!     [--out BENCH_pr9.json] [--scale quick|large|paper] \
+//!     [--backend disk|ssd|imr]
 //! ```
 //!
 //! `--scale` picks the selection-bench stream length (the figure sweep
 //! always runs at quick scale); the checked-in baseline is generated
 //! with `--scale large`, tens of millions of serve decisions.
+//! `--backend` restricts the backend matrix to one registry backend
+//! (the cross-backend payload and RMW gates only run on the full
+//! matrix).
 //!
 //! Exit status is non-zero if any parallel table diverges from its
 //! serial reference, any telemetry-on table diverges from telemetry-off,
@@ -27,8 +35,11 @@
 //! window-4096 speedup over the linear rescan falls under the gate
 //! (5x at `large`/`paper` scale — the acceptance figure — or a softer
 //! 3x at `quick`, where short cells are fill/drain- and noise-bound),
-//! or the adjacency prefetcher fails to beat plain sequential readahead
-//! on the MultiMap streaming-beam workload.
+//! the adjacency prefetcher fails to beat plain sequential readahead
+//! on the MultiMap streaming-beam workload, any backend delivers a
+//! payload differing from its mapping's cross-backend reference, the
+//! IMR write sweep fails to amplify, or the IMR read path diverges
+//! bit-for-bit from the rotating disk.
 
 
 // staticcheck: allow-file(det-wall-clock) — wall-clock measurement is this binary's purpose: it times real runs and reports slowdowns, while asserting the simulated outputs stay byte-identical.
@@ -37,11 +48,13 @@
 use std::fmt::Write as _;
 use std::time::Instant;
 
-use multimap_bench::{ablations, fig6, fig7, fig8, model_fig, pagecache, selection, Scale, Table};
+use multimap_bench::{
+    ablations, backends, fig6, fig7, fig8, model_fig, pagecache, selection, Scale, Table,
+};
 use multimap_core::{
     hilbert_mapping, zorder_mapping, BoxRegion, GridSpec, Mapping, MultiMapping, NaiveMapping,
 };
-use multimap_disksim::{profiles, DiskSim, FaultPlan, Request};
+use multimap_disksim::{profiles, Discipline, DiskSim, FaultPlan, Request, BACKEND_NAMES};
 use multimap_lvm::{LogicalVolume, RecoveryConfig};
 use multimap_query::{QueryExecutor, QueryOp, QueryRequest};
 use multimap_telemetry::{Counter, Metrics};
@@ -98,7 +111,8 @@ fn sptf_throughput() -> (f64, f64, u64) {
     let mut sim = DiskSim::new(geom.clone());
     let before = multimap_disksim::locate_call_count();
     let start = Instant::now();
-    multimap_disksim::service_batch_sptf(&mut sim, &requests).expect("batch serves");
+    multimap_disksim::DeviceModel::service_batch(&mut sim, &requests, Discipline::Sptf)
+        .expect("batch serves");
     let t_profiled = start.elapsed().as_secs_f64();
     let locates = multimap_disksim::locate_call_count() - before;
     let estimates = n * (n + 1) / 2;
@@ -193,7 +207,21 @@ fn main() {
         .position(|a| a == "--out")
         .and_then(|i| args.get(i + 1))
         .cloned()
-        .unwrap_or_else(|| "BENCH_pr8.json".to_string());
+        .unwrap_or_else(|| "BENCH_pr9.json".to_string());
+    let backend_filter: Option<String> = args
+        .iter()
+        .position(|a| a == "--backend")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+    if let Some(name) = backend_filter.as_deref() {
+        if !BACKEND_NAMES.contains(&name) {
+            eprintln!(
+                "error: unknown --backend '{name}' (expected one of {})",
+                BACKEND_NAMES.join("|")
+            );
+            std::process::exit(2);
+        }
+    }
     let selection_scale = match args
         .iter()
         .position(|a| a == "--scale")
@@ -292,6 +320,54 @@ fn main() {
     let cache_mm_adj = pagecache::headline(&cache_cells, "MultiMap", "adjacency");
     let cache_mm_seq = pagecache::headline(&cache_cells, "MultiMap", "sequential");
 
+    // Backend × mapping matrix: every registry backend serves the same
+    // beam/range workload on every mapping through the backend-generic
+    // executor, plus the interlaced-track write sweep. All simulated
+    // time, so the numbers are deterministic.
+    let filter = backend_filter.as_deref();
+    eprintln!(
+        "backend matrix (mapping x {})...",
+        filter.unwrap_or("every registry backend")
+    );
+    let start = Instant::now();
+    let backend_cells = backends::run(Scale::Quick, filter);
+    let backend_writes = backends::write_sweep(Scale::Quick, filter);
+    let backend_wall_s = start.elapsed().as_secs_f64();
+    eprint!("{}", backends::table(Scale::Quick, &backend_cells).render());
+    eprint!(
+        "{}",
+        backends::write_table(Scale::Quick, &backend_writes).render()
+    );
+    let full_matrix = filter.is_none();
+    let backend_payload_match = backends::payload_match(&backend_cells);
+    let backend_beam_ms = |backend: &str| -> Option<f64> {
+        backend_cells
+            .iter()
+            .find(|c| c.backend == backend && c.mapping == "MultiMap")
+            .map(backends::BackendCell::beam_ms_per_query)
+    };
+    let backend_imr_rewrites = backend_writes
+        .iter()
+        .find(|c| c.backend == "imr")
+        .map(|c| c.neighbor_rewrites);
+    // The IMR read path delegates to the rotating mechanics, so on the
+    // full matrix its query timings must match the disk bit-for-bit.
+    let backend_imr_reads_identical = !full_matrix
+        || backend_cells
+            .iter()
+            .filter(|c| c.backend == "imr")
+            .all(|imr| {
+                backend_cells
+                    .iter()
+                    .find(|c| c.backend == "disk" && c.mapping == imr.mapping)
+                    .is_some_and(|disk| {
+                        // staticcheck: allow(float-cmp) — bit-identity is the gate: IMR reads must equal disk exactly.
+                        disk.beam_io_ms.to_bits() == imr.beam_io_ms.to_bits()
+                            // staticcheck: allow(float-cmp) — same: exact-bits witness.
+                            && disk.range_io_ms.to_bits() == imr.range_io_ms.to_bits()
+                    })
+            });
+
     let sel_gate = match selection_scale {
         Scale::Quick => SELECTION_SPEEDUP_GATE_QUICK,
         Scale::Large | Scale::Paper => SELECTION_SPEEDUP_GATE_LARGE,
@@ -328,7 +404,15 @@ fn main() {
 
     let mut json = String::new();
     let _ = writeln!(json, "{{");
-    let _ = writeln!(json, "  \"bench\": \"pr8_adjacency_page_cache\",");
+    let _ = writeln!(json, "  \"bench\": \"pr9_backend_matrix\",");
+    let _ = writeln!(
+        json,
+        "  \"backend_filter\": {},",
+        match filter {
+            Some(b) => format!("\"{}\"", json_escape(b)),
+            None => "null".to_string(),
+        }
+    );
     let _ = writeln!(json, "  \"figure_scale\": \"quick\",");
     let _ = writeln!(
         json,
@@ -487,6 +571,75 @@ fn main() {
         json,
         "  \"cache_mm_sequential_hit_rate\": {cache_mm_seq:.4},"
     );
+    let _ = writeln!(json, "  \"backend_wall_s\": {backend_wall_s:.3},");
+    let _ = writeln!(json, "  \"backend_cells\": [");
+    for (i, c) in backend_cells.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"backend\": \"{}\", \"mapping\": \"{}\", \"beams\": {}, \
+             \"beam_ms\": {:.4}, \"range_ms\": {:.4}, \"requests\": {}, \
+             \"payload\": {}}}{}",
+            c.backend,
+            json_escape(&c.mapping),
+            c.beams,
+            c.beam_ms_per_query(),
+            c.range_io_ms,
+            c.requests,
+            c.payload,
+            if i + 1 == backend_cells.len() { "" } else { "," }
+        );
+    }
+    let _ = writeln!(json, "  ],");
+    let _ = writeln!(json, "  \"backend_write_cells\": [");
+    for (i, c) in backend_writes.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"backend\": \"{}\", \"pages\": {}, \"blocks\": {}, \
+             \"io_ms\": {:.4}, \"neighbor_rewrites\": {}}}{}",
+            c.backend,
+            c.pages,
+            c.blocks,
+            c.io_ms,
+            c.neighbor_rewrites,
+            if i + 1 == backend_writes.len() { "" } else { "," }
+        );
+    }
+    let _ = writeln!(json, "  ],");
+    let num_or_null = |v: Option<f64>| match v {
+        Some(v) => format!("{v:.4}"),
+        None => "null".to_string(),
+    };
+    let _ = writeln!(
+        json,
+        "  \"backend_disk_mm_beam_ms\": {},",
+        num_or_null(backend_beam_ms("disk"))
+    );
+    let _ = writeln!(
+        json,
+        "  \"backend_ssd_mm_beam_ms\": {},",
+        num_or_null(backend_beam_ms("ssd"))
+    );
+    let _ = writeln!(
+        json,
+        "  \"backend_imr_mm_beam_ms\": {},",
+        num_or_null(backend_beam_ms("imr"))
+    );
+    let _ = writeln!(
+        json,
+        "  \"backend_imr_rmw_rewrites\": {},",
+        match backend_imr_rewrites {
+            Some(v) => v.to_string(),
+            None => "null".to_string(),
+        }
+    );
+    let _ = writeln!(
+        json,
+        "  \"backend_payload_match\": {backend_payload_match},"
+    );
+    let _ = writeln!(
+        json,
+        "  \"backend_imr_reads_identical\": {backend_imr_reads_identical},"
+    );
     let _ = writeln!(
         json,
         "  \"divergent_figures\": [{}],",
@@ -544,18 +697,40 @@ fn main() {
         );
         std::process::exit(1);
     }
+    if !backend_payload_match {
+        eprintln!(
+            "FAIL: a backend delivered a payload differing from its mapping's \
+             cross-backend reference"
+        );
+        std::process::exit(1);
+    }
+    if full_matrix && backend_imr_rewrites == Some(0) {
+        eprintln!(
+            "FAIL: the IMR write sweep performed zero neighbor rewrites \
+             (bottom-track writes beside written top tracks must amplify)"
+        );
+        std::process::exit(1);
+    }
+    if !backend_imr_reads_identical {
+        eprintln!(
+            "FAIL: the IMR backend's read-path timings diverged bit-for-bit \
+             from the rotating disk"
+        );
+        std::process::exit(1);
+    }
     eprintln!(
         "OK: {} figures byte-identical serial vs parallel ({parallel_threads} threads), \
          {:.1}x sweep speedup, telemetry overhead {:.1}%, degraded-mode overhead {:.1}% \
          ({} retries, {} remaps, payloads identical), selection speedup {:.1}x at window \
          4096, MultiMap cache hit rate {cache_mm_adj:.4} adjacency vs {cache_mm_seq:.4} \
-         sequential",
+         sequential, backend matrix payloads identical ({} IMR neighbor rewrites)",
         serial_tables.len(),
         speedup,
         overhead.max(0.0) * 100.0,
         fault.overhead_pct,
         fault.retries,
         fault.remaps,
-        sel_speedup_w4096
+        sel_speedup_w4096,
+        backend_imr_rewrites.unwrap_or(0)
     );
 }

@@ -16,6 +16,7 @@
 #![forbid(unsafe_code)]
 
 pub mod ablations;
+pub mod backends;
 pub mod fig1;
 pub mod fig6;
 pub mod fig7;

@@ -68,9 +68,7 @@ fn quick_fig6a_is_byte_identical_with_telemetry_on_and_off() {
 /// reference path.
 #[test]
 fn incremental_sptf_sweep_identical_at_all_thread_counts() {
-    use multimap_disksim::{
-        profiles, service_batch_queued_sptf, service_batch_sptf, DiskSim, Request,
-    };
+    use multimap_disksim::{profiles, DeviceModel, Discipline, DiskSim, Request};
 
     let run = |threads: usize| {
         with_threads(threads, || {
@@ -91,13 +89,16 @@ fn incremental_sptf_sweep_identical_at_all_thread_counts() {
                     })
                     .collect();
                 let mut sim = DiskSim::new(geom.clone());
-                let full = service_batch_sptf(&mut sim, &reqs).expect("in-range");
+                let full = sim
+                    .service_batch(&reqs, Discipline::Sptf)
+                    .expect("in-range");
                 // The dispatch threshold is crossed: these cells really
                 // ran the incremental selector, not the reference scan.
                 assert!(full.sched.selector_repairs > 0, "full batch took reference path");
                 let mut sim = DiskSim::new(geom.clone());
-                let queued =
-                    service_batch_queued_sptf(&mut sim, &reqs[..192], 64).expect("in-range");
+                let queued = sim
+                    .service_batch(&reqs[..192], Discipline::QueuedSptf(64))
+                    .expect("in-range");
                 assert!(queued.sched.selector_repairs > 0, "queued batch took reference path");
                 (
                     full.total_ms.to_bits(),

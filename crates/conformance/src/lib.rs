@@ -29,6 +29,11 @@
 //!   to results — cached queries return the same cells and payload as
 //!   bare ones — and its counters reconcile exactly between the
 //!   executor's telemetry and the cache's own bookkeeping.
+//! * **Backend differential** ([`backend`]): every query runs through
+//!   the full mapping × device-backend matrix (rotating disk,
+//!   multi-queue SSD, IMR); payload and cell-set identity are universal
+//!   invariants, while phase-sum and oracle checks apply per backend's
+//!   own timing semantics (see `docs/backends.md`).
 //!
 //! See `docs/conformance.md` for the invariant catalogue and workflow.
 //!
@@ -38,6 +43,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod backend;
 pub mod cache;
 pub mod differential;
 pub mod fault;
@@ -45,6 +51,7 @@ pub mod golden;
 pub mod json;
 pub mod oracle;
 
+pub use backend::{backend_differential_query, check_backend_region, BackendOutcome};
 pub use cache::check_cached_sweep;
 pub use differential::{
     assert_model_agreement, check_region, check_telemetry, check_translation_cache,

@@ -1,0 +1,90 @@
+//! Backend differential conformance: the full mapping × device-backend
+//! matrix on a workload of beam and range queries — payload and
+//! cell-set identity across every backend, exact counter
+//! reconciliation, per-backend timing semantics — plus determinism of
+//! the matrix itself across engine thread counts.
+
+use multimap_conformance::{backend_differential_query, check_backend_region};
+use multimap_core::{BoxRegion, GridSpec};
+use multimap_disksim::profiles;
+
+fn grid() -> GridSpec {
+    GridSpec::new([40u64, 8, 6])
+}
+
+#[test]
+fn backend_beams_agree_on_every_dimension() {
+    let geom = profiles::small();
+    let grid = grid();
+    for dim in 0..3 {
+        for anchor in [[0u64, 0, 0], [17, 3, 2], [39, 7, 5]] {
+            let region = BoxRegion::beam(&grid, dim, &anchor);
+            check_backend_region(&geom, &grid, &region, true)
+                .unwrap_or_else(|e| panic!("beam dim {dim} anchor {anchor:?}: {e}"));
+        }
+    }
+}
+
+#[test]
+fn backend_ranges_agree_on_box_matrix() {
+    let geom = profiles::small();
+    let grid = grid();
+    let boxes = [
+        BoxRegion::new([0u64, 0, 0], [0u64, 0, 0]),   // single cell
+        BoxRegion::new([0u64, 0, 0], [39u64, 0, 0]),  // full row
+        BoxRegion::new([3u64, 1, 1], [12u64, 6, 4]),  // interior box
+        BoxRegion::new([38u64, 6, 4], [39u64, 7, 5]), // far corner
+    ];
+    for region in &boxes {
+        check_backend_region(&geom, &grid, region, false)
+            .unwrap_or_else(|e| panic!("range {:?}..{:?}: {e}", region.lo(), region.hi()));
+    }
+}
+
+#[test]
+fn backend_matrix_holds_on_paper_drives() {
+    for geom in [profiles::cheetah_36es(), profiles::atlas_10k_iii()] {
+        let grid = grid();
+        let beam = BoxRegion::beam(&grid, 1, &[5, 0, 3]);
+        check_backend_region(&geom, &grid, &beam, true)
+            .unwrap_or_else(|e| panic!("{}: {e}", geom.name));
+    }
+}
+
+/// The whole matrix — fanned across the experiment engine — must be
+/// byte-identical at every thread count.
+#[test]
+fn backend_matrix_is_thread_count_invariant() {
+    let geom = profiles::small();
+    let grid = grid();
+    let region = BoxRegion::beam(&grid, 2, &[5, 3, 0]);
+    let reference: Vec<(String, u64, u64)> = {
+        multimap_engine::set_threads(1);
+        backend_differential_query(&geom, &grid, &region, true)
+            .unwrap()
+            .iter()
+            .map(|o| {
+                (
+                    format!("{}/{}", o.backend, o.mapping),
+                    o.result.payload,
+                    o.result.total_io_ms.to_bits(),
+                )
+            })
+            .collect()
+    };
+    for threads in [2usize, 4, 8] {
+        multimap_engine::set_threads(threads);
+        let run: Vec<(String, u64, u64)> = backend_differential_query(&geom, &grid, &region, true)
+            .unwrap()
+            .iter()
+            .map(|o| {
+                (
+                    format!("{}/{}", o.backend, o.mapping),
+                    o.result.payload,
+                    o.result.total_io_ms.to_bits(),
+                )
+            })
+            .collect();
+        assert_eq!(run, reference, "{threads} threads");
+    }
+}

@@ -69,6 +69,12 @@ pub enum DiskError {
     /// A queued-SPTF batch was submitted with `queue_depth == 0`: a
     /// zero-slot TCQ window can never admit a request.
     ZeroQueueDepth,
+    /// A device backend name not present in the registry was requested
+    /// (see `crate::device::build_backend`).
+    UnknownBackend {
+        /// The unrecognized backend name.
+        name: String,
+    },
 }
 
 impl fmt::Display for DiskError {
@@ -107,6 +113,9 @@ impl fmt::Display for DiskError {
             }
             DiskError::ZeroQueueDepth => {
                 write!(f, "queued SPTF requires a queue depth of at least 1")
+            }
+            DiskError::UnknownBackend { name } => {
+                write!(f, "unknown device backend {name:?} (known: disk, ssd, imr)")
             }
         }
     }

@@ -15,9 +15,16 @@
 //! * **Service engine** ([`DiskSim`]): per-request timing from first
 //!   principles (overhead + seek + rotational latency + transfer) with a
 //!   read-ahead fast path for exact sequential continuation.
-//! * **Schedulers** ([`service_batch_sptf`], [`service_batch_ascending`]):
-//!   the disk's internal shortest-positioning-time-first policy and the
-//!   storage manager's ascending-LBN policy.
+//! * **Schedulers** ([`Discipline`], [`service_batch_serving`]): the
+//!   disk's internal shortest-positioning-time-first policy (full and
+//!   queue-depth-limited) and the storage manager's ascending-LBN
+//!   policy, behind one dispatcher.
+//! * **Device API** ([`DeviceModel`]): the backend-generic service
+//!   interface. [`DiskSim`] is the first (bit-identical) implementation;
+//!   [`SsdModel`] (multi-queue SSD, per-channel parallelism) and
+//!   [`ImrModel`] (interlaced tracks, bottom-write read-modify-write)
+//!   are alternative backends, constructible by name via
+//!   [`build_backend`].
 //! * **Profiles** ([`profiles`]): the paper's two evaluation drives
 //!   (Seagate Cheetah 36ES, Maxtor Atlas 10k III) plus small test disks.
 //!
@@ -39,35 +46,46 @@
 #![forbid(unsafe_code)]
 
 pub mod adjacency;
+pub mod device;
 pub mod error;
 pub mod fault;
 pub mod geometry;
+pub mod imr;
 pub mod observe;
 pub mod profiles;
 pub mod scheduler;
 mod selector;
 pub mod sim;
+pub mod ssd;
 pub mod stats;
 pub mod trace;
 
 pub use adjacency::{adjacency_offset_sectors, adjacent_lbn, semi_sequential_path};
+pub use device::{build_backend, DeviceModel, BACKEND_NAMES};
 pub use error::{DiskError, Result};
 pub use fault::{request_payload, FaultCounts, FaultDecision, FaultInjector, FaultOutcome, FaultPlan};
 pub use geometry::{
     locate_call_count, DiskBuilder, DiskGeometry, Lbn, Location, Zone, ZoneSpec,
     ROTATION_WRAP_GUARD, SECTOR_BYTES,
 };
+pub use imr::{ImrConfig, ImrConfigBuilder, ImrModel};
 pub use observe::{ServiceEvent, ServiceLog, Transition};
+#[allow(deprecated)]
 pub use scheduler::{
-    coalesce_sorted, plain_serve, service_batch_ascending, service_batch_ascending_observed,
-    service_batch_ascending_serving, service_batch_in_order, service_batch_in_order_observed,
-    service_batch_in_order_serving, service_batch_queued_sptf,
-    service_batch_queued_sptf_incremental, service_batch_queued_sptf_observed,
-    service_batch_queued_sptf_reference, service_batch_queued_sptf_serving, service_batch_sptf,
-    service_batch_sptf_incremental, service_batch_sptf_observed, service_batch_sptf_reference,
-    service_batch_sptf_serving, BatchTiming, SchedStats, ServeFn, SPTF_INCREMENTAL_MIN_WINDOW,
+    service_batch_ascending, service_batch_ascending_observed, service_batch_ascending_serving,
+    service_batch_in_order, service_batch_in_order_observed, service_batch_in_order_serving,
+    service_batch_queued_sptf, service_batch_queued_sptf_observed,
+    service_batch_queued_sptf_serving, service_batch_sptf, service_batch_sptf_observed,
+    service_batch_sptf_serving,
+};
+pub use scheduler::{
+    coalesce_sorted, plain_serve, service_batch_queued_sptf_incremental,
+    service_batch_queued_sptf_reference, service_batch_serving, service_batch_sptf_incremental,
+    service_batch_sptf_reference, BatchTiming, Discipline, SchedStats, ServeFn,
+    SPTF_INCREMENTAL_MIN_WINDOW,
 };
 pub use sim::{AccessKind, DiskSim, HeadState, Request, RequestProfile, RequestTiming, SeekMemo};
+pub use ssd::{SsdConfig, SsdConfigBuilder, SsdModel};
 pub use stats::AccessStats;
 pub use trace::{service_traced, Trace, TraceRecord};
 

@@ -164,8 +164,9 @@ impl ServiceLog {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::device::DeviceModel;
     use crate::profiles;
-    use crate::scheduler::service_batch_in_order_observed;
+    use crate::scheduler::Discipline;
     use crate::sim::DiskSim;
 
     #[test]
@@ -173,8 +174,9 @@ mod tests {
         let mut sim = DiskSim::new(profiles::small());
         let reqs: Vec<Request> = (0..8u64).map(|i| Request::single(i * 999)).collect();
         let mut log = ServiceLog::new();
-        let timing =
-            service_batch_in_order_observed(&mut sim, &reqs, &mut log.recorder()).unwrap();
+        let timing = sim
+            .service_batch_observed(&reqs, Discipline::InOrder, &mut log.recorder())
+            .unwrap();
         assert_eq!(log.len(), 8);
         assert!(!log.is_empty());
         assert!((log.total_ms() - timing.total_ms).abs() < 1e-9);
@@ -195,7 +197,8 @@ mod tests {
         let mut sim = DiskSim::new(profiles::small());
         let reqs = [Request::new(0, 4), Request::new(4, 4), Request::new(100, 1)];
         let mut log = ServiceLog::new();
-        service_batch_in_order_observed(&mut sim, &reqs, &mut log.recorder()).unwrap();
+        sim.service_batch_observed(&reqs, Discipline::InOrder, &mut log.recorder())
+            .unwrap();
         assert!(!log.events()[0].is_prefetch_hit());
         assert!(log.events()[1].is_prefetch_hit());
         assert!(!log.events()[2].is_prefetch_hit());

@@ -1,14 +1,24 @@
 //! Request-batch servicing policies.
 //!
-//! Two policies cover everything the paper's storage manager needs:
+//! Every batch entry point takes a [`Discipline`]:
 //!
-//! * [`service_batch_ascending`] — sort by LBN and serve in order. This is
-//!   what the paper's storage manager does for the linearised mappings
+//! * [`Discipline::AscendingLbn`] — sort by LBN and serve in order. This
+//!   is what the paper's storage manager does for the linearised mappings
 //!   (Naive, Z-order, Hilbert) and for MultiMap range queries, where it
 //!   "favors sequential access".
-//! * [`service_batch_sptf`] — greedy shortest-positioning-time-first, the
+//! * [`Discipline::Sptf`] — greedy shortest-positioning-time-first, the
 //!   disk's internal scheduler. When a MultiMap beam query issues all its
 //!   blocks at once, SPTF discovers the semi-sequential path by itself.
+//! * [`Discipline::QueuedSptf`] — SPTF over a bounded TCQ window,
+//!   modelling SCSI tagged command queueing.
+//! * [`Discipline::InOrder`] — serve exactly as given (FIFO baseline).
+//!
+//! [`service_batch_serving`] is the single dispatcher (and the hook for
+//! recovery serve closures); backend-generic callers go through
+//! [`crate::device::DeviceModel::service_batch`] instead. The historical
+//! per-policy free functions (`service_batch_ascending`,
+//! `service_batch_sptf`, …) remain for one release as `#[deprecated]`
+//! shims over the dispatcher.
 
 use crate::error::{DiskError, Result};
 use crate::fault::{request_payload, FaultOutcome};
@@ -17,14 +27,39 @@ use crate::observe::ServiceEvent;
 use crate::selector::SptfSelector;
 use crate::sim::{AccessKind, DiskSim, Request, RequestProfile, RequestTiming, SeekMemo};
 
+/// Batch scheduling policy, the argument of
+/// [`crate::device::DeviceModel::service_batch`] and
+/// [`service_batch_serving`].
+///
+/// Each backend interprets the discipline through its own mechanics: the
+/// rotating drive estimates positioning time for SPTF, the multi-queue
+/// SSD picks the request whose channel frees earliest. The serve *set*
+/// (and therefore [`BatchTiming::payload`]) is discipline- and
+/// backend-independent.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Discipline {
+    /// Serve exactly in the order given (FIFO).
+    InOrder,
+    /// Sort by ascending LBN, then serve in order — the storage
+    /// manager's policy for linearised mappings and range queries.
+    AscendingLbn,
+    /// Greedy shortest-positioning-time-first over the whole batch —
+    /// the disk's internal scheduler given an unbounded queue.
+    Sptf,
+    /// SPTF over a bounded queue window: requests are admitted in issue
+    /// order and the device repeatedly serves the cheapest queued one —
+    /// SCSI tagged command queueing with the given queue depth.
+    /// Depth `0` is a [`DiskError::ZeroQueueDepth`] error.
+    QueuedSptf(usize),
+}
+
 /// Smallest SPTF window routed to the incremental selection structure.
 ///
-/// Below this, [`service_batch_sptf_serving`] and
-/// [`service_batch_queued_sptf_serving`] use the linear reference scan:
-/// the two are bit-identical in behavior (see
-/// `tests/scheduler_equivalence.rs`), but building the band structure
-/// costs more than it saves on a handful of candidates. The queued
-/// policy compares its *effective* window,
+/// Below this, [`service_batch_serving`] uses the linear reference scan
+/// for [`Discipline::Sptf`] and [`Discipline::QueuedSptf`]: the two are
+/// bit-identical in behavior (see `tests/scheduler_equivalence.rs`), but
+/// building the band structure costs more than it saves on a handful of
+/// candidates. The queued policy compares its *effective* window,
 /// `queue_depth.min(requests.len())`, against this bound.
 pub const SPTF_INCREMENTAL_MIN_WINDOW: usize = 48;
 
@@ -191,51 +226,67 @@ fn serve_observed(
     Ok(())
 }
 
-/// Serve the requests in ascending LBN order (after sorting a copy).
-pub fn service_batch_ascending(sim: &mut DiskSim, requests: &[Request]) -> Result<BatchTiming> {
-    service_batch_ascending_observed(sim, requests, &mut |_| {})
-}
-
-/// [`service_batch_ascending`] with a per-request observer. Admission
-/// ranks report positions in the sorted order actually issued.
-pub fn service_batch_ascending_observed(
+/// Serve a batch on the rotating drive under `discipline` with a
+/// caller-supplied serve closure (recovery hook) and a per-request
+/// observer — the single dispatcher behind every batch entry point.
+///
+/// * [`Discipline::InOrder`] serves exactly as given; admission ranks
+///   are slice indices and `queue_len` is 1.
+/// * [`Discipline::AscendingLbn`] sorts a copy by LBN and serves in
+///   order; admission ranks report positions in the sorted order
+///   actually issued.
+/// * [`Discipline::Sptf`] re-picks the cheapest pending request per
+///   serve. Selection estimates against the *logical* request from the
+///   current head state — the scheduler is not clairvoyant about faults
+///   or remapped blocks. Batches of at least
+///   [`SPTF_INCREMENTAL_MIN_WINDOW`] requests use the incremental
+///   rotational-band selector, smaller batches the linear reference
+///   scan; the two produce identical serve orders and timings on every
+///   input (only the implementation-level [`SchedStats`] counters
+///   differ), so the split is invisible to callers.
+/// * [`Discipline::QueuedSptf`] admits in issue order into a bounded
+///   window and serves the cheapest queued request; the incremental
+///   selector is engaged when the *effective* window
+///   `depth.min(requests.len())` reaches
+///   [`SPTF_INCREMENTAL_MIN_WINDOW`]. Depth `0` is a
+///   [`DiskError::ZeroQueueDepth`] error.
+///
+/// Backend-generic callers without a recovery hook should prefer
+/// [`crate::device::DeviceModel::service_batch_observed`], which routes
+/// here for the rotating backend.
+pub fn service_batch_serving(
     sim: &mut DiskSim,
     requests: &[Request],
-    observe: &mut dyn FnMut(ServiceEvent),
-) -> Result<BatchTiming> {
-    service_batch_ascending_serving(sim, requests, &mut plain_serve, observe)
-}
-
-/// [`service_batch_ascending_observed`] with a caller-supplied serve
-/// closure (recovery hook).
-pub fn service_batch_ascending_serving(
-    sim: &mut DiskSim,
-    requests: &[Request],
+    discipline: Discipline,
     serve: &mut ServeFn<'_>,
     observe: &mut dyn FnMut(ServiceEvent),
 ) -> Result<BatchTiming> {
-    let mut sorted: Vec<Request> = requests.to_vec();
-    sorted.sort_unstable_by_key(|r| r.lbn);
-    service_batch_in_order_serving(sim, &sorted, serve, observe)
+    match discipline {
+        Discipline::InOrder => in_order_serving(sim, requests, serve, observe),
+        Discipline::AscendingLbn => {
+            let mut sorted: Vec<Request> = requests.to_vec();
+            sorted.sort_unstable_by_key(|r| r.lbn);
+            in_order_serving(sim, &sorted, serve, observe)
+        }
+        Discipline::Sptf => {
+            if requests.len() >= SPTF_INCREMENTAL_MIN_WINDOW {
+                service_batch_sptf_incremental(sim, requests, serve, observe)
+            } else {
+                service_batch_sptf_reference(sim, requests, serve, observe)
+            }
+        }
+        Discipline::QueuedSptf(depth) => {
+            if depth.min(requests.len()) >= SPTF_INCREMENTAL_MIN_WINDOW {
+                service_batch_queued_sptf_incremental(sim, requests, depth, serve, observe)
+            } else {
+                service_batch_queued_sptf_reference(sim, requests, depth, serve, observe)
+            }
+        }
+    }
 }
 
-/// Serve the requests exactly in the order given.
-pub fn service_batch_in_order(sim: &mut DiskSim, requests: &[Request]) -> Result<BatchTiming> {
-    service_batch_in_order_observed(sim, requests, &mut |_| {})
-}
-
-/// [`service_batch_in_order`] with a per-request observer.
-pub fn service_batch_in_order_observed(
-    sim: &mut DiskSim,
-    requests: &[Request],
-    observe: &mut dyn FnMut(ServiceEvent),
-) -> Result<BatchTiming> {
-    service_batch_in_order_serving(sim, requests, &mut plain_serve, observe)
-}
-
-/// [`service_batch_in_order_observed`] with a caller-supplied serve
-/// closure (recovery hook).
-pub fn service_batch_in_order_serving(
+/// The FIFO core: serve `requests` exactly in the order given.
+fn in_order_serving(
     sim: &mut DiskSim,
     requests: &[Request],
     serve: &mut ServeFn<'_>,
@@ -248,51 +299,105 @@ pub fn service_batch_in_order_serving(
     Ok(out)
 }
 
+/// Serve the requests in ascending LBN order (after sorting a copy).
+#[deprecated(
+    note = "use DeviceModel::service_batch(requests, Discipline::AscendingLbn) or service_batch_serving"
+)]
+pub fn service_batch_ascending(sim: &mut DiskSim, requests: &[Request]) -> Result<BatchTiming> {
+    service_batch_serving(sim, requests, Discipline::AscendingLbn, &mut plain_serve, &mut |_| {})
+}
+
+/// `service_batch_ascending` with a per-request observer. Admission
+/// ranks report positions in the sorted order actually issued.
+#[deprecated(
+    note = "use DeviceModel::service_batch_observed(requests, Discipline::AscendingLbn, observe) or service_batch_serving"
+)]
+pub fn service_batch_ascending_observed(
+    sim: &mut DiskSim,
+    requests: &[Request],
+    observe: &mut dyn FnMut(ServiceEvent),
+) -> Result<BatchTiming> {
+    service_batch_serving(sim, requests, Discipline::AscendingLbn, &mut plain_serve, observe)
+}
+
+/// `service_batch_ascending_observed` with a caller-supplied serve
+/// closure (recovery hook).
+#[deprecated(note = "use service_batch_serving(.., Discipline::AscendingLbn, ..)")]
+pub fn service_batch_ascending_serving(
+    sim: &mut DiskSim,
+    requests: &[Request],
+    serve: &mut ServeFn<'_>,
+    observe: &mut dyn FnMut(ServiceEvent),
+) -> Result<BatchTiming> {
+    service_batch_serving(sim, requests, Discipline::AscendingLbn, serve, observe)
+}
+
+/// Serve the requests exactly in the order given.
+#[deprecated(
+    note = "use DeviceModel::service_batch(requests, Discipline::InOrder) or service_batch_serving"
+)]
+pub fn service_batch_in_order(sim: &mut DiskSim, requests: &[Request]) -> Result<BatchTiming> {
+    service_batch_serving(sim, requests, Discipline::InOrder, &mut plain_serve, &mut |_| {})
+}
+
+/// `service_batch_in_order` with a per-request observer.
+#[deprecated(
+    note = "use DeviceModel::service_batch_observed(requests, Discipline::InOrder, observe) or service_batch_serving"
+)]
+pub fn service_batch_in_order_observed(
+    sim: &mut DiskSim,
+    requests: &[Request],
+    observe: &mut dyn FnMut(ServiceEvent),
+) -> Result<BatchTiming> {
+    service_batch_serving(sim, requests, Discipline::InOrder, &mut plain_serve, observe)
+}
+
+/// `service_batch_in_order_observed` with a caller-supplied serve
+/// closure (recovery hook).
+#[deprecated(note = "use service_batch_serving(.., Discipline::InOrder, ..)")]
+pub fn service_batch_in_order_serving(
+    sim: &mut DiskSim,
+    requests: &[Request],
+    serve: &mut ServeFn<'_>,
+    observe: &mut dyn FnMut(ServiceEvent),
+) -> Result<BatchTiming> {
+    service_batch_serving(sim, requests, Discipline::InOrder, serve, observe)
+}
+
 /// Serve the requests with a greedy shortest-positioning-time-first
 /// policy: at each step pick the pending request with the smallest
 /// estimated service time from the current head state.
-///
-/// Batches of at least [`SPTF_INCREMENTAL_MIN_WINDOW`] requests are
-/// served through the incremental rotational-band selector (near-linear
-/// estimate counts in practice); smaller ones through the `O(n²)`
-/// linear reference scan. The two are behaviorally identical.
+#[deprecated(
+    note = "use DeviceModel::service_batch(requests, Discipline::Sptf) or service_batch_serving"
+)]
 pub fn service_batch_sptf(sim: &mut DiskSim, requests: &[Request]) -> Result<BatchTiming> {
-    service_batch_sptf_observed(sim, requests, &mut |_| {})
+    service_batch_serving(sim, requests, Discipline::Sptf, &mut plain_serve, &mut |_| {})
 }
 
-/// [`service_batch_sptf`] with a per-request observer. Admission ranks
+/// `service_batch_sptf` with a per-request observer. Admission ranks
 /// are indices into the submitted slice; `queue_len` is the number of
 /// pending candidates at each decision.
+#[deprecated(
+    note = "use DeviceModel::service_batch_observed(requests, Discipline::Sptf, observe) or service_batch_serving"
+)]
 pub fn service_batch_sptf_observed(
     sim: &mut DiskSim,
     requests: &[Request],
     observe: &mut dyn FnMut(ServiceEvent),
 ) -> Result<BatchTiming> {
-    service_batch_sptf_serving(sim, requests, &mut plain_serve, observe)
+    service_batch_serving(sim, requests, Discipline::Sptf, &mut plain_serve, observe)
 }
 
-/// [`service_batch_sptf_observed`] with a caller-supplied serve closure
-/// (recovery hook). Selection still estimates against the *logical*
-/// request from the current head state — the scheduler is not
-/// clairvoyant about faults or remapped blocks.
-///
-/// Dispatches on window size: batches of at least
-/// [`SPTF_INCREMENTAL_MIN_WINDOW`] requests use the incremental
-/// rotational-band selector, smaller batches the linear reference scan.
-/// The two produce identical serve orders and timings on every input
-/// (only the implementation-level [`SchedStats`] counters differ), so
-/// the split is invisible to callers.
+/// `service_batch_sptf_observed` with a caller-supplied serve closure
+/// (recovery hook).
+#[deprecated(note = "use service_batch_serving(.., Discipline::Sptf, ..)")]
 pub fn service_batch_sptf_serving(
     sim: &mut DiskSim,
     requests: &[Request],
     serve: &mut ServeFn<'_>,
     observe: &mut dyn FnMut(ServiceEvent),
 ) -> Result<BatchTiming> {
-    if requests.len() >= SPTF_INCREMENTAL_MIN_WINDOW {
-        service_batch_sptf_incremental(sim, requests, serve, observe)
-    } else {
-        service_batch_sptf_reference(sim, requests, serve, observe)
-    }
+    service_batch_serving(sim, requests, Discipline::Sptf, serve, observe)
 }
 
 /// The linear reference SPTF scan: every pending request is re-estimated
@@ -384,35 +489,47 @@ pub fn service_batch_sptf_incremental(
 /// zero evictions). `queue_depth = 0` is a
 /// [`DiskError::ZeroQueueDepth`] error: a zero-slot window can never
 /// admit a request.
+#[deprecated(
+    note = "use DeviceModel::service_batch(requests, Discipline::QueuedSptf(depth)) or service_batch_serving"
+)]
 pub fn service_batch_queued_sptf(
     sim: &mut DiskSim,
     requests: &[Request],
     queue_depth: usize,
 ) -> Result<BatchTiming> {
-    service_batch_queued_sptf_observed(sim, requests, queue_depth, &mut |_| {})
+    service_batch_serving(
+        sim,
+        requests,
+        Discipline::QueuedSptf(queue_depth),
+        &mut plain_serve,
+        &mut |_| {},
+    )
 }
 
-/// [`service_batch_queued_sptf`] with a per-request observer. Admission
+/// `service_batch_queued_sptf` with a per-request observer. Admission
 /// ranks are indices in issue order, so an event's service position can
 /// never precede `admission_rank - (queue_depth - 1)`.
+#[deprecated(
+    note = "use DeviceModel::service_batch_observed(requests, Discipline::QueuedSptf(depth), observe) or service_batch_serving"
+)]
 pub fn service_batch_queued_sptf_observed(
     sim: &mut DiskSim,
     requests: &[Request],
     queue_depth: usize,
     observe: &mut dyn FnMut(ServiceEvent),
 ) -> Result<BatchTiming> {
-    service_batch_queued_sptf_serving(sim, requests, queue_depth, &mut plain_serve, observe)
+    service_batch_serving(
+        sim,
+        requests,
+        Discipline::QueuedSptf(queue_depth),
+        &mut plain_serve,
+        observe,
+    )
 }
 
-/// [`service_batch_queued_sptf_observed`] with a caller-supplied serve
+/// `service_batch_queued_sptf_observed` with a caller-supplied serve
 /// closure (recovery hook).
-///
-/// Dispatches on the *effective* window,
-/// `queue_depth.min(requests.len())`: windows of at least
-/// [`SPTF_INCREMENTAL_MIN_WINDOW`] use the incremental rotational-band
-/// selector, smaller ones the linear reference scan. The two produce
-/// identical serve orders, timings, and eviction decisions on every
-/// input.
+#[deprecated(note = "use service_batch_serving(.., Discipline::QueuedSptf(depth), ..)")]
 pub fn service_batch_queued_sptf_serving(
     sim: &mut DiskSim,
     requests: &[Request],
@@ -420,11 +537,13 @@ pub fn service_batch_queued_sptf_serving(
     serve: &mut ServeFn<'_>,
     observe: &mut dyn FnMut(ServiceEvent),
 ) -> Result<BatchTiming> {
-    if queue_depth.min(requests.len()) >= SPTF_INCREMENTAL_MIN_WINDOW {
-        service_batch_queued_sptf_incremental(sim, requests, queue_depth, serve, observe)
-    } else {
-        service_batch_queued_sptf_reference(sim, requests, queue_depth, serve, observe)
-    }
+    service_batch_serving(
+        sim,
+        requests,
+        Discipline::QueuedSptf(queue_depth),
+        serve,
+        observe,
+    )
 }
 
 /// The linear reference queued-SPTF scan: every queued request is
@@ -529,6 +648,7 @@ pub fn service_batch_queued_sptf_incremental(
 mod tests {
     use super::*;
     use crate::adjacency::semi_sequential_path;
+    use crate::device::DeviceModel;
     use crate::geometry::{DiskBuilder, ZoneSpec};
 
     fn sim() -> DiskSim {
@@ -563,8 +683,8 @@ mod tests {
         let reqs: Vec<Request> = (0..50).map(|i| Request::single(i * 7)).collect();
         let mut a = sim();
         let mut b = sim();
-        let ta = service_batch_ascending(&mut a, &reqs).unwrap();
-        let tb = service_batch_in_order(&mut b, &reqs).unwrap();
+        let ta = a.service_batch(&reqs, Discipline::AscendingLbn).unwrap();
+        let tb = b.service_batch(&reqs, Discipline::InOrder).unwrap();
         assert!((ta.total_ms - tb.total_ms).abs() < 1e-9);
         assert_eq!(ta.requests, 50);
         assert_eq!(ta.blocks, 50);
@@ -583,9 +703,9 @@ mod tests {
         shuffled.reverse();
         shuffled.swap(0, 10);
         let mut s1 = sim();
-        let sptf = service_batch_sptf(&mut s1, &shuffled).unwrap();
+        let sptf = s1.service_batch(&shuffled, Discipline::Sptf).unwrap();
         let mut s2 = sim();
-        let natural = service_batch_in_order(&mut s2, &reqs).unwrap();
+        let natural = s2.service_batch(&reqs, Discipline::InOrder).unwrap();
         assert!(
             sptf.total_ms <= natural.total_ms * 1.05 + 1.0,
             "sptf {} vs natural {}",
@@ -601,9 +721,9 @@ mod tests {
             .map(|&l| Request::single(l))
             .collect();
         let mut s1 = sim();
-        let sptf = service_batch_sptf(&mut s1, &reqs).unwrap();
+        let sptf = s1.service_batch(&reqs, Discipline::Sptf).unwrap();
         let mut s2 = sim();
-        let fifo = service_batch_in_order(&mut s2, &reqs).unwrap();
+        let fifo = s2.service_batch(&reqs, Discipline::InOrder).unwrap();
         assert!(sptf.total_ms <= fifo.total_ms + 1e-9);
     }
 
@@ -614,9 +734,9 @@ mod tests {
             .map(|&l| Request::single(l))
             .collect();
         let mut a = sim();
-        let queued = service_batch_queued_sptf(&mut a, &reqs, 1).unwrap();
+        let queued = a.service_batch(&reqs, Discipline::QueuedSptf(1)).unwrap();
         let mut b = sim();
-        let fifo = service_batch_in_order(&mut b, &reqs).unwrap();
+        let fifo = b.service_batch(&reqs, Discipline::InOrder).unwrap();
         assert!((queued.total_ms - fifo.total_ms).abs() < 1e-9);
     }
 
@@ -627,7 +747,7 @@ mod tests {
             .collect();
         let run = |depth: usize| {
             let mut s = sim();
-            service_batch_queued_sptf(&mut s, &reqs, depth)
+            s.service_batch(&reqs, Discipline::QueuedSptf(depth))
                 .unwrap()
                 .total_ms
         };
@@ -641,7 +761,7 @@ mod tests {
         assert!(d64 < d1, "depth 64 ({d64}) should beat fifo ({d1})");
         // Unbounded SPTF matches depth >= n.
         let mut s = sim();
-        let full = service_batch_sptf(&mut s, &reqs).unwrap().total_ms;
+        let full = s.service_batch(&reqs, Discipline::Sptf).unwrap().total_ms;
         // Not identical (queued admits in issue order), but comparable.
         assert!(d64 <= full * 1.25 + 1.0);
     }
@@ -650,7 +770,7 @@ mod tests {
     fn queued_sptf_serves_every_request() {
         let reqs: Vec<Request> = (0..100u64).map(|i| Request::new(i * 50, 3)).collect();
         let mut s = sim();
-        let t = service_batch_queued_sptf(&mut s, &reqs, 16).unwrap();
+        let t = s.service_batch(&reqs, Discipline::QueuedSptf(16)).unwrap();
         assert_eq!(t.requests, 100);
         assert_eq!(t.blocks, 300);
     }
@@ -668,7 +788,7 @@ mod tests {
             .collect();
         let mut s = sim();
         let before = crate::geometry::locate_call_count();
-        service_batch_sptf(&mut s, &reqs).unwrap();
+        s.service_batch(&reqs, Discipline::Sptf).unwrap();
         let delta = crate::geometry::locate_call_count() - before;
         // n profile builds + at most ~2 per served request (track
         // crossings); the old estimator needed ~n²/2 ≈ 524k on top.
@@ -680,7 +800,7 @@ mod tests {
 
         let mut q = sim();
         let before = crate::geometry::locate_call_count();
-        service_batch_queued_sptf(&mut q, &reqs, 64).unwrap();
+        q.service_batch(&reqs, Discipline::QueuedSptf(64)).unwrap();
         let delta = crate::geometry::locate_call_count() - before;
         assert!(
             delta <= 3 * n,
@@ -688,10 +808,38 @@ mod tests {
         );
     }
 
+    /// The deprecated convenience functions are pure shims over
+    /// [`service_batch_serving`]: identical output for one release.
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shims_delegate_to_dispatcher() {
+        let reqs: Vec<Request> = (0..30u64)
+            .map(|i| Request::single((i * 12_347) % 180_000))
+            .collect();
+        let via = |discipline: Discipline| {
+            let mut s = sim();
+            service_batch_serving(&mut s, &reqs, discipline, &mut plain_serve, &mut |_| {}).unwrap()
+        };
+        let mut s = sim();
+        assert_eq!(service_batch_in_order(&mut s, &reqs).unwrap(), via(Discipline::InOrder));
+        let mut s = sim();
+        assert_eq!(
+            service_batch_ascending(&mut s, &reqs).unwrap(),
+            via(Discipline::AscendingLbn)
+        );
+        let mut s = sim();
+        assert_eq!(service_batch_sptf(&mut s, &reqs).unwrap(), via(Discipline::Sptf));
+        let mut s = sim();
+        assert_eq!(
+            service_batch_queued_sptf(&mut s, &reqs, 8).unwrap(),
+            via(Discipline::QueuedSptf(8))
+        );
+    }
+
     #[test]
     fn batch_per_block_metric() {
         let mut s = sim();
-        let t = service_batch_ascending(&mut s, &[Request::new(0, 10)]).unwrap();
+        let t = s.service_batch(&[Request::new(0, 10)], Discipline::AscendingLbn).unwrap();
         assert!((t.per_block_ms() - t.total_ms / 10.0).abs() < 1e-12);
         assert_eq!(BatchTiming::default().per_block_ms(), 0.0);
     }
@@ -726,19 +874,19 @@ mod tests {
                 for depth in [1usize, 4, 16] {
                     let mut s = sim();
                     let mut log = ServiceLog::new();
-                    let t = service_batch_queued_sptf_observed(
-                        &mut s, &reqs, depth, &mut log.recorder(),
-                    ).unwrap();
+                    let t = s
+                        .service_batch_observed(&reqs, Discipline::QueuedSptf(depth), &mut log.recorder())
+                        .unwrap();
                     prop_assert_eq!(t.requests as usize, reqs.len());
                     prop_assert_eq!(served_multiset(&log), expected.clone());
                 }
                 let mut s = sim();
                 let mut log = ServiceLog::new();
-                service_batch_sptf_observed(&mut s, &reqs, &mut log.recorder()).unwrap();
+                s.service_batch_observed(&reqs, Discipline::Sptf, &mut log.recorder()).unwrap();
                 prop_assert_eq!(served_multiset(&log), expected.clone());
                 let mut s = sim();
                 let mut log = ServiceLog::new();
-                service_batch_ascending_observed(&mut s, &reqs, &mut log.recorder()).unwrap();
+                s.service_batch_observed(&reqs, Discipline::AscendingLbn, &mut log.recorder()).unwrap();
                 prop_assert_eq!(served_multiset(&log), expected);
             }
 
@@ -753,7 +901,7 @@ mod tests {
             ) {
                 let mut s = sim();
                 let mut log = ServiceLog::new();
-                service_batch_queued_sptf_observed(&mut s, &reqs, depth, &mut log.recorder())
+                s.service_batch_observed(&reqs, Discipline::QueuedSptf(depth), &mut log.recorder())
                     .unwrap();
                 for e in log.events() {
                     prop_assert!(
@@ -777,11 +925,13 @@ mod tests {
                 sorted.dedup_by_key(|r| r.lbn);
                 let mut a = sim();
                 let mut log_a = ServiceLog::new();
-                let ta = service_batch_ascending_observed(&mut a, &sorted, &mut log_a.recorder())
+                let ta = a
+                    .service_batch_observed(&sorted, Discipline::AscendingLbn, &mut log_a.recorder())
                     .unwrap();
                 let mut b = sim();
                 let mut log_b = ServiceLog::new();
-                let tb = service_batch_in_order_observed(&mut b, &sorted, &mut log_b.recorder())
+                let tb = b
+                    .service_batch_observed(&sorted, Discipline::InOrder, &mut log_b.recorder())
                     .unwrap();
                 prop_assert_eq!(ta, tb);
                 prop_assert_eq!(log_a.events().len(), log_b.events().len());

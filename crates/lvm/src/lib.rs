@@ -28,12 +28,14 @@
 #![warn(missing_docs)]
 
 pub mod decluster;
+pub mod devices;
 pub mod error;
 pub mod recovery;
 pub mod striped;
 pub mod volume;
 
 pub use decluster::{Cyclic, Declustering, RoundRobin};
+pub use devices::{backend_volume, DeviceVolume};
 pub use error::{LvmError, Result};
 pub use recovery::{RecoveryConfig, RecoveryStats, RemapTable};
 pub use striped::{StripedVolume, VolumeLbn};

@@ -2,12 +2,9 @@
 //! adjacency-model interface.
 
 use multimap_disksim::{
-    adjacent_lbn, coalesce_sorted, service_batch_ascending_observed,
-    service_batch_ascending_serving, service_batch_in_order_observed,
-    service_batch_in_order_serving, service_batch_queued_sptf_observed,
-    service_batch_queued_sptf_serving, service_batch_sptf_observed, service_batch_sptf_serving,
-    AccessStats, BatchTiming, DiskError, DiskGeometry, DiskSim, FaultCounts, FaultPlan, Lbn,
-    Request, RequestTiming, ServiceEvent, ServiceLog,
+    adjacent_lbn, coalesce_sorted, service_batch_serving, AccessStats, BatchTiming, DeviceModel,
+    DiskError, DiskGeometry, DiskSim, FaultCounts, FaultPlan, Lbn, Request, RequestTiming,
+    ServiceEvent, ServiceLog,
 };
 use parking_lot::Mutex;
 
@@ -15,21 +12,11 @@ use crate::error::{LvmError, Result};
 use crate::recovery::{recovering_serve, RecoveryConfig, RecoveryStats, RemapTable};
 
 /// How a batch of requests is ordered before being serviced.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub enum SchedulePolicy {
-    /// Serve exactly in the order given.
-    InOrder,
-    /// Sort ascending by LBN first (the storage manager's policy for
-    /// linearised mappings, Section 5.2).
-    AscendingLbn,
-    /// Greedy shortest-positioning-time-first (the disk's internal
-    /// scheduler; discovers semi-sequential paths on its own).
-    Sptf,
-    /// Queue-depth-limited SPTF: requests enter the disk queue in issue
-    /// order and the disk serves the cheapest queued request — models
-    /// SCSI tagged command queueing. Depth 1 is in-order service.
-    QueuedSptf(usize),
-}
+///
+/// This is the device layer's [`multimap_disksim::Discipline`] re-exported
+/// under its historical volume-level name: volume callers and
+/// backend-generic device callers speak the same enum.
+pub use multimap_disksim::Discipline as SchedulePolicy;
 
 /// Timing of a striped, multi-disk batch.
 #[derive(Clone, Debug, Default, PartialEq)]
@@ -230,18 +217,10 @@ impl LogicalVolume {
     ) -> Result<BatchTiming> {
         let Some((cfg, rec)) = self.disk_recovery(disk)? else {
             let mut sim = self.disk(disk)?.lock();
-            let timing = match policy {
-                SchedulePolicy::InOrder => {
-                    service_batch_in_order_observed(&mut sim, requests, observe)
-                }
-                SchedulePolicy::AscendingLbn => {
-                    service_batch_ascending_observed(&mut sim, requests, observe)
-                }
-                SchedulePolicy::Sptf => service_batch_sptf_observed(&mut sim, requests, observe),
-                SchedulePolicy::QueuedSptf(depth) => {
-                    service_batch_queued_sptf_observed(&mut sim, requests, depth, observe)
-                }
-            }?;
+            // Genuine trait dispatch: the rotating backend behind
+            // DeviceModel is bit-identical to the pre-trait free
+            // functions (pinned by tests/backend_dispatch.rs).
+            let timing = DeviceModel::service_batch_observed(&mut *sim, requests, policy, observe)?;
             return Ok(timing);
         };
         let mut sim = self.disk(disk)?.lock();
@@ -266,20 +245,7 @@ impl LogicalVolume {
                 Err(sentinel)
             }
         };
-        let result = match policy {
-            SchedulePolicy::InOrder => {
-                service_batch_in_order_serving(&mut sim, requests, &mut serve, observe)
-            }
-            SchedulePolicy::AscendingLbn => {
-                service_batch_ascending_serving(&mut sim, requests, &mut serve, observe)
-            }
-            SchedulePolicy::Sptf => {
-                service_batch_sptf_serving(&mut sim, requests, &mut serve, observe)
-            }
-            SchedulePolicy::QueuedSptf(depth) => {
-                service_batch_queued_sptf_serving(&mut sim, requests, depth, &mut serve, observe)
-            }
-        };
+        let result = service_batch_serving(&mut sim, requests, policy, &mut serve, observe);
         match result {
             Ok(timing) => Ok(timing),
             Err(e) => Err(failure.unwrap_or(LvmError::Disk(e))),

@@ -1,0 +1,337 @@
+//! Backend-generic query execution: [`BackendExecutor`] runs the same
+//! plan → translate → schedule pipeline as [`crate::QueryExecutor`],
+//! but services the batch on a [`DeviceVolume`] over any
+//! [`DeviceModel`](multimap_disksim::DeviceModel) backend — rotating
+//! disk, multi-queue SSD, or interlaced magnetic recording.
+//!
+//! Planning is shared code (not re-derived), so a given query issues
+//! the *identical* request batch to every backend; only service timing
+//! differs. That is the contract the conformance backend-differential
+//! harness checks: payload and cell-set identity across backends, with
+//! per-backend timing semantics (see `docs/backends.md`).
+//!
+//! Differences from the volume-bound executor, by design:
+//!
+//! * **No fault recovery.** Fault injection is a rotating-disk feature
+//!   of [`multimap_lvm::LogicalVolume`]; `DeviceVolume` has no remap
+//!   table, so there is no degraded-split path.
+//! * **No page cache.** A [`QueryRequest::with_cache`] attachment is
+//!   rejected as a typed error rather than silently ignored.
+//! * **Classification is the backend's.** Transition classes recorded
+//!   into a sink come from
+//!   [`DeviceModel::classify`](multimap_disksim::DeviceModel::classify)
+//!   — the settle-plateau rule on rotating media, channel-sequential
+//!   detection on the SSD model.
+
+// staticcheck: allow-file(det-wall-clock) — span endpoints recorded here feed telemetry SpanStat fields that the determinism contract explicitly excludes; no simulated timing or serve order ever reads them.
+use std::time::Instant;
+
+use multimap_disksim::ServiceLog;
+use multimap_lvm::DeviceVolume;
+use multimap_telemetry::{Counter, MetricsSink, Span};
+
+use crate::error::{QueryError, Result};
+use crate::executor::{
+    plan_requests, record_classified_event, record_sched_stats, region_outside,
+    resolve_beam_schedule, translate_region, ExecOptions, QueryOp, QueryRequest, QueryResult,
+};
+
+/// Executes beam and range queries on one device of a backend-generic
+/// [`DeviceVolume`].
+///
+/// ```
+/// use multimap_core::{BoxRegion, GridSpec, NaiveMapping};
+/// use multimap_disksim::profiles;
+/// use multimap_lvm::backend_volume;
+/// use multimap_query::{BackendExecutor, QueryRequest};
+///
+/// let volume = backend_volume("ssd", &profiles::small(), 1).unwrap();
+/// let grid = GridSpec::new([60u64, 8, 6]);
+/// let mapping = NaiveMapping::new(grid.clone(), 0);
+/// let exec = BackendExecutor::new(&volume, 0);
+/// let result = exec
+///     .execute(QueryRequest::beam(&mapping, &BoxRegion::beam(&grid, 1, &[3, 0, 2])))
+///     .unwrap();
+/// assert_eq!(result.cells, 8);
+/// ```
+pub struct BackendExecutor<'a, D: multimap_disksim::DeviceModel> {
+    volume: &'a DeviceVolume<D>,
+    device: usize,
+    options: ExecOptions,
+}
+
+impl<'a, D: multimap_disksim::DeviceModel> BackendExecutor<'a, D> {
+    /// Executor with default (paper) options.
+    pub fn new(volume: &'a DeviceVolume<D>, device: usize) -> Self {
+        Self::with_options(volume, device, ExecOptions::default())
+    }
+
+    /// Executor with explicit options.
+    pub fn with_options(volume: &'a DeviceVolume<D>, device: usize, options: ExecOptions) -> Self {
+        BackendExecutor {
+            volume,
+            device,
+            options,
+        }
+    }
+
+    /// The options in effect.
+    pub fn options(&self) -> ExecOptions {
+        self.options
+    }
+
+    /// Run one query end to end on the backend device: plan, translate,
+    /// schedule, service — the same pipeline (and the same planning
+    /// code) as [`crate::QueryExecutor::execute`], minus the rotating
+    /// disk's fault-recovery and page-cache paths.
+    pub fn execute(&self, req: QueryRequest<'_>) -> Result<QueryResult> {
+        let QueryRequest {
+            mapping,
+            region,
+            op,
+            mut observer,
+            mut sink,
+            cache,
+        } = req;
+        if cache.is_some() {
+            return Err(QueryError::CacheUnsupported {
+                backend: self.volume.backend_name(),
+            });
+        }
+        let timed = sink.is_some();
+
+        // Plan: validate the region and resolve the schedule policy.
+        let t_plan = timed.then(Instant::now);
+        if !region.fits(mapping.grid()) {
+            return Err(region_outside(region, mapping.grid()));
+        }
+        let cell_blocks = mapping.cell_blocks();
+        let beam_policy = match op {
+            QueryOp::Beam => Some(resolve_beam_schedule(&self.options, mapping, region.cells())),
+            QueryOp::Range => None,
+        };
+        finish_span(&mut sink, Span::Plan, t_plan);
+
+        // Translate: region cells → LBNs (direct or via the flat table).
+        let t_translate = timed.then(Instant::now);
+        let (lbns, cache_hit) = translate_region(&self.options, mapping, region)?;
+        if let Some(s) = sink.as_deref_mut() {
+            match cache_hit {
+                Some(true) => s.counter(Counter::TranslationCacheHit, 1),
+                Some(false) => s.counter(Counter::TranslationCacheMiss, 1),
+                None => {}
+            }
+        }
+        finish_span(&mut sink, Span::Translate, t_translate);
+        let cells = lbns.len() as u64;
+
+        // Schedule: build the request batch in issue order.
+        let t_schedule = timed.then(Instant::now);
+        let (requests, policy) = plan_requests(&self.options, op, beam_policy, lbns, cell_blocks);
+        finish_span(&mut sink, Span::Schedule, t_schedule);
+
+        // Service on the backend, collecting the full event log; the
+        // log is post-processed (classified and recorded) after the
+        // device lock is released, so a sink never extends the lock's
+        // critical section.
+        let t_service = timed.then(Instant::now);
+        let (batch, log): (_, ServiceLog) =
+            self.volume
+                .service_batch_logged(self.device, &requests, policy)?;
+        finish_span(&mut sink, Span::Service, t_service);
+
+        let transitions = self.volume.classify_events(self.device, log.events())?;
+        for (e, &t) in log.events().iter().zip(&transitions) {
+            if let Some(s) = sink.as_deref_mut() {
+                record_classified_event(s, t, e);
+            }
+            if let Some(o) = observer.as_mut() {
+                o(*e);
+            }
+        }
+        if let Some(s) = sink {
+            record_sched_stats(s, &batch);
+        }
+        Ok(QueryResult {
+            cells,
+            blocks: batch.blocks,
+            requests: batch.requests,
+            total_io_ms: batch.total_ms,
+            payload: batch.payload,
+        })
+    }
+}
+
+/// Close a span opened with `Instant::now()` (no-op without a sink).
+fn finish_span(sink: &mut Option<&mut dyn MetricsSink>, span: Span, started: Option<Instant>) {
+    if let (Some(s), Some(t)) = (sink.as_deref_mut(), started) {
+        s.span(span, t.elapsed().as_secs_f64() * 1e3);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::QueryExecutor;
+    use multimap_core::{BoxRegion, GridSpec, MultiMapping, NaiveMapping};
+    use multimap_disksim::{profiles, DiskSim, ServiceEvent, Transition};
+    use multimap_lvm::{backend_volume, LogicalVolume};
+    use multimap_telemetry::Metrics;
+
+    fn grid() -> GridSpec {
+        GridSpec::new([60u64, 8, 6])
+    }
+
+    /// A disk-backed `BackendExecutor` is bit-identical to the
+    /// volume-bound `QueryExecutor` on fault-free volumes — the trait
+    /// seam adds nothing to the service path.
+    #[test]
+    fn disk_backend_matches_logical_volume_executor() {
+        let geom = profiles::small();
+        let grid = grid();
+        let lv = LogicalVolume::new(geom.clone(), 1);
+        let mm = MultiMapping::new(&geom, grid.clone()).unwrap();
+        let dv = DeviceVolume::new(vec![DiskSim::new(geom.clone())]).unwrap();
+        for region in [
+            BoxRegion::beam(&grid, 1, &[3, 0, 2]),
+            BoxRegion::new([0u64, 0, 0], [20u64, 5, 3]),
+        ] {
+            let op = if region.cells() == 8 {
+                QueryOp::Beam
+            } else {
+                QueryOp::Range
+            };
+            lv.reset();
+            let reference = QueryExecutor::new(&lv, 0)
+                .execute(QueryRequest::new(op, &mm, &region))
+                .unwrap();
+            dv.reset();
+            let backend = BackendExecutor::new(&dv, 0)
+                .execute(QueryRequest::new(op, &mm, &region))
+                .unwrap();
+            assert_eq!(reference, backend);
+            assert_eq!(
+                reference.total_io_ms.to_bits(),
+                backend.total_io_ms.to_bits()
+            );
+        }
+    }
+
+    /// Every registry backend serves the same query with the same
+    /// payload; only timing differs.
+    #[test]
+    fn payload_is_backend_independent() {
+        let geom = profiles::small();
+        let grid = grid();
+        let mm = MultiMapping::new(&geom, grid.clone()).unwrap();
+        let region = BoxRegion::beam(&grid, 2, &[5, 3, 0]);
+        let mut results = Vec::new();
+        for name in multimap_disksim::BACKEND_NAMES {
+            let v = backend_volume(name, &geom, 1).unwrap();
+            let r = BackendExecutor::new(&v, 0)
+                .execute(QueryRequest::beam(&mm, &region))
+                .unwrap();
+            assert!(r.total_io_ms > 0.0, "{name}");
+            results.push(r);
+        }
+        assert!(results.windows(2).all(|w| w[0].payload == w[1].payload));
+        assert!(results.windows(2).all(|w| w[0].cells == w[1].cells));
+    }
+
+    /// A sink on a backend query records the backend's own transition
+    /// classes and reconciles request counts; on event-sum backends
+    /// (disk, IMR reads) phase sums still equal the batch total.
+    #[test]
+    fn sink_reconciles_on_backend_queries() {
+        let geom = profiles::small();
+        let grid = grid();
+        let mm = MultiMapping::new(&geom, grid.clone()).unwrap();
+        let region = BoxRegion::beam(&grid, 2, &[5, 3, 0]);
+        for name in ["disk", "imr"] {
+            let v = backend_volume(name, &geom, 1).unwrap();
+            let mut m = Metrics::new();
+            let r = BackendExecutor::new(&v, 0)
+                .execute(QueryRequest::beam(&mm, &region).with_sink(&mut m))
+                .unwrap();
+            assert_eq!(m.counter_value(Counter::RequestsServiced), r.requests);
+            assert!(
+                (m.phase_sum_ms() - r.total_io_ms).abs() < 1e-9,
+                "{name}: phase sums {} vs total {}",
+                m.phase_sum_ms(),
+                r.total_io_ms
+            );
+            assert!(m.counter_value(Counter::AdjacencyHop) > 0, "{name}");
+        }
+        // SSD: per-channel service overlaps, so phase sums exceed the
+        // makespan; the requests counter still reconciles exactly.
+        let v = backend_volume("ssd", &geom, 1).unwrap();
+        let mut m = Metrics::new();
+        let r = BackendExecutor::new(&v, 0)
+            .execute(QueryRequest::beam(&mm, &region).with_sink(&mut m))
+            .unwrap();
+        assert_eq!(m.counter_value(Counter::RequestsServiced), r.requests);
+        assert!(m.phase_sum_ms() >= r.total_io_ms - 1e-9);
+    }
+
+    /// Observer events classify through the backend, not through
+    /// rotating-disk geometry.
+    #[test]
+    fn events_classify_through_backend() {
+        let geom = profiles::small();
+        let grid = grid();
+        let naive = NaiveMapping::new(grid.clone(), 0);
+        let region = BoxRegion::new([0u64, 0, 0], [59u64, 1, 0]);
+        let v = backend_volume("ssd", &geom, 1).unwrap();
+        let mut events = Vec::new();
+        let mut keep = |e: ServiceEvent| events.push(e);
+        BackendExecutor::new(&v, 0)
+            .execute(QueryRequest::range(&naive, &region).with_observer(&mut keep))
+            .unwrap();
+        assert!(!events.is_empty());
+        let classes = v.classify_events(0, &events).unwrap();
+        assert!(classes
+            .iter()
+            .all(|c| matches!(c, Transition::Sequential | Transition::AdjacencyHop | Transition::Seek)));
+    }
+
+    /// The backend path has no page cache; attaching one is a typed
+    /// error, not a silent no-op.
+    #[test]
+    fn cache_attachment_is_rejected() {
+        struct NoCache;
+        impl crate::BlockCache for NoCache {
+            fn probe(&self, _lbn: multimap_disksim::Lbn) -> crate::CacheProbe {
+                crate::CacheProbe::Miss
+            }
+            fn plan_prefetch(&self, _ctx: &crate::PrefetchContext<'_>) -> Vec<multimap_disksim::Lbn> {
+                Vec::new()
+            }
+            fn admit(&self, _lbn: multimap_disksim::Lbn, _nblocks: u64, _prefetched: bool) {}
+        }
+        let geom = profiles::small();
+        let grid = grid();
+        let naive = NaiveMapping::new(grid.clone(), 0);
+        let region = BoxRegion::beam(&grid, 1, &[3, 0, 2]);
+        let v = backend_volume("ssd", &geom, 1).unwrap();
+        let cache = NoCache;
+        let err = BackendExecutor::new(&v, 0)
+            .execute(QueryRequest::beam(&naive, &region).with_cache(&cache))
+            .unwrap_err();
+        assert!(matches!(err, QueryError::CacheUnsupported { .. }), "{err:?}");
+        assert!(err.to_string().contains("ssd"));
+    }
+
+    /// Out-of-grid regions fail identically to the volume-bound path.
+    #[test]
+    fn oversized_region_is_a_typed_error() {
+        let geom = profiles::small();
+        let grid = grid();
+        let naive = NaiveMapping::new(grid.clone(), 0);
+        let region = BoxRegion::new([0u64, 0, 0], [60u64, 0, 0]);
+        let v = backend_volume("imr", &geom, 1).unwrap();
+        let err = BackendExecutor::new(&v, 0)
+            .execute(QueryRequest::range(&naive, &region))
+            .unwrap_err();
+        assert!(matches!(err, QueryError::RegionOutsideGrid { .. }));
+    }
+}

@@ -5,7 +5,12 @@
 //! describing the mapping, the region, the operation and (optionally)
 //! a per-request [`ServiceEvent`] observer and a
 //! [`multimap_telemetry::MetricsSink`]. The former `beam`/`range`
-//! method quartet survives as thin deprecated wrappers.
+//! method quartet is gone; [`QueryRequest::beam`] and
+//! [`QueryRequest::range`] are the shorthand constructors.
+//!
+//! The planning pipeline (validate → translate → schedule) is shared
+//! with the backend-generic executor in [`crate::backend`], so a query
+//! issues the identical request batch whichever device model serves it.
 
 // staticcheck: allow-file(det-wall-clock) — span endpoints recorded here feed telemetry SpanStat fields that the determinism contract explicitly excludes; no simulated timing or serve order ever reads them.
 use std::time::Instant;
@@ -187,12 +192,12 @@ pub enum QueryOp {
 /// assert_eq!(result.cells, 8);
 /// ```
 pub struct QueryRequest<'a> {
-    mapping: &'a dyn Mapping,
-    region: &'a BoxRegion,
-    op: QueryOp,
-    observer: Option<&'a mut dyn FnMut(ServiceEvent)>,
-    sink: Option<&'a mut dyn MetricsSink>,
-    cache: Option<&'a dyn BlockCache>,
+    pub(crate) mapping: &'a dyn Mapping,
+    pub(crate) region: &'a BoxRegion,
+    pub(crate) op: QueryOp,
+    pub(crate) observer: Option<&'a mut dyn FnMut(ServiceEvent)>,
+    pub(crate) sink: Option<&'a mut dyn MetricsSink>,
+    pub(crate) cache: Option<&'a dyn BlockCache>,
 }
 
 impl<'a> QueryRequest<'a> {
@@ -316,13 +321,22 @@ impl QueryResult {
 /// Public so other service paths (the store's write-back batcher) can
 /// record the identical decomposition.
 pub fn record_service_event(sink: &mut dyn MetricsSink, geom: &DiskGeometry, e: &ServiceEvent) {
+    record_classified_event(sink, e.transition(geom), e)
+}
+
+/// [`record_service_event`] with the transition classification supplied
+/// by the caller — the form the backend-generic executor uses, where
+/// classification is the backend's job
+/// ([`multimap_disksim::DeviceModel::classify`]) rather than a
+/// settle-plateau comparison against rotating-disk geometry.
+pub fn record_classified_event(sink: &mut dyn MetricsSink, transition: Transition, e: &ServiceEvent) {
     let t = e.timing;
     sink.counter(Counter::RequestsServiced, 1);
     if e.is_prefetch_hit() {
         sink.counter(Counter::PrefetchHit, 1);
     }
     sink.phase(Phase::Overhead, t.overhead_ms);
-    match e.transition(geom) {
+    match transition {
         Transition::Sequential => {}
         Transition::AdjacencyHop => {
             sink.counter(Counter::AdjacencyHop, 1);
@@ -399,7 +413,7 @@ fn serve_split_degraded(
 
 /// Record a batch's scheduler-internal counters into a sink (the tail
 /// block shared by every service path).
-fn record_sched_stats(s: &mut dyn MetricsSink, batch: &BatchTiming) {
+pub(crate) fn record_sched_stats(s: &mut dyn MetricsSink, batch: &BatchTiming) {
     s.counter(Counter::SeekMemoHit, batch.sched.seek_memo_hits);
     s.counter(Counter::SeekMemoMiss, batch.sched.seek_memo_misses);
     s.counter(Counter::SptfWindowEviction, batch.sched.window_evictions);
@@ -469,63 +483,17 @@ impl<'a> QueryExecutor<'a> {
         mapping: &dyn Mapping,
         region: &BoxRegion,
     ) -> Result<(Vec<Lbn>, Option<bool>)> {
-        let mut lbns = Vec::with_capacity(region.cells().min(1 << 26) as usize);
-        // Large regions amortise a flat cell→LBN table (built once per
-        // grid, shared process-wide); small ones — beams are `S_i` cells
-        // — translate directly, as a table build would dwarf the query.
-        if self.options.translation_cache && region.cells() >= MIN_CACHED_LOOKUPS {
-            let (table, cache_hit) = shared_cache().translate_tracked(mapping)?;
-            let mut failed = None;
-            region.for_each_cell(|c| {
-                if failed.is_some() {
-                    return;
-                }
-                match table.lbn_of(c) {
-                    Ok(lbn) => lbns.push(lbn),
-                    Err(e) => failed = Some(e),
-                }
-            });
-            return match failed {
-                Some(e) => Err(e.into()),
-                None => Ok((lbns, Some(cache_hit))),
-            };
-        }
-        let mut failed = None;
-        region.for_each_cell(|c| {
-            if failed.is_some() {
-                return;
-            }
-            match mapping.lbn_of(c) {
-                Ok(lbn) => lbns.push(lbn),
-                Err(e) => failed = Some(e),
-            }
-        });
-        match failed {
-            Some(e) => Err(e.into()),
-            None => Ok((lbns, None)),
-        }
+        translate_region(&self.options, mapping, region)
     }
 
     /// Resolve the schedule policy for a beam of `ncells` requests.
     fn beam_schedule(&self, mapping: &dyn Mapping, ncells: u64) -> SchedulePolicy {
-        match self.options.beam {
-            BeamPolicy::Ascending => SchedulePolicy::AscendingLbn,
-            BeamPolicy::Sptf => SchedulePolicy::Sptf,
-            BeamPolicy::Natural => SchedulePolicy::InOrder,
-            BeamPolicy::Auto => match mapping.kind() {
-                MappingKind::MultiMap if ncells <= self.options.sptf_limit as u64 => {
-                    SchedulePolicy::Sptf
-                }
-                MappingKind::MultiMap => SchedulePolicy::QueuedSptf(self.options.queue_depth),
-                _ => SchedulePolicy::AscendingLbn,
-            },
-        }
+        resolve_beam_schedule(&self.options, mapping, ncells)
     }
 
     /// Run one query end to end: plan, translate, schedule, service.
     ///
-    /// This is the single entry point every query takes; the
-    /// deprecated `beam`/`range` wrappers delegate here. When the
+    /// This is the single entry point every query takes. When the
     /// request carries a sink, the four phases are span-timed
     /// (wall clock) and every serviced request's timing decomposition,
     /// transition class and cache outcome is recorded — reading only
@@ -622,44 +590,10 @@ impl<'a> QueryExecutor<'a> {
         &self,
         op: QueryOp,
         beam_policy: Option<SchedulePolicy>,
-        mut lbns: Vec<Lbn>,
+        lbns: Vec<Lbn>,
         cell_blocks: u64,
     ) -> (Vec<Request>, SchedulePolicy) {
-        match (op, beam_policy) {
-            (QueryOp::Beam, Some(policy)) => {
-                let requests: Vec<Request> =
-                    lbns.iter().map(|&l| Request::new(l, cell_blocks)).collect();
-                (requests, policy)
-            }
-            _ => match self.options.range {
-                RangeOrder::NaturalCellOrder => {
-                    let requests: Vec<Request> =
-                        lbns.iter().map(|&l| Request::new(l, cell_blocks)).collect();
-                    (requests, SchedulePolicy::InOrder)
-                }
-                RangeOrder::SortedSingles => {
-                    lbns.sort_unstable();
-                    let requests: Vec<Request> =
-                        lbns.iter().map(|&l| Request::new(l, cell_blocks)).collect();
-                    (requests, SchedulePolicy::InOrder)
-                }
-                RangeOrder::SortedCoalesced | RangeOrder::SortedCoalescedFifo => {
-                    let policy = if self.options.range == RangeOrder::SortedCoalesced {
-                        SchedulePolicy::QueuedSptf(self.options.queue_depth)
-                    } else {
-                        SchedulePolicy::InOrder
-                    };
-                    lbns.sort_unstable();
-                    let requests = if cell_blocks == 1 {
-                        coalesce_sorted(&lbns)
-                    } else {
-                        // Expand cells into block runs before coalescing.
-                        coalesce_cells(&lbns, cell_blocks)
-                    };
-                    (requests, policy)
-                }
-            },
-        }
+        plan_requests(&self.options, op, beam_policy, lbns, cell_blocks)
     }
 
     /// Serve one query through an attached [`BlockCache`].
@@ -776,43 +710,118 @@ impl<'a> QueryExecutor<'a> {
         })
     }
 
-    /// Run a beam query: fetch all cells of `region` (usually a line
-    /// along one dimension) as individual cell requests.
-    #[deprecated(note = "use `execute(QueryRequest::beam(mapping, region))`")]
-    pub fn beam(&self, mapping: &dyn Mapping, region: &BoxRegion) -> Result<QueryResult> {
-        self.execute(QueryRequest::beam(mapping, region))
-    }
+}
 
-    /// [`QueryExecutor::execute`] of a beam query with an observer.
-    #[deprecated(
-        note = "use `execute(QueryRequest::beam(mapping, region).with_observer(observe))`"
-    )]
-    pub fn beam_observed(
-        &self,
-        mapping: &dyn Mapping,
-        region: &BoxRegion,
-        observe: &mut dyn FnMut(ServiceEvent),
-    ) -> Result<QueryResult> {
-        self.execute(QueryRequest::beam(mapping, region).with_observer(observe))
+/// Map every cell of `region` to the first LBN of its cell, in
+/// row-major cell order, under `options`' translation-cache setting.
+/// The second value reports the translation cache outcome: `None` when
+/// the cache was not consulted.
+pub(crate) fn translate_region(
+    options: &ExecOptions,
+    mapping: &dyn Mapping,
+    region: &BoxRegion,
+) -> Result<(Vec<Lbn>, Option<bool>)> {
+    let mut lbns = Vec::with_capacity(region.cells().min(1 << 26) as usize);
+    // Large regions amortise a flat cell→LBN table (built once per
+    // grid, shared process-wide); small ones — beams are `S_i` cells
+    // — translate directly, as a table build would dwarf the query.
+    if options.translation_cache && region.cells() >= MIN_CACHED_LOOKUPS {
+        let (table, cache_hit) = shared_cache().translate_tracked(mapping)?;
+        let mut failed = None;
+        region.for_each_cell(|c| {
+            if failed.is_some() {
+                return;
+            }
+            match table.lbn_of(c) {
+                Ok(lbn) => lbns.push(lbn),
+                Err(e) => failed = Some(e),
+            }
+        });
+        return match failed {
+            Some(e) => Err(e.into()),
+            None => Ok((lbns, Some(cache_hit))),
+        };
     }
-
-    /// Run a range query: fetch every cell of the N-D box `region`.
-    #[deprecated(note = "use `execute(QueryRequest::range(mapping, region))`")]
-    pub fn range(&self, mapping: &dyn Mapping, region: &BoxRegion) -> Result<QueryResult> {
-        self.execute(QueryRequest::range(mapping, region))
+    let mut failed = None;
+    region.for_each_cell(|c| {
+        if failed.is_some() {
+            return;
+        }
+        match mapping.lbn_of(c) {
+            Ok(lbn) => lbns.push(lbn),
+            Err(e) => failed = Some(e),
+        }
+    });
+    match failed {
+        Some(e) => Err(e.into()),
+        None => Ok((lbns, None)),
     }
+}
 
-    /// [`QueryExecutor::execute`] of a range query with an observer.
-    #[deprecated(
-        note = "use `execute(QueryRequest::range(mapping, region).with_observer(observe))`"
-    )]
-    pub fn range_observed(
-        &self,
-        mapping: &dyn Mapping,
-        region: &BoxRegion,
-        observe: &mut dyn FnMut(ServiceEvent),
-    ) -> Result<QueryResult> {
-        self.execute(QueryRequest::range(mapping, region).with_observer(observe))
+/// Resolve the schedule policy for a beam of `ncells` requests under
+/// `options` — shared by the volume-bound and backend-generic executors.
+pub(crate) fn resolve_beam_schedule(
+    options: &ExecOptions,
+    mapping: &dyn Mapping,
+    ncells: u64,
+) -> SchedulePolicy {
+    match options.beam {
+        BeamPolicy::Ascending => SchedulePolicy::AscendingLbn,
+        BeamPolicy::Sptf => SchedulePolicy::Sptf,
+        BeamPolicy::Natural => SchedulePolicy::InOrder,
+        BeamPolicy::Auto => match mapping.kind() {
+            MappingKind::MultiMap if ncells <= options.sptf_limit as u64 => SchedulePolicy::Sptf,
+            MappingKind::MultiMap => SchedulePolicy::QueuedSptf(options.queue_depth),
+            _ => SchedulePolicy::AscendingLbn,
+        },
+    }
+}
+
+/// Build the device request batch (issue order plus schedule policy)
+/// for cell-start `lbns` under `options` — shared by the volume-bound
+/// and backend-generic executors, so a query issues the identical batch
+/// whichever device model serves it.
+pub(crate) fn plan_requests(
+    options: &ExecOptions,
+    op: QueryOp,
+    beam_policy: Option<SchedulePolicy>,
+    mut lbns: Vec<Lbn>,
+    cell_blocks: u64,
+) -> (Vec<Request>, SchedulePolicy) {
+    match (op, beam_policy) {
+        (QueryOp::Beam, Some(policy)) => {
+            let requests: Vec<Request> =
+                lbns.iter().map(|&l| Request::new(l, cell_blocks)).collect();
+            (requests, policy)
+        }
+        _ => match options.range {
+            RangeOrder::NaturalCellOrder => {
+                let requests: Vec<Request> =
+                    lbns.iter().map(|&l| Request::new(l, cell_blocks)).collect();
+                (requests, SchedulePolicy::InOrder)
+            }
+            RangeOrder::SortedSingles => {
+                lbns.sort_unstable();
+                let requests: Vec<Request> =
+                    lbns.iter().map(|&l| Request::new(l, cell_blocks)).collect();
+                (requests, SchedulePolicy::InOrder)
+            }
+            RangeOrder::SortedCoalesced | RangeOrder::SortedCoalescedFifo => {
+                let policy = if options.range == RangeOrder::SortedCoalesced {
+                    SchedulePolicy::QueuedSptf(options.queue_depth)
+                } else {
+                    SchedulePolicy::InOrder
+                };
+                lbns.sort_unstable();
+                let requests = if cell_blocks == 1 {
+                    coalesce_sorted(&lbns)
+                } else {
+                    // Expand cells into block runs before coalescing.
+                    coalesce_cells(&lbns, cell_blocks)
+                };
+                (requests, policy)
+            }
+        },
     }
 }
 
@@ -969,31 +978,37 @@ mod tests {
         );
     }
 
-    /// The deprecated wrappers are thin: byte-identical results to the
-    /// unified entry point.
+    /// The shorthand constructors are thin: byte-identical results to
+    /// spelling out [`QueryRequest::new`], and an attached observer sees
+    /// exactly one event per serviced request.
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_wrappers_delegate_to_execute() {
+    fn request_shorthands_match_explicit_construction() {
         let (vol, grid) = setup();
         let mm = MultiMapping::new(vol.geometry(), grid.clone()).unwrap();
         let exec = QueryExecutor::new(&vol, 0);
         let beam = BoxRegion::beam(&grid, 1, &[3, 0, 2]);
-        let wrapped = exec.beam(&mm, &beam).unwrap();
+        let short = exec.execute(QueryRequest::beam(&mm, &beam)).unwrap();
         vol.reset();
-        let direct = exec.execute(QueryRequest::beam(&mm, &beam)).unwrap();
-        assert_eq!(wrapped, direct);
-        assert_eq!(wrapped.total_io_ms.to_bits(), direct.total_io_ms.to_bits());
+        let explicit = exec
+            .execute(QueryRequest::new(QueryOp::Beam, &mm, &beam))
+            .unwrap();
+        assert_eq!(short, explicit);
+        assert_eq!(short.total_io_ms.to_bits(), explicit.total_io_ms.to_bits());
 
         let range = BoxRegion::new([0u64, 0, 0], [20u64, 5, 3]);
         vol.reset();
-        let wrapped = exec.range(&mm, &range).unwrap();
+        let short = exec.execute(QueryRequest::range(&mm, &range)).unwrap();
         vol.reset();
-        let direct = exec.execute(QueryRequest::range(&mm, &range)).unwrap();
-        assert_eq!(wrapped, direct);
+        let explicit = exec
+            .execute(QueryRequest::new(QueryOp::Range, &mm, &range))
+            .unwrap();
+        assert_eq!(short, explicit);
         let mut events = 0usize;
         vol.reset();
         let mut count = |_: ServiceEvent| events += 1;
-        let observed = exec.beam_observed(&mm, &beam, &mut count).unwrap();
+        let observed = exec
+            .execute(QueryRequest::beam(&mm, &beam).with_observer(&mut count))
+            .unwrap();
         assert_eq!(events as u64, observed.requests);
     }
 

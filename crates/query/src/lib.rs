@@ -38,6 +38,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod backend;
 pub mod cache;
 pub mod error;
 pub mod executor;
@@ -45,11 +46,12 @@ pub mod mix;
 pub mod plan;
 pub mod workload;
 
+pub use backend::BackendExecutor;
 pub use cache::{BlockCache, CacheProbe, PrefetchContext};
 pub use error::{QueryError, Result};
 pub use executor::{
-    record_service_event, service_lbns, service_lbns_sinked, BeamPolicy, ExecOptions,
-    ExecOptionsBuilder, QueryExecutor, QueryOp, QueryRequest, QueryResult, RangeOrder,
+    record_classified_event, record_service_event, service_lbns, service_lbns_sinked, BeamPolicy,
+    ExecOptions, ExecOptionsBuilder, QueryExecutor, QueryOp, QueryRequest, QueryResult, RangeOrder,
 };
 pub use mix::{MixEntry, MixReport, QueryKind, WorkloadMix, WorkloadMixBuilder};
 pub use plan::{explain_beam, explain_range, AccessPlan, PlanKind};

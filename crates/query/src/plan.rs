@@ -149,11 +149,12 @@ fn price(
     let max_run = requests.iter().map(|r| r.nblocks).max().unwrap_or(0);
     // Price on a throwaway simulator so the live head state is untouched.
     let mut sim = DiskSim::new(geom.clone());
-    let priced = if full_sptf {
-        multimap_disksim::service_batch_sptf(&mut sim, requests)
+    let discipline = if full_sptf {
+        multimap_disksim::Discipline::Sptf
     } else {
-        multimap_disksim::service_batch_queued_sptf(&mut sim, requests, 64)
+        multimap_disksim::Discipline::QueuedSptf(64)
     };
+    let priced = multimap_disksim::DeviceModel::service_batch(&mut sim, requests, discipline);
     let estimated_ms = priced.map(|b| b.total_ms).unwrap_or(f64::NAN);
     AccessPlan {
         mapping: mapping.name().to_string(),

@@ -32,12 +32,14 @@
 #![forbid(unsafe_code)]
 
 pub mod alloc;
+pub mod backend;
 pub mod cache;
 pub mod manager;
 pub mod page;
 pub mod prefetch;
 
 pub use alloc::{ZoneAllocator, ZoneGrant};
+pub use backend::{BackendFlushReport, BackendReadReport, DeviceStore};
 pub use cache::{
     make_policy, CacheConfig, CacheStats, ClockPolicy, EvictionKind, EvictionPolicy, LruPolicy,
     PageCache, TwoQPolicy,

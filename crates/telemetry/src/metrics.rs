@@ -148,11 +148,15 @@ pub enum Counter {
     CachePrefetchUsed,
     /// Dirty pages written out by the write-back batcher.
     WritebackFlush,
+    /// Neighbor-track rewrites an IMR backend performed to preserve
+    /// interlaced top tracks across bottom-track writes (read-modify-
+    /// write amplification observed by the device store's flusher).
+    NeighborRewrite,
 }
 
 impl Counter {
     /// Every counter, in reporting order.
-    pub const ALL: [Counter; 22] = [
+    pub const ALL: [Counter; 23] = [
         Counter::SeekMemoHit,
         Counter::SeekMemoMiss,
         Counter::TranslationCacheHit,
@@ -175,6 +179,7 @@ impl Counter {
         Counter::CachePrefetchIssued,
         Counter::CachePrefetchUsed,
         Counter::WritebackFlush,
+        Counter::NeighborRewrite,
     ];
 
     /// Stable snake_case name (JSON field).
@@ -202,6 +207,7 @@ impl Counter {
             Counter::CachePrefetchIssued => "cache_prefetch_issued",
             Counter::CachePrefetchUsed => "cache_prefetch_used",
             Counter::WritebackFlush => "writeback_flush",
+            Counter::NeighborRewrite => "neighbor_rewrite",
         }
     }
 
@@ -229,6 +235,7 @@ impl Counter {
             Counter::CachePrefetchIssued => 19,
             Counter::CachePrefetchUsed => 20,
             Counter::WritebackFlush => 21,
+            Counter::NeighborRewrite => 22,
         }
     }
 }

@@ -5,7 +5,7 @@
 //! positioning-time ties.
 //!
 //! The suite drives both implementations directly (bypassing the
-//! window-size dispatch in `service_batch_sptf_serving`, which would
+//! window-size dispatch in `service_batch_serving`, which would
 //! otherwise make small-batch comparisons vacuous) over random
 //! workloads × both evaluation drives × all four mappings, plus
 //! explicit regression cases for ties, single-request windows, and the
@@ -23,10 +23,10 @@ use multimap::core::{
     hilbert_mapping, zorder_mapping, GridSpec, Mapping, MultiMapping, NaiveMapping,
 };
 use multimap::disksim::{
-    plain_serve, profiles, service_batch_queued_sptf, service_batch_queued_sptf_incremental,
-    service_batch_queued_sptf_reference, service_batch_sptf, service_batch_sptf_incremental,
-    service_batch_sptf_reference, BatchTiming, DiskError, DiskGeometry, DiskSim, Request,
-    ServiceEvent, ServiceLog, SPTF_INCREMENTAL_MIN_WINDOW,
+    plain_serve, profiles, service_batch_queued_sptf_incremental,
+    service_batch_queued_sptf_reference, service_batch_sptf_incremental,
+    service_batch_sptf_reference, BatchTiming, DeviceModel, Discipline, DiskError, DiskGeometry,
+    DiskSim, Request, ServiceEvent, ServiceLog, SPTF_INCREMENTAL_MIN_WINDOW,
 };
 use proptest::prelude::*;
 
@@ -268,9 +268,10 @@ fn dispatch_is_invisible_across_the_threshold() {
         let t = {
             let mut obs = log.recorder();
             let mut observed = |e: ServiceEvent| obs(e);
-            multimap::disksim::service_batch_sptf_serving(
+            multimap::disksim::service_batch_serving(
                 &mut sim,
                 &reqs,
+                Discipline::Sptf,
                 &mut plain_serve,
                 &mut observed,
             )
@@ -285,13 +286,17 @@ fn dispatch_is_invisible_across_the_threshold() {
 fn empty_batch_is_a_no_op() {
     let geom = profiles::atlas_10k_iii();
     let mut sim = DiskSim::new(geom.clone());
-    let t = service_batch_sptf(&mut sim, &[]).expect("empty batch is valid");
+    let t = sim
+        .service_batch(&[], Discipline::Sptf)
+        .expect("empty batch is valid");
     assert_eq!(t, BatchTiming::default());
     let empty = run_full(&geom, &[], true);
     assert_eq!(empty.0, BatchTiming::default());
     assert!(empty.1.is_empty());
     let mut sim = DiskSim::new(geom.clone());
-    let t = service_batch_queued_sptf(&mut sim, &[], 8).expect("empty batch is valid");
+    let t = sim
+        .service_batch(&[], Discipline::QueuedSptf(8))
+        .expect("empty batch is valid");
     assert_eq!(t, BatchTiming::default());
 }
 
@@ -303,11 +308,11 @@ fn zero_queue_depth_is_a_typed_error() {
     let reqs = [Request::single(5), Request::single(99)];
     let mut sim = DiskSim::new(geom.clone());
     assert_eq!(
-        service_batch_queued_sptf(&mut sim, &reqs, 0),
+        sim.service_batch(&reqs, Discipline::QueuedSptf(0)),
         Err(DiskError::ZeroQueueDepth)
     );
     assert_eq!(
-        service_batch_queued_sptf(&mut sim, &[], 0),
+        sim.service_batch(&[], Discipline::QueuedSptf(0)),
         Err(DiskError::ZeroQueueDepth)
     );
     let mut log = ServiceLog::new();
