@@ -1,0 +1,212 @@
+//! Serving smoke benchmark: runs the quick-scale multi-tenant serving
+//! sweep (mapping × backend × tenant-count × policy) serially and in
+//! parallel, checks the two runs are byte-identical, and writes
+//! `BENCH_pr10.json` with per-tenant p50/p99/p999 and admission
+//! counters for every cell.
+//!
+//! ```text
+//! cargo run --release -p multimap-bench --bin serving -- \
+//!     [--out BENCH_pr10.json] [--scale quick|large|paper]
+//! ```
+//!
+//! Exit status is non-zero if the parallel sweep diverges from the
+//! serial reference, the sweep covers fewer than 4 concurrent tenants,
+//! or — the headline — MultiMap's merged p99 exceeds Naive's on the
+//! rotating disk at any tenant count and policy (the adjacency
+//! advantage must survive queueing, which is the research question the
+//! paper never measured).
+
+// staticcheck: allow-file(no-unwrap) — benchmark/CLI binary: aborting with a message on a malformed run is the intended failure mode.
+
+use std::fmt::Write as _;
+
+use multimap_bench::serving::{serving_sweep, serving_table, ServingCell, TENANT_COUNTS};
+use multimap_bench::Scale;
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn quant(v: Option<f64>) -> String {
+    match v {
+        Some(x) => format!("{x:.3}"),
+        None => "null".to_string(),
+    }
+}
+
+/// The byte-identity witness of one sweep: every report's JSON plus its
+/// digest, concatenated in cell order.
+fn sweep_witness(cells: &[ServingCell]) -> String {
+    let mut out = String::new();
+    for c in cells {
+        let _ = writeln!(out, "{:016x}", c.report.digest);
+        out.push_str(&c.report.to_json());
+        out.push('\n');
+    }
+    out
+}
+
+fn main() {
+    let mut out_path = "BENCH_pr10.json".to_string();
+    let mut scale = Scale::Quick;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--out" => out_path = args.next().expect("--out needs a path"),
+            "--scale" => {
+                scale = match args.next().expect("--scale needs a value").as_str() {
+                    "quick" => Scale::Quick,
+                    "large" => Scale::Large,
+                    "paper" => Scale::Paper,
+                    other => {
+                        eprintln!("unknown scale {other}");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            other => {
+                eprintln!("unknown flag {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    // Serial reference, then a 4-worker replay: the sweep must be
+    // byte-identical at any thread count.
+    multimap_engine::set_threads(1);
+    let serial = serving_sweep(scale);
+    multimap_engine::set_threads(4);
+    let parallel = serving_sweep(scale);
+    multimap_engine::set_threads(0);
+    let identity = sweep_witness(&serial) == sweep_witness(&parallel);
+
+    let table = serving_table(&serial);
+    println!("{}", table.render());
+
+    let max_tenants = serial.iter().map(|c| c.spec.tenants).max().unwrap_or(0);
+
+    // Tail-advantage gate: fixed workload, swap only the mapping. On
+    // the rotating disk MultiMap's merged p99 must not exceed Naive's
+    // (bucketed quantiles can tie at an edge) and its exact mean must be
+    // strictly lower, for every (tenants, policy) combination.
+    let mut tail_advantage = true;
+    let mut advantage_rows = Vec::new();
+    for c in serial.iter().filter(|c| {
+        c.spec.backend == "disk" && c.spec.mapping == "MultiMap"
+    }) {
+        let naive = serial
+            .iter()
+            .find(|n| {
+                n.spec.backend == "disk"
+                    && n.spec.mapping == "Naive"
+                    && n.spec.tenants == c.spec.tenants
+                    && n.spec.policy == c.spec.policy
+            })
+            .expect("matching Naive cell");
+        let (mp99, np99) = (c.merged_quantile(0.99), naive.merged_quantile(0.99));
+        let (mmean, nmean) = (c.merged_mean(), naive.merged_mean());
+        let holds = match (mp99, np99, mmean, nmean) {
+            (Some(mq), Some(nq), Some(mm), Some(nm)) => mq <= nq && mm < nm,
+            _ => false,
+        };
+        if !holds {
+            tail_advantage = false;
+        }
+        advantage_rows.push((
+            c.spec.tenants,
+            c.spec.policy.slug(),
+            mp99,
+            np99,
+            mmean,
+            nmean,
+            holds,
+        ));
+    }
+
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(json, "  \"bench\": \"pr10-serving\",");
+    let _ = writeln!(json, "  \"scale\": \"{}\",", scale.slug());
+    let _ = writeln!(json, "  \"gates\": {{");
+    let _ = writeln!(json, "    \"serving_identity\": {identity},");
+    let _ = writeln!(json, "    \"max_concurrent_tenants\": {max_tenants},");
+    let _ = writeln!(json, "    \"tail_advantage_disk\": {tail_advantage}");
+    let _ = writeln!(json, "  }},");
+    let _ = writeln!(json, "  \"tail_advantage\": [");
+    for (i, (tenants, policy, mq, nq, mm, nm, holds)) in advantage_rows.iter().enumerate() {
+        let comma = if i + 1 < advantage_rows.len() { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "    {{\"tenants\": {tenants}, \"policy\": \"{policy}\", \
+             \"multimap_p99_ms\": {}, \"naive_p99_ms\": {}, \
+             \"multimap_mean_ms\": {}, \"naive_mean_ms\": {}, \"holds\": {holds}}}{comma}",
+            quant(*mq),
+            quant(*nq),
+            quant(*mm),
+            quant(*nm),
+        );
+    }
+    let _ = writeln!(json, "  ],");
+    let _ = writeln!(json, "  \"cells\": [");
+    for (i, c) in serial.iter().enumerate() {
+        let comma = if i + 1 < serial.len() { "," } else { "" };
+        let _ = writeln!(json, "    {{");
+        let _ = writeln!(json, "      \"backend\": \"{}\",", json_escape(c.spec.backend));
+        let _ = writeln!(json, "      \"mapping\": \"{}\",", json_escape(c.spec.mapping));
+        let _ = writeln!(json, "      \"tenants\": {},", c.spec.tenants);
+        let _ = writeln!(json, "      \"policy\": \"{}\",", c.spec.policy.slug());
+        let _ = writeln!(json, "      \"completed\": {},", c.completed());
+        let _ = writeln!(json, "      \"shed\": {},", c.shed());
+        let _ = writeln!(json, "      \"rejected\": {},", c.rejected());
+        let _ = writeln!(json, "      \"p50_ms\": {},", quant(c.merged_quantile(0.50)));
+        let _ = writeln!(json, "      \"p99_ms\": {},", quant(c.merged_quantile(0.99)));
+        let _ = writeln!(json, "      \"p999_ms\": {},", quant(c.merged_quantile(0.999)));
+        let _ = writeln!(json, "      \"mean_ms\": {},", quant(c.merged_mean()));
+        let _ = writeln!(json, "      \"makespan_ms\": {:.3},", c.report.makespan_ms);
+        let _ = writeln!(json, "      \"digest\": \"{:016x}\",", c.report.digest);
+        let _ = writeln!(json, "      \"tenant_detail\": [");
+        for (j, t) in c.report.tenants.iter().enumerate() {
+            let tcomma = if j + 1 < c.report.tenants.len() { "," } else { "" };
+            let _ = writeln!(
+                json,
+                "        {{\"name\": \"{}\", \"submitted\": {}, \"completed\": {}, \
+                 \"shed_deadline\": {}, \"rejected_queue_full\": {}, \"disk_requests\": {}, \
+                 \"p50_ms\": {}, \"p99_ms\": {}, \"p999_ms\": {}}}{tcomma}",
+                json_escape(&t.name),
+                t.submitted,
+                t.completed,
+                t.shed_deadline,
+                t.rejected_queue_full,
+                t.disk_requests,
+                quant(t.p50()),
+                quant(t.p99()),
+                quant(t.p999()),
+            );
+        }
+        let _ = writeln!(json, "      ]");
+        let _ = writeln!(json, "    }}{comma}");
+    }
+    let _ = writeln!(json, "  ]");
+    let _ = writeln!(json, "}}");
+
+    std::fs::write(&out_path, &json).expect("write bench json");
+    println!("wrote {out_path}");
+
+    if !identity {
+        eprintln!("GATE FAILED: parallel serving sweep diverged from serial reference");
+        std::process::exit(1);
+    }
+    if max_tenants < TENANT_COUNTS[0].max(4) {
+        eprintln!("GATE FAILED: sweep covers fewer than 4 concurrent tenants");
+        std::process::exit(1);
+    }
+    if !tail_advantage {
+        eprintln!(
+            "GATE FAILED: MultiMap merged p99 exceeds Naive on the rotating disk: {advantage_rows:?}"
+        );
+        std::process::exit(1);
+    }
+    println!(
+        "gates: serving_identity ok, {max_tenants} concurrent tenants, tail advantage holds"
+    );
+}

@@ -27,5 +27,6 @@ pub mod model_fig;
 pub mod pagecache;
 pub mod plot;
 pub mod selection;
+pub mod serving;
 
 pub use harness::{Scale, Table};

@@ -29,6 +29,10 @@
 //!   to results — cached queries return the same cells and payload as
 //!   bare ones — and its counters reconcile exactly between the
 //!   executor's telemetry and the cache's own bookkeeping.
+//! * **Serving conformance** ([`serving`]): a multi-tenant serving
+//!   [`Scenario`](multimap_server::Scenario) replayed twice produces
+//!   bit-identical reports; per-tenant admission counters partition
+//!   exactly; shed or rejected requests never reach the device.
 //! * **Backend differential** ([`backend`]): every query runs through
 //!   the full mapping × device-backend matrix (rotating disk,
 //!   multi-queue SSD, IMR); payload and cell-set identity are universal
@@ -50,6 +54,7 @@ pub mod fault;
 pub mod golden;
 pub mod json;
 pub mod oracle;
+pub mod serving;
 
 pub use backend::{backend_differential_query, check_backend_region, BackendOutcome};
 pub use cache::check_cached_sweep;
@@ -61,3 +66,4 @@ pub use differential::{
 pub use fault::{check_fault_plan, fault_query, FaultRow};
 pub use golden::{check_case, workload_matrix, GoldenCase};
 pub use oracle::{check_event, check_log, OracleDisk, OracleReport, Violation};
+pub use serving::{check_served_scenario, check_serving_counters};

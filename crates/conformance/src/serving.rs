@@ -1,0 +1,154 @@
+//! Serving-layer conformance: replay identity and counter
+//! reconciliation for online multi-tenant runs.
+//!
+//! The serving layer sits on top of everything this crate already
+//! checks — mappings, device backends, telemetry — and adds admission
+//! control and cross-client batching. Its contract:
+//!
+//! * **Replay identity** — the same [`Scenario`] served twice against
+//!   fresh volumes produces bit-identical reports: same trace, same
+//!   per-tenant histograms, same digest. The serving loop introduces no
+//!   hidden state.
+//! * **Counter reconciliation** — per tenant, every submission is
+//!   exactly one of completed / deadline-shed / queue-rejected; the
+//!   latency histogram holds exactly the completed requests; the
+//!   telemetry request counter equals the tenant's device requests; and
+//!   the device's own request count equals the dispatch log.
+//! * **Admission exclusion** — a shed or rejected request never
+//!   appears in any served batch; every completed request does.
+
+use std::collections::BTreeSet;
+
+use multimap_core::GridSpec;
+use multimap_disksim::DiskGeometry;
+use multimap_lvm::backend_volume;
+use multimap_server::{serve_scenario, Outcome, Scenario, ServingReport};
+use multimap_telemetry::Counter;
+
+use crate::differential::standard_mappings;
+
+/// Serve `scenario` on a fresh registry-built `backend` volume through
+/// every standard mapping family, twice each, and verify the serving
+/// conformance contract. Returns a description of the first
+/// discrepancy.
+pub fn check_served_scenario(
+    backend: &str,
+    geom: &DiskGeometry,
+    grid: &GridSpec,
+    scenario: &Scenario,
+) -> Result<(), String> {
+    for mapping in standard_mappings(geom, grid) {
+        let label = format!("{backend}/{}/{}", mapping.name(), scenario.policy);
+        let serve = || -> Result<ServingReport, String> {
+            let volume = backend_volume(backend, geom, 1)
+                .map_err(|e| format!("{label}: backend build failed: {e}"))?;
+            let report = serve_scenario(&volume, mapping.as_ref(), scenario)
+                .map_err(|e| format!("{label}: serve failed: {e}"))?;
+            let device_requests = volume
+                .stats(0)
+                .map_err(|e| format!("{label}: stats failed: {e}"))?
+                .requests;
+            if device_requests != report.dispatched_requests {
+                return Err(format!(
+                    "{label}: device serviced {device_requests} requests but the \
+                     dispatch log says {}",
+                    report.dispatched_requests
+                ));
+            }
+            Ok(report)
+        };
+
+        let first = serve()?;
+        let second = serve()?;
+        if !first.identical(&second) {
+            return Err(format!(
+                "{label}: two serves of the same scenario diverged \
+                 (digest {:016x} vs {:016x})",
+                first.digest, second.digest
+            ));
+        }
+
+        check_serving_counters(&label, &first, scenario)?;
+    }
+    Ok(())
+}
+
+/// Verify counter reconciliation and admission exclusion for one
+/// serving report against the scenario that produced it.
+pub fn check_serving_counters(
+    label: &str,
+    report: &ServingReport,
+    scenario: &Scenario,
+) -> Result<(), String> {
+    let served: BTreeSet<(usize, usize)> = report.dispatched.iter().copied().collect();
+    if served.len() != report.dispatched.len() {
+        return Err(format!("{label}: a request was dispatched twice"));
+    }
+
+    let mut resolved = BTreeSet::new();
+    for e in &report.trace {
+        if !resolved.insert((e.tenant, e.seq)) {
+            return Err(format!(
+                "{label}: request ({}, {}) resolved twice",
+                e.tenant, e.seq
+            ));
+        }
+        let dispatched = served.contains(&(e.tenant, e.seq));
+        match e.outcome {
+            Outcome::Completed if !dispatched => {
+                return Err(format!(
+                    "{label}: completed request ({}, {}) missing from the dispatch log",
+                    e.tenant, e.seq
+                ));
+            }
+            Outcome::Completed => {}
+            other if dispatched => {
+                return Err(format!(
+                    "{label}: {other:?} request ({}, {}) appeared in a served batch",
+                    e.tenant, e.seq
+                ));
+            }
+            _ => {}
+        }
+    }
+
+    let mut expected_trace = 0u64;
+    for (t, spec) in report.tenants.iter().zip(scenario.tenants.iter()) {
+        expected_trace += spec.requests as u64;
+        if t.submitted != spec.requests as u64 {
+            return Err(format!(
+                "{label}/{}: {} submitted but the spec asked for {}",
+                t.name, t.submitted, spec.requests
+            ));
+        }
+        if t.submitted != t.completed + t.shed_deadline + t.rejected_queue_full {
+            return Err(format!(
+                "{label}/{}: {} submitted != {} completed + {} shed + {} rejected",
+                t.name, t.submitted, t.completed, t.shed_deadline, t.rejected_queue_full
+            ));
+        }
+        if t.latency.count() != t.completed {
+            return Err(format!(
+                "{label}/{}: latency histogram holds {} samples for {} completions",
+                t.name,
+                t.latency.count(),
+                t.completed
+            ));
+        }
+        let serviced = t.metrics.counter_value(Counter::RequestsServiced);
+        if serviced != t.disk_requests {
+            return Err(format!(
+                "{label}/{}: telemetry recorded {serviced} serviced requests \
+                 but attribution counted {}",
+                t.name, t.disk_requests
+            ));
+        }
+    }
+    if report.trace.len() as u64 != expected_trace {
+        return Err(format!(
+            "{label}: trace holds {} resolutions for {expected_trace} submissions",
+            report.trace.len()
+        ));
+    }
+    Ok(())
+}

@@ -70,14 +70,6 @@ pub use geometry::{
 };
 pub use imr::{ImrConfig, ImrConfigBuilder, ImrModel};
 pub use observe::{ServiceEvent, ServiceLog, Transition};
-#[allow(deprecated)]
-pub use scheduler::{
-    service_batch_ascending, service_batch_ascending_observed, service_batch_ascending_serving,
-    service_batch_in_order, service_batch_in_order_observed, service_batch_in_order_serving,
-    service_batch_queued_sptf, service_batch_queued_sptf_observed,
-    service_batch_queued_sptf_serving, service_batch_sptf, service_batch_sptf_observed,
-    service_batch_sptf_serving,
-};
 pub use scheduler::{
     coalesce_sorted, plain_serve, service_batch_queued_sptf_incremental,
     service_batch_queued_sptf_reference, service_batch_serving, service_batch_sptf_incremental,

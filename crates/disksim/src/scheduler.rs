@@ -15,10 +15,9 @@
 //!
 //! [`service_batch_serving`] is the single dispatcher (and the hook for
 //! recovery serve closures); backend-generic callers go through
-//! [`crate::device::DeviceModel::service_batch`] instead. The historical
-//! per-policy free functions (`service_batch_ascending`,
-//! `service_batch_sptf`, …) remain for one release as `#[deprecated]`
-//! shims over the dispatcher.
+//! [`crate::device::DeviceModel::service_batch`] instead. (The
+//! historical per-policy free functions were `#[deprecated]` shims for
+//! one release and are gone.)
 
 use crate::error::{DiskError, Result};
 use crate::fault::{request_payload, FaultOutcome};
@@ -299,107 +298,6 @@ fn in_order_serving(
     Ok(out)
 }
 
-/// Serve the requests in ascending LBN order (after sorting a copy).
-#[deprecated(
-    note = "use DeviceModel::service_batch(requests, Discipline::AscendingLbn) or service_batch_serving"
-)]
-pub fn service_batch_ascending(sim: &mut DiskSim, requests: &[Request]) -> Result<BatchTiming> {
-    service_batch_serving(sim, requests, Discipline::AscendingLbn, &mut plain_serve, &mut |_| {})
-}
-
-/// `service_batch_ascending` with a per-request observer. Admission
-/// ranks report positions in the sorted order actually issued.
-#[deprecated(
-    note = "use DeviceModel::service_batch_observed(requests, Discipline::AscendingLbn, observe) or service_batch_serving"
-)]
-pub fn service_batch_ascending_observed(
-    sim: &mut DiskSim,
-    requests: &[Request],
-    observe: &mut dyn FnMut(ServiceEvent),
-) -> Result<BatchTiming> {
-    service_batch_serving(sim, requests, Discipline::AscendingLbn, &mut plain_serve, observe)
-}
-
-/// `service_batch_ascending_observed` with a caller-supplied serve
-/// closure (recovery hook).
-#[deprecated(note = "use service_batch_serving(.., Discipline::AscendingLbn, ..)")]
-pub fn service_batch_ascending_serving(
-    sim: &mut DiskSim,
-    requests: &[Request],
-    serve: &mut ServeFn<'_>,
-    observe: &mut dyn FnMut(ServiceEvent),
-) -> Result<BatchTiming> {
-    service_batch_serving(sim, requests, Discipline::AscendingLbn, serve, observe)
-}
-
-/// Serve the requests exactly in the order given.
-#[deprecated(
-    note = "use DeviceModel::service_batch(requests, Discipline::InOrder) or service_batch_serving"
-)]
-pub fn service_batch_in_order(sim: &mut DiskSim, requests: &[Request]) -> Result<BatchTiming> {
-    service_batch_serving(sim, requests, Discipline::InOrder, &mut plain_serve, &mut |_| {})
-}
-
-/// `service_batch_in_order` with a per-request observer.
-#[deprecated(
-    note = "use DeviceModel::service_batch_observed(requests, Discipline::InOrder, observe) or service_batch_serving"
-)]
-pub fn service_batch_in_order_observed(
-    sim: &mut DiskSim,
-    requests: &[Request],
-    observe: &mut dyn FnMut(ServiceEvent),
-) -> Result<BatchTiming> {
-    service_batch_serving(sim, requests, Discipline::InOrder, &mut plain_serve, observe)
-}
-
-/// `service_batch_in_order_observed` with a caller-supplied serve
-/// closure (recovery hook).
-#[deprecated(note = "use service_batch_serving(.., Discipline::InOrder, ..)")]
-pub fn service_batch_in_order_serving(
-    sim: &mut DiskSim,
-    requests: &[Request],
-    serve: &mut ServeFn<'_>,
-    observe: &mut dyn FnMut(ServiceEvent),
-) -> Result<BatchTiming> {
-    service_batch_serving(sim, requests, Discipline::InOrder, serve, observe)
-}
-
-/// Serve the requests with a greedy shortest-positioning-time-first
-/// policy: at each step pick the pending request with the smallest
-/// estimated service time from the current head state.
-#[deprecated(
-    note = "use DeviceModel::service_batch(requests, Discipline::Sptf) or service_batch_serving"
-)]
-pub fn service_batch_sptf(sim: &mut DiskSim, requests: &[Request]) -> Result<BatchTiming> {
-    service_batch_serving(sim, requests, Discipline::Sptf, &mut plain_serve, &mut |_| {})
-}
-
-/// `service_batch_sptf` with a per-request observer. Admission ranks
-/// are indices into the submitted slice; `queue_len` is the number of
-/// pending candidates at each decision.
-#[deprecated(
-    note = "use DeviceModel::service_batch_observed(requests, Discipline::Sptf, observe) or service_batch_serving"
-)]
-pub fn service_batch_sptf_observed(
-    sim: &mut DiskSim,
-    requests: &[Request],
-    observe: &mut dyn FnMut(ServiceEvent),
-) -> Result<BatchTiming> {
-    service_batch_serving(sim, requests, Discipline::Sptf, &mut plain_serve, observe)
-}
-
-/// `service_batch_sptf_observed` with a caller-supplied serve closure
-/// (recovery hook).
-#[deprecated(note = "use service_batch_serving(.., Discipline::Sptf, ..)")]
-pub fn service_batch_sptf_serving(
-    sim: &mut DiskSim,
-    requests: &[Request],
-    serve: &mut ServeFn<'_>,
-    observe: &mut dyn FnMut(ServiceEvent),
-) -> Result<BatchTiming> {
-    service_batch_serving(sim, requests, Discipline::Sptf, serve, observe)
-}
-
 /// The linear reference SPTF scan: every pending request is re-estimated
 /// per serve, `O(n²)` estimates per batch.
 ///
@@ -476,74 +374,6 @@ pub fn service_batch_sptf_incremental(
     out.sched.candidates_examined = sel.candidates_examined;
     out.sched.selector_repairs = sel.repairs;
     Ok(out)
-}
-
-/// Serve the requests with a queue-depth-limited SPTF policy: requests
-/// enter the disk's queue in the order given (typically ascending LBN,
-/// as the storage manager issues them) and the disk repeatedly serves
-/// the queued request with the smallest estimated service time —
-/// modelling SCSI tagged command queueing.
-///
-/// `queue_depth = 1` degenerates to in-order service; depths of at
-/// least the batch size are *identical* to full SPTF (same fill order,
-/// zero evictions). `queue_depth = 0` is a
-/// [`DiskError::ZeroQueueDepth`] error: a zero-slot window can never
-/// admit a request.
-#[deprecated(
-    note = "use DeviceModel::service_batch(requests, Discipline::QueuedSptf(depth)) or service_batch_serving"
-)]
-pub fn service_batch_queued_sptf(
-    sim: &mut DiskSim,
-    requests: &[Request],
-    queue_depth: usize,
-) -> Result<BatchTiming> {
-    service_batch_serving(
-        sim,
-        requests,
-        Discipline::QueuedSptf(queue_depth),
-        &mut plain_serve,
-        &mut |_| {},
-    )
-}
-
-/// `service_batch_queued_sptf` with a per-request observer. Admission
-/// ranks are indices in issue order, so an event's service position can
-/// never precede `admission_rank - (queue_depth - 1)`.
-#[deprecated(
-    note = "use DeviceModel::service_batch_observed(requests, Discipline::QueuedSptf(depth), observe) or service_batch_serving"
-)]
-pub fn service_batch_queued_sptf_observed(
-    sim: &mut DiskSim,
-    requests: &[Request],
-    queue_depth: usize,
-    observe: &mut dyn FnMut(ServiceEvent),
-) -> Result<BatchTiming> {
-    service_batch_serving(
-        sim,
-        requests,
-        Discipline::QueuedSptf(queue_depth),
-        &mut plain_serve,
-        observe,
-    )
-}
-
-/// `service_batch_queued_sptf_observed` with a caller-supplied serve
-/// closure (recovery hook).
-#[deprecated(note = "use service_batch_serving(.., Discipline::QueuedSptf(depth), ..)")]
-pub fn service_batch_queued_sptf_serving(
-    sim: &mut DiskSim,
-    requests: &[Request],
-    queue_depth: usize,
-    serve: &mut ServeFn<'_>,
-    observe: &mut dyn FnMut(ServiceEvent),
-) -> Result<BatchTiming> {
-    service_batch_serving(
-        sim,
-        requests,
-        Discipline::QueuedSptf(queue_depth),
-        serve,
-        observe,
-    )
 }
 
 /// The linear reference queued-SPTF scan: every queued request is
@@ -805,34 +635,6 @@ mod tests {
         assert!(
             delta <= 3 * n,
             "{delta} locate calls for a {n}-request queued-SPTF batch"
-        );
-    }
-
-    /// The deprecated convenience functions are pure shims over
-    /// [`service_batch_serving`]: identical output for one release.
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_shims_delegate_to_dispatcher() {
-        let reqs: Vec<Request> = (0..30u64)
-            .map(|i| Request::single((i * 12_347) % 180_000))
-            .collect();
-        let via = |discipline: Discipline| {
-            let mut s = sim();
-            service_batch_serving(&mut s, &reqs, discipline, &mut plain_serve, &mut |_| {}).unwrap()
-        };
-        let mut s = sim();
-        assert_eq!(service_batch_in_order(&mut s, &reqs).unwrap(), via(Discipline::InOrder));
-        let mut s = sim();
-        assert_eq!(
-            service_batch_ascending(&mut s, &reqs).unwrap(),
-            via(Discipline::AscendingLbn)
-        );
-        let mut s = sim();
-        assert_eq!(service_batch_sptf(&mut s, &reqs).unwrap(), via(Discipline::Sptf));
-        let mut s = sim();
-        assert_eq!(
-            service_batch_queued_sptf(&mut s, &reqs, 8).unwrap(),
-            via(Discipline::QueuedSptf(8))
         );
     }
 

@@ -20,6 +20,11 @@
 //! `MULTIMAP_THREADS=1` (or `set_threads(1)`) forces a fully serial,
 //! in-caller-thread run — the reference against which parallel output is
 //! asserted byte-identical.
+//!
+//! An *invalid* `MULTIMAP_THREADS` (zero or unparsable) is reported: a
+//! one-time stderr warning from [`threads`] (which then falls back to
+//! available parallelism), or a typed [`ThreadsError`] from
+//! [`try_threads`] for callers that must not run misconfigured.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -40,22 +45,84 @@ pub fn set_threads(n: usize) {
     THREAD_OVERRIDE.store(n, Ordering::SeqCst);
 }
 
-/// The worker-thread count a [`sweep`] started now would use.
-pub fn threads() -> usize {
-    let forced = THREAD_OVERRIDE.load(Ordering::SeqCst);
-    if forced > 0 {
-        return forced;
-    }
-    if let Ok(val) = std::env::var("MULTIMAP_THREADS") {
-        if let Ok(n) = val.trim().parse::<usize>() {
-            if n > 0 {
-                return n;
+/// A misconfigured `MULTIMAP_THREADS` environment variable.
+///
+/// Returned by [`try_threads`] so callers that *depend* on an explicit
+/// thread count (determinism pins, replay harnesses) can fail loudly
+/// instead of silently running at [`std::thread::available_parallelism`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ThreadsError {
+    /// `MULTIMAP_THREADS=0`: zero workers is meaningless — use
+    /// [`set_threads`]`(0)` (or unset the variable) to clear an override.
+    Zero,
+    /// `MULTIMAP_THREADS` did not parse as an unsigned integer.
+    Unparsable(String),
+}
+
+impl std::fmt::Display for ThreadsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ThreadsError::Zero => {
+                write!(f, "MULTIMAP_THREADS=0 is invalid (unset it to use available parallelism)")
+            }
+            ThreadsError::Unparsable(val) => {
+                write!(f, "MULTIMAP_THREADS={val:?} is not an unsigned integer")
             }
         }
     }
-    std::thread::available_parallelism()
+}
+
+impl std::error::Error for ThreadsError {}
+
+/// Parse a `MULTIMAP_THREADS` value: a positive thread count, or the
+/// typed reason it is invalid.
+fn parse_threads(val: &str) -> Result<usize, ThreadsError> {
+    match val.trim().parse::<usize>() {
+        Ok(0) => Err(ThreadsError::Zero),
+        Ok(n) => Ok(n),
+        Err(_) => Err(ThreadsError::Unparsable(val.to_string())),
+    }
+}
+
+/// The worker-thread count a [`sweep`] started now would use, or a
+/// [`ThreadsError`] when `MULTIMAP_THREADS` is set but invalid.
+///
+/// Resolution order matches [`threads`]: a [`set_threads`] override wins
+/// (and is never an error), then the environment variable, then
+/// available parallelism.
+pub fn try_threads() -> Result<usize, ThreadsError> {
+    let forced = THREAD_OVERRIDE.load(Ordering::SeqCst);
+    if forced > 0 {
+        return Ok(forced);
+    }
+    if let Ok(val) = std::env::var("MULTIMAP_THREADS") {
+        return parse_threads(&val);
+    }
+    Ok(std::thread::available_parallelism()
         .map(|n| n.get())
-        .unwrap_or(1)
+        .unwrap_or(1))
+}
+
+/// The worker-thread count a [`sweep`] started now would use.
+///
+/// An invalid `MULTIMAP_THREADS` (zero or unparsable) falls back to
+/// [`std::thread::available_parallelism`] — but warns once on stderr,
+/// because a run the caller believed was pinned serial would otherwise
+/// silently go parallel. Callers that need the misconfiguration as an
+/// error use [`try_threads`].
+pub fn threads() -> usize {
+    match try_threads() {
+        Ok(n) => n,
+        Err(err) => {
+            static WARN_ONCE: std::sync::Once = std::sync::Once::new();
+            WARN_ONCE.call_once(|| {
+                eprintln!("multimap-engine: warning: {err}; falling back to available parallelism");
+            });
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        }
+    }
 }
 
 /// Evaluate `f` on every item of `items`, in parallel, returning results
@@ -177,6 +244,36 @@ mod tests {
     #[test]
     fn override_takes_precedence() {
         with_override(3, || assert_eq!(threads(), 3));
+    }
+
+    #[test]
+    fn parse_threads_accepts_positive_counts() {
+        assert_eq!(parse_threads("4"), Ok(4));
+        assert_eq!(parse_threads(" 16 "), Ok(16));
+    }
+
+    #[test]
+    fn parse_threads_rejects_zero_and_garbage_with_typed_errors() {
+        assert_eq!(parse_threads("0"), Err(ThreadsError::Zero));
+        assert_eq!(
+            parse_threads("four"),
+            Err(ThreadsError::Unparsable("four".to_string()))
+        );
+        assert_eq!(
+            parse_threads("-2"),
+            Err(ThreadsError::Unparsable("-2".to_string()))
+        );
+        // The Display impl names the variable so the one-time warning
+        // is actionable.
+        assert!(ThreadsError::Zero.to_string().contains("MULTIMAP_THREADS"));
+        assert!(ThreadsError::Unparsable("x".into())
+            .to_string()
+            .contains("MULTIMAP_THREADS"));
+    }
+
+    #[test]
+    fn try_threads_honours_override_without_error() {
+        with_override(5, || assert_eq!(try_threads(), Ok(5)));
     }
 
     #[test]

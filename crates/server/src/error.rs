@@ -1,0 +1,51 @@
+//! Typed errors for the serving layer.
+
+use multimap_core::MappingError;
+use multimap_lvm::LvmError;
+
+/// Serving-layer result.
+pub type Result<T> = std::result::Result<T, ServerError>;
+
+/// Anything that can go wrong while serving a scenario.
+#[derive(Debug)]
+pub enum ServerError {
+    /// The volume rejected a service call.
+    Lvm(LvmError),
+    /// A tenant request failed cell→LBN translation.
+    Mapping(MappingError),
+    /// The scenario itself is malformed (empty tenant list, zero
+    /// batch window, beam dimension out of range, …).
+    Config(String),
+}
+
+impl std::fmt::Display for ServerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServerError::Lvm(e) => write!(f, "volume error: {e}"),
+            ServerError::Mapping(e) => write!(f, "translation error: {e}"),
+            ServerError::Config(msg) => write!(f, "invalid scenario: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ServerError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServerError::Lvm(e) => Some(e),
+            ServerError::Mapping(e) => Some(e),
+            ServerError::Config(_) => None,
+        }
+    }
+}
+
+impl From<LvmError> for ServerError {
+    fn from(e: LvmError) -> Self {
+        ServerError::Lvm(e)
+    }
+}
+
+impl From<MappingError> for ServerError {
+    fn from(e: MappingError) -> Self {
+        ServerError::Mapping(e)
+    }
+}

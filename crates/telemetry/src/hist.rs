@@ -116,6 +116,34 @@ impl Histogram {
         &self.counts
     }
 
+    /// The value at quantile `q` as the **upper edge** of the bucket
+    /// holding the `⌈q·count⌉`-th smallest observation, or `None` for
+    /// an empty histogram. `q` is clamped to `[0.0, 1.0]`; `q = 0.0`
+    /// reads as "the first observation's bucket".
+    ///
+    /// Fixed buckets make this a conservative quantile: the true value
+    /// lies at or below the returned edge — except when the rank lands
+    /// in the overflow bucket, where the last [`BUCKET_EDGES_MS`] entry
+    /// is returned and must be read as `>=` that edge (the histogram
+    /// caps resolution there; [`Histogram::max_ms`] still carries the
+    /// exact maximum).
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        let q = if q.is_nan() { 0.0 } else { q.clamp(0.0, 1.0) };
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Some(BUCKET_EDGES_MS[i.min(BUCKET_EDGES_MS.len() - 1)]);
+            }
+        }
+        // Unreachable: the bucket counts sum to `count >= rank`.
+        None
+    }
+
     /// Whether two histograms carry bit-identical observations
     /// (counts, exact sums and maxima — the determinism witness).
     pub fn identical(&self, other: &Histogram) -> bool {
@@ -173,6 +201,71 @@ mod tests {
         assert_eq!(merged.count(), 5);
         assert!((merged.mean_ms() - serial.sum_ms() / 5.0).abs() < 1e-12);
         assert!((merged.max_ms() - 23.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantile_returns_exact_bucket_edges() {
+        let mut h = Histogram::new();
+        // 100 observations: 50 in bucket 0 (below the 0.001 edge), 49
+        // in the [0.05, 0.1) bucket, and 1 in the overflow bucket.
+        for _ in 0..50 {
+            h.record(0.0005);
+        }
+        for _ in 0..49 {
+            h.record(0.09);
+        }
+        h.record(250.0);
+        // Edge-exact pins against BUCKET_EDGES_MS semantics. The
+        // returned values are copied verbatim from the edge table, so
+        // exact comparison is the correct check (no arithmetic).
+        assert_eq!(h.quantile(0.0), Some(BUCKET_EDGES_MS[0]));
+        assert_eq!(h.quantile(0.5), Some(BUCKET_EDGES_MS[0]));
+        assert_eq!(h.quantile(0.51), Some(BUCKET_EDGES_MS[6]));
+        assert_eq!(h.quantile(0.99), Some(BUCKET_EDGES_MS[6]));
+        // Rank 100 lands in the overflow bucket: reported as the last
+        // edge, read as ">= 100 ms".
+        assert_eq!(h.quantile(0.999), Some(BUCKET_EDGES_MS[15]));
+        assert_eq!(h.quantile(1.0), Some(BUCKET_EDGES_MS[15]));
+        // Out-of-range and NaN inputs clamp rather than panic.
+        assert_eq!(h.quantile(-3.0), Some(BUCKET_EDGES_MS[0]));
+        assert_eq!(h.quantile(7.0), Some(BUCKET_EDGES_MS[15]));
+        assert_eq!(h.quantile(f64::NAN), Some(BUCKET_EDGES_MS[0]));
+    }
+
+    #[test]
+    fn quantile_of_empty_histogram_is_none() {
+        assert_eq!(Histogram::new().quantile(0.5), None);
+    }
+
+    #[test]
+    fn quantile_single_observation_is_its_bucket_edge_at_every_q() {
+        let mut h = Histogram::new();
+        h.record(0.3); // [0.2, 0.5) bucket, upper edge 0.5
+        for q in [0.0, 0.25, 0.5, 0.99, 0.999, 1.0] {
+            assert_eq!(h.quantile(q), Some(BUCKET_EDGES_MS[8]), "q={q}");
+        }
+    }
+
+    #[test]
+    fn quantile_agrees_with_merge() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        let mut serial = Histogram::new();
+        for i in 0..200u64 {
+            let v = (i as f64) * 0.11;
+            serial.record(v);
+            if i % 2 == 0 {
+                a.record(v);
+            } else {
+                b.record(v);
+            }
+        }
+        let mut merged = Histogram::new();
+        merged.merge(&a);
+        merged.merge(&b);
+        for q in [0.5, 0.9, 0.99, 0.999] {
+            assert_eq!(merged.quantile(q), serial.quantile(q), "q={q}");
+        }
     }
 
     #[test]

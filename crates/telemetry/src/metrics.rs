@@ -522,12 +522,19 @@ impl Metrics {
 
 fn hist_json(h: &Histogram) -> String {
     let buckets: Vec<String> = h.counts().iter().map(|c| c.to_string()).collect();
+    // An empty histogram has no measurements: `mean` and `max` render
+    // as null rather than a fake 0.0 reading, matching the
+    // `hit_rate_floored` n/a convention (`sum` stays 0.0 — an exact
+    // total over zero observations is a real quantity).
+    let (mean, max) = if h.count() == 0 {
+        ("null".to_string(), "null".to_string())
+    } else {
+        (format!("{:.6}", h.mean_ms()), format!("{:.6}", h.max_ms()))
+    };
     format!(
-        "{{\"count\": {}, \"sum\": {:.6}, \"mean\": {:.6}, \"max\": {:.6}, \"buckets\": [{}]}}",
+        "{{\"count\": {}, \"sum\": {:.6}, \"mean\": {mean}, \"max\": {max}, \"buckets\": [{}]}}",
         h.count(),
         h.sum_ms(),
-        h.mean_ms(),
-        h.max_ms(),
         buckets.join(", ")
     )
 }
@@ -619,6 +626,19 @@ mod tests {
         assert!(j.contains("\"seek\""));
         assert!(j.contains("\"translation_cache\": null"));
         assert!(j.contains("\"spans_wall_ms\""));
+    }
+
+    #[test]
+    fn empty_histograms_render_null_mean_and_max() {
+        let mut m = Metrics::new();
+        m.phase(Phase::Seek, 3.2);
+        let j = m.to_json(0);
+        // The recorded phase carries real measurements...
+        assert!(j.contains("\"seek\": {\"count\": 1, \"sum\": 3.200000, \"mean\": 3.200000, \"max\": 3.200000"));
+        // ...while untouched histograms report n/a, not a fake 0.0
+        // reading (the hit_rate_floored convention).
+        assert!(j.contains("\"rotation\": {\"count\": 0, \"sum\": 0.000000, \"mean\": null, \"max\": null"));
+        assert!(j.contains("\"service_ms\": {\"count\": 0, \"sum\": 0.000000, \"mean\": null, \"max\": null"));
     }
 
     #[test]
